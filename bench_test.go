@@ -1,0 +1,556 @@
+// Benchmarks regenerating the paper's tables and figures. Each bench
+// runs the corresponding experiment (on a reduced access budget so the
+// suite stays minutes-scale) and reports the experiment's headline
+// number as a custom metric alongside simulator throughput. For
+// full-scale regeneration use: go run ./cmd/ldisexp -accesses 3000000 all
+package ldis
+
+import (
+	"testing"
+
+	"ldis/internal/cache"
+	"ldis/internal/distill"
+	"ldis/internal/dram"
+	"ldis/internal/exp"
+	"ldis/internal/hierarchy"
+	"ldis/internal/mem"
+	"ldis/internal/prefetch"
+	"ldis/internal/sampler"
+	"ldis/internal/trace"
+	"ldis/internal/workload"
+)
+
+// benchOpts trades precision for bench runtime.
+func benchOpts(benchmarks ...string) exp.Options {
+	return exp.Options{Accesses: 250_000, WarmupFrac: 0.3, Benchmarks: benchmarks}
+}
+
+// reportAccesses converts experiment work into a throughput metric.
+func reportAccesses(b *testing.B, accessesPerIter int) {
+	b.ReportMetric(float64(accessesPerIter*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+func BenchmarkFig1WordsUsed(b *testing.B) {
+	o := benchOpts("art", "mcf", "galgel")
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = rows[1].Mean // mcf
+	}
+	b.ReportMetric(mean, "mcf-words-used")
+	reportAccesses(b, o.Accesses*3)
+}
+
+func BenchmarkFig2RecencyStabilization(b *testing.B) {
+	o := benchOpts("twolf", "ammp")
+	var top float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top = rows[0].Pos0to3()
+	}
+	b.ReportMetric(100*top, "twolf-pct-changes-pos0-3")
+	reportAccesses(b, o.Accesses*2)
+}
+
+func BenchmarkTable2Baseline(b *testing.B) {
+	o := benchOpts("mcf", "health")
+	var mpki float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mpki = rows[0].MPKI
+	}
+	b.ReportMetric(mpki, "mcf-MPKI")
+	reportAccesses(b, o.Accesses*2)
+}
+
+func BenchmarkFig6LDISConfigs(b *testing.B) {
+	o := benchOpts("ammp", "twolf", "swim")
+	var rc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc = exp.SummarizeFig6(rows).Avg.RC
+	}
+	b.ReportMetric(rc, "avg-MPKI-reduction-pct")
+	reportAccesses(b, o.Accesses*3*4) // 4 configs per benchmark
+}
+
+func BenchmarkFig7HitMissBreakdown(b *testing.B) {
+	o := benchOpts("mcf")
+	var woc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		woc = rows[0].WOCHit
+	}
+	b.ReportMetric(100*woc, "mcf-WOC-hit-pct")
+	reportAccesses(b, o.Accesses*2)
+}
+
+func BenchmarkFig8Capacity(b *testing.B) {
+	o := benchOpts("health")
+	var distill float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		distill = rows[0].Distill
+	}
+	b.ReportMetric(distill, "health-distill-reduction-pct")
+	reportAccesses(b, o.Accesses*4)
+}
+
+func BenchmarkFig9IPC(b *testing.B) {
+	o := benchOpts("health", "art")
+	var gmean float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gmean = exp.Fig9GMean(rows)
+	}
+	b.ReportMetric(gmean, "gmean-IPC-improvement-pct")
+	reportAccesses(b, o.Accesses*2*2)
+}
+
+func BenchmarkTable3Storage(b *testing.B) {
+	var pct string
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = t.Title()
+	}
+	_ = pct
+}
+
+func BenchmarkFig10Compressibility(b *testing.B) {
+	o := benchOpts("mcf")
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = rows[0].UsedWords[0] + rows[0].UsedWords[1] // <= 1/4 size
+	}
+	b.ReportMetric(100*frac, "mcf-used-words-quarter-pct")
+	reportAccesses(b, o.Accesses)
+}
+
+func BenchmarkFig11FAC(b *testing.B) {
+	o := benchOpts("health")
+	var fac float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fac = rows[0].FAC4x
+	}
+	b.ReportMetric(fac, "health-FAC-reduction-pct")
+	reportAccesses(b, o.Accesses*5)
+}
+
+func BenchmarkFig13SFP(b *testing.B) {
+	o := benchOpts("art")
+	var ldisRed, sfpRed float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig13(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ldisRed, sfpRed = rows[0].LDIS, rows[0].SFP64kB
+	}
+	b.ReportMetric(ldisRed, "art-LDIS-reduction-pct")
+	b.ReportMetric(sfpRed, "art-SFP64kB-reduction-pct")
+	reportAccesses(b, o.Accesses*4)
+}
+
+func BenchmarkTable5Insensitive(b *testing.B) {
+	o := benchOpts("lucas")
+	var ldis float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ldis = rows[0].LDIS1MB
+	}
+	b.ReportMetric(ldis, "lucas-LDIS-MPKI")
+	reportAccesses(b, o.Accesses*4)
+}
+
+func BenchmarkTable6WordsVsSize(b *testing.B) {
+	o := benchOpts("art")
+	var grow float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grow = rows[0].AvgWords["2.00MB"] - rows[0].AvgWords["0.75MB"]
+	}
+	b.ReportMetric(grow, "art-words-growth-0.75-to-2MB")
+	reportAccesses(b, o.Accesses*5)
+}
+
+// ---------------------------------------------------------------------
+// Raw simulator throughput benchmarks
+// ---------------------------------------------------------------------
+
+func benchmarkSimThroughput(b *testing.B, mk func() *Sim, benchmark string) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		b.Fatal(err)
+	}
+	accs := prof.Trace(200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mk()
+		for _, a := range accs {
+			sim.System().Do(a)
+		}
+	}
+	b.ReportMetric(float64(len(accs)*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+func BenchmarkBaselineCache(b *testing.B) {
+	benchmarkSimThroughput(b, NewBaselineSim, "mcf")
+}
+
+func BenchmarkDistillCache(b *testing.B) {
+	benchmarkSimThroughput(b, func() *Sim { return NewDistillSim(DefaultDistillConfig()) }, "mcf")
+}
+
+func BenchmarkSFPCache(b *testing.B) {
+	benchmarkSimThroughput(b, func() *Sim {
+		s, err := NewSFPSim(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}, "mcf")
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		st := prof.Stream()
+		for j := 0; j < 100_000; j++ {
+			if _, ok := st.Next(); !ok {
+				b.Fatal("stream dried up")
+			}
+		}
+	}
+	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// ---------------------------------------------------------------------
+// Ablations (design choices DESIGN.md calls out)
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationWOCWays sweeps the LOC/WOC split (the paper fixes 2
+// of 8 ways; Figure 11 also uses 3).
+func BenchmarkAblationWOCWays(b *testing.B) {
+	prof, err := workload.ByName("health")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, woc := range []int{1, 2, 3, 4} {
+		b.Run(map[int]string{1: "woc1", 2: "woc2", 3: "woc3", 4: "woc4"}[woc], func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultDistillConfig()
+				cfg.WOCWays = woc
+				sim := NewDistillSim(cfg)
+				res := sim.RunStream("health", prof.Stream(), 250_000)
+				mpki = res.MPKI
+			}
+			b.ReportMetric(mpki, "MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationMedianThreshold compares MT filtering on/off.
+func BenchmarkAblationMedianThreshold(b *testing.B) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mt := range []bool{false, true} {
+		name := "mt-off"
+		if mt {
+			name = "mt-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultDistillConfig()
+				cfg.MedianThreshold = mt
+				cfg.Reverter = false
+				sim := NewDistillSim(cfg)
+				res := sim.RunStream("mcf", prof.Stream(), 250_000)
+				mpki = res.MPKI
+			}
+			b.ReportMetric(mpki, "MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationLeaderSets sweeps the reverter's sampling density.
+func BenchmarkAblationLeaderSets(b *testing.B) {
+	prof, err := workload.ByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, leaders := range []int{8, 32, 128} {
+		b.Run(map[int]string{8: "leaders8", 32: "leaders32", 128: "leaders128"}[leaders], func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultDistillConfig()
+				sc := samplerConfigFor(cfg, leaders)
+				cfg.SamplerConfig = &sc
+				sim := NewDistillSim(cfg)
+				res := sim.RunStream("swim", prof.Stream(), 250_000)
+				mpki = res.MPKI
+			}
+			b.ReportMetric(mpki, "MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationTraceCodec measures trace serialization speed.
+func BenchmarkAblationTraceCodec(b *testing.B) {
+	prof, err := workload.ByName("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	accs := prof.Trace(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discardCounter
+		if err := trace.Write(&buf, accs); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf))
+	}
+}
+
+// samplerConfigFor builds a reverter sampler config with the given
+// leader-set count for the default distill geometry.
+func samplerConfigFor(cfg DistillConfig, leaders int) sampler.Config {
+	sc := sampler.DefaultConfig(cfg.Sets())
+	sc.LeaderSets = leaders
+	sc.LowWatermark = 112
+	sc.HighWatermark = 144
+	return sc
+}
+
+// discardCounter is an io.Writer that counts bytes.
+type discardCounter int64
+
+func (d *discardCounter) Write(p []byte) (int, error) {
+	*d += discardCounter(len(p))
+	return len(p), nil
+}
+
+// BenchmarkAblationWOCReplacement checks the paper's footnote 4: random
+// WOC replacement performs similarly to a variable-size LRU.
+func BenchmarkAblationWOCReplacement(b *testing.B) {
+	prof, err := workload.ByName("health")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lru := range []bool{false, true} {
+		name := "random"
+		if lru {
+			name = "lru"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultDistillConfig()
+				cfg.WOCLRU = lru
+				sim := NewDistillSim(cfg)
+				res := sim.RunStream("health", prof.Stream(), 250_000)
+				mpki = res.MPKI
+			}
+			b.ReportMetric(mpki, "MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationStaticThreshold sweeps the fixed distillation
+// threshold K against the adaptive median (Section 5.4's discussion of
+// low vs high K).
+func BenchmarkAblationStaticThreshold(b *testing.B) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := map[string]func(*DistillConfig){
+		"k1":     func(c *DistillConfig) { c.MedianThreshold = false; c.StaticThreshold = 1 },
+		"k2":     func(c *DistillConfig) { c.MedianThreshold = false; c.StaticThreshold = 2 },
+		"k4":     func(c *DistillConfig) { c.MedianThreshold = false; c.StaticThreshold = 4 },
+		"k8":     func(c *DistillConfig) { c.MedianThreshold = false; c.StaticThreshold = 8 },
+		"median": func(c *DistillConfig) { c.MedianThreshold = true },
+	}
+	for _, name := range []string{"k1", "k2", "k4", "k8", "median"} {
+		b.Run(name, func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultDistillConfig()
+				cfg.Reverter = false
+				cases[name](&cfg)
+				sim := NewDistillSim(cfg)
+				res := sim.RunStream("mcf", prof.Stream(), 250_000)
+				mpki = res.MPKI
+			}
+			b.ReportMetric(mpki, "MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationFootprintNoise models wrong-path pollution (paper
+// footnote 8): noisy footprints dilute distillation.
+func BenchmarkAblationFootprintNoise(b *testing.B) {
+	prof, err := workload.ByName("health")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name  string
+		noise float64
+	}{{"clean", 0}, {"noise10", 0.1}, {"noise50", 0.5}} {
+		b.Run(tt.name, func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultDistillConfig()
+				cfg.FootprintNoise = tt.noise
+				sim := NewDistillSim(cfg)
+				res := sim.RunStream("health", prof.Stream(), 250_000)
+				mpki = res.MPKI
+			}
+			b.ReportMetric(mpki, "MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationVictimCache contrasts true distillation against a
+// plain victim cache with the same data budget: forcing every distilled
+// line to occupy a full 8-slot group turns the WOC into a 2-way
+// full-line victim buffer, isolating how much of LDIS's win comes from
+// *filtering* rather than from the extra associativity.
+func BenchmarkAblationVictimCache(b *testing.B) {
+	prof, err := workload.ByName("health")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, victim := range []bool{false, true} {
+		name := "distill"
+		if victim {
+			name = "victim"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mpki float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultDistillConfig()
+				cfg.MedianThreshold = !victim
+				if victim {
+					cfg.Slots = func(_ mem.LineAddr, _ mem.Footprint) int { return 8 }
+				}
+				sim := NewDistillSim(cfg)
+				res := sim.RunStream("health", prof.Stream(), 250_000)
+				mpki = res.MPKI
+			}
+			b.ReportMetric(mpki, "MPKI")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetchCompose measures next-line prefetching over
+// the baseline and the distill cache (the paper's Section 9 notes the
+// techniques are orthogonal).
+func BenchmarkAblationPrefetchCompose(b *testing.B) {
+	prof, err := workload.ByName("wupwise")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func() hierarchy.L2) {
+		var mpki float64
+		for i := 0; i < b.N; i++ {
+			sys := hierarchy.NewSystem(mk())
+			st := prof.Stream()
+			sys.Run(st, 200_000)
+			mpki = float64(sys.L2.Misses()) / float64(sys.Instructions) * 1000
+		}
+		b.ReportMetric(mpki, "MPKI")
+	}
+	b.Run("baseline", func(b *testing.B) {
+		run(b, func() hierarchy.L2 {
+			return hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
+		})
+	})
+	b.Run("baseline-pf2", func(b *testing.B) {
+		run(b, func() hierarchy.L2 {
+			inner := hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
+			return prefetch.Wrap(inner, prefetch.Config{Degree: 2})
+		})
+	})
+	b.Run("distill-pf2", func(b *testing.B) {
+		run(b, func() hierarchy.L2 {
+			inner := hierarchy.NewDistillL2(distill.New(DefaultDistillConfig()))
+			return prefetch.Wrap(inner, prefetch.Config{Degree: 2})
+		})
+	})
+}
+
+// BenchmarkAblationDRAMRowBuffer contrasts the paper's closed-page
+// memory with an open-page row-buffer variant on a streaming access
+// pattern (sequential lines revisit rows; row hits cost 150 cycles
+// instead of 400).
+func BenchmarkAblationDRAMRowBuffer(b *testing.B) {
+	for _, tt := range []struct {
+		name string
+		cfg  dram.Config
+	}{
+		{"closed-page", dram.DefaultConfig()},
+		{"open-page", dram.OpenPageConfig(150)},
+	} {
+		b.Run(tt.name, func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				m := dram.New(tt.cfg)
+				now, total := 0.0, 0.0
+				const n = 100_000
+				for j := 0; j < n; j++ {
+					done := m.Access(now, mem.LineAddr(j))
+					total += done - now
+					now += 20
+				}
+				avg = total / n
+			}
+			b.ReportMetric(avg, "avg-latency-cycles")
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Command distillsim runs one synthetic benchmark through one cache
+// organization and prints the resulting statistics.
+//
+//	distillsim -benchmark mcf -cache distill -accesses 2000000
+//	distillsim -benchmark swim -cache baseline
+//	distillsim -benchmark health -cache distill -woc-ways 3 -no-reverter
+//	distillsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ldis"
+	"ldis/internal/trace"
+	"ldis/internal/workload"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "mcf", "synthetic benchmark name")
+	traceFile := flag.String("trace", "", "replay a binary trace file (from tracegen) instead of a synthetic benchmark")
+	cacheKind := flag.String("cache", "distill", "cache organization: baseline | distill | cmpr | fac | sfp | trad")
+	accesses := flag.Int("accesses", 1_000_000, "number of memory accesses to simulate")
+	sizeMB := flag.Int("size-mb", 1, "cache size in MB (trad only)")
+	ways := flag.Int("ways", 8, "associativity (trad only)")
+	wocWays := flag.Int("woc-ways", 2, "WOC ways (distill/fac)")
+	noMT := flag.Bool("no-mt", false, "disable median-threshold filtering")
+	noReverter := flag.Bool("no-reverter", false, "disable the reverter circuit")
+	ipc := flag.Bool("ipc", false, "also run the execution-driven timing model")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return
+	}
+
+	sim, err := buildSim(*cacheKind, *benchmark, *sizeMB, *ways, *wocWays, !*noMT, !*noReverter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distillsim:", err)
+		os.Exit(1)
+	}
+	var res ldis.Result
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distillsim:", err)
+			os.Exit(1)
+		}
+		accs, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distillsim:", err)
+			os.Exit(1)
+		}
+		res = sim.RunStream(*traceFile, trace.NewSliceStream(accs), *accesses)
+	} else {
+		res, err = sim.RunWorkload(*benchmark, *accesses)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distillsim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println(res)
+	if ds := sim.DistillStats(); ds != nil {
+		fmt.Printf("distilled=%d threshold-skips=%d woc-evictions=%d mode-switches=%d writebacks=%d\n",
+			ds.Distilled, ds.ThresholdSkips, ds.WOCEvictions, ds.ModeSwitches, ds.Writebacks)
+		fmt.Printf("words used at LOC eviction: %v\n", ds.WordsUsedAtEvict)
+	}
+
+	if *ipc {
+		base, dist, err := ldis.MeasureIPC(*benchmark, *accesses)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distillsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("IPC: baseline %.3f (MPKI %.2f)  distill %.3f (MPKI %.2f)  improvement %.1f%%\n",
+			base.IPC, base.MPKI, dist.IPC, dist.MPKI, 100*(dist.IPC-base.IPC)/base.IPC)
+	}
+}
+
+func buildSim(kind, benchmark string, sizeMB, ways, wocWays int, mt, reverter bool) (*ldis.Sim, error) {
+	switch kind {
+	case "baseline":
+		return ldis.NewBaselineSim(), nil
+	case "trad":
+		return ldis.NewTraditionalSim(sizeMB<<20, ways)
+	case "distill":
+		cfg := ldis.DefaultDistillConfig()
+		cfg.WOCWays = wocWays
+		cfg.MedianThreshold = mt
+		cfg.Reverter = reverter
+		return ldis.NewDistillSim(cfg), nil
+	case "fac":
+		cfg := ldis.DefaultDistillConfig()
+		cfg.WOCWays = wocWays
+		cfg.MedianThreshold = mt
+		cfg.Reverter = reverter
+		return ldis.NewFACSim(cfg, benchmark)
+	case "cmpr":
+		return ldis.NewCompressedSim(benchmark)
+	case "sfp":
+		return ldis.NewSFPSim(0)
+	default:
+		return nil, fmt.Errorf("unknown cache kind %q", kind)
+	}
+}

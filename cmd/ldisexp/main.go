@@ -1,0 +1,101 @@
+// Command ldisexp regenerates the paper's tables and figures from the
+// synthetic benchmark suite. Run with one or more experiment ids
+// (fig1, fig2, fig6..fig11, fig13, table1..table6, overheads) or "all".
+//
+//	ldisexp -accesses 2000000 fig6 fig7
+//	ldisexp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ldis/internal/exp"
+	"ldis/internal/stats"
+)
+
+func main() {
+	accesses := flag.Int("accesses", 1_000_000, "accesses per benchmark per configuration")
+	warmup := flag.Float64("warmup", 0.25, "fraction of accesses excluded from measurement")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's 16)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	markdown := flag.Bool("markdown", false, "emit tables as markdown")
+	csv := flag.Bool("csv", false, "emit tables as CSV")
+	parallel := flag.Int("parallel", 0, "benchmark worker goroutines (0 = GOMAXPROCS)")
+	outDir := flag.String("out", "", "also write each experiment's tables to <dir>/<id>.txt (or .md/.csv per format flag)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			about, _ := exp.About(id)
+			fmt.Printf("%-10s %s\n", id, about)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ldisexp [flags] <experiment-id>... | all  (-list to enumerate)")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = exp.IDs()
+	}
+
+	o := exp.DefaultOptions()
+	o.Accesses = *accesses
+	o.WarmupFrac = *warmup
+	o.Parallel = *parallel
+	if *benchmarks != "" {
+		o.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+	}
+	render := func(t *stats.Table) string {
+		switch {
+		case *csv:
+			return t.CSV()
+		case *markdown:
+			return t.Markdown()
+		default:
+			return t.String()
+		}
+	}
+	ext := ".txt"
+	if *csv {
+		ext = ".csv"
+	} else if *markdown {
+		ext = ".md"
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := exp.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldisexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var out strings.Builder
+		for _, t := range tables {
+			out.WriteString(render(t))
+			out.WriteByte('\n')
+		}
+		fmt.Print(out.String())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+ext)
+			if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "ldisexp: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

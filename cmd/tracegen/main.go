@@ -1,0 +1,87 @@
+// Command tracegen materializes a synthetic benchmark's access stream
+// into a binary trace file (or inspects an existing one), so traces can
+// be archived, diffed, or replayed by external tools.
+//
+//	tracegen -benchmark mcf -accesses 1000000 -o mcf.ldtr
+//	tracegen -inspect mcf.ldtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldis/internal/mem"
+	"ldis/internal/stats"
+	"ldis/internal/trace"
+	"ldis/internal/workload"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "mcf", "synthetic benchmark name")
+	accesses := flag.Int("accesses", 1_000_000, "number of accesses to generate")
+	out := flag.String("o", "", "output trace file (required unless -inspect)")
+	inspect := flag.String("inspect", "", "inspect an existing trace file instead of generating")
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o required (or use -inspect)")
+		os.Exit(2)
+	}
+	prof, err := workload.ByName(*benchmark)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	accs := prof.Trace(*accesses)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.Write(f, accs); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d accesses (%d instructions) of %s to %s\n",
+		len(accs), trace.CountInstructions(accs), *benchmark, *out)
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	accs, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	var loads, stores uint64
+	lines := map[mem.LineAddr]struct{}{}
+	words := stats.NewHistogram("word", mem.WordsPerLine)
+	for _, a := range accs {
+		switch a.Kind {
+		case mem.Load:
+			loads++
+		case mem.Store:
+			stores++
+		}
+		lines[a.Line()] = struct{}{}
+		words.Add(a.Word())
+	}
+	fmt.Printf("%s: %d accesses (%d loads, %d stores), %d instructions\n",
+		path, len(accs), loads, stores, trace.CountInstructions(accs))
+	fmt.Printf("distinct lines: %d (%.2f MB footprint)\n",
+		len(lines), float64(len(lines)*mem.LineSize)/(1<<20))
+	fmt.Printf("word-offset distribution: %v\n", words)
+	return nil
+}

@@ -1,0 +1,49 @@
+// Reverter: the paper's adversarial case (Section 7.1). swim first
+// touches one word of a line and returns for the other seven a long
+// reuse-distance later — exactly the words eager distillation throws
+// away, so LDIS-Base *increases* misses via hole-misses. The reverter
+// circuit (Section 5.5) detects this with dynamic set sampling and
+// turns LDIS off, restoring baseline behaviour.
+package main
+
+import (
+	"fmt"
+
+	"ldis"
+)
+
+func main() {
+	const benchmark = "swim"
+	const accesses = 2_000_000
+
+	base, err := ldis.NewBaselineSim().RunWorkload(benchmark, accesses)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-34s MPKI %6.2f\n", "traditional 1MB 8-way", base.MPKI)
+
+	run := func(label string, mt, reverter bool) {
+		cfg := ldis.DefaultDistillConfig()
+		cfg.MedianThreshold = mt
+		cfg.Reverter = reverter
+		sim := ldis.NewDistillSim(cfg)
+		res, err := sim.RunWorkload(benchmark, accesses)
+		if err != nil {
+			panic(err)
+		}
+		delta := 100 * (base.MPKI - res.MPKI) / base.MPKI
+		fmt.Printf("%-34s MPKI %6.2f  (%+.1f%%), hole-misses %d\n",
+			label, res.MPKI, delta, res.HoleMisses)
+		if ds := sim.DistillStats(); reverter && ds != nil {
+			fmt.Printf("%-34s mode switches: %d (followers fell back to the traditional organization)\n",
+				"", ds.ModeSwitches)
+		}
+	}
+
+	run("LDIS-Base (eager distillation)", false, false)
+	run("LDIS-MT (median threshold)", true, false)
+	run("LDIS-MT-RC (with reverter)", true, true)
+
+	fmt.Println("\nThe reverter bounds the damage: the paper reports LDIS-MT-RC")
+	fmt.Println("never increases misses by more than 2% on any benchmark.")
+}

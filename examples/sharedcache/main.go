@@ -1,0 +1,43 @@
+// Sharedcache: two programs sharing one L2, a scenario the paper's
+// single-core study does not cover but the library supports directly —
+// trace.Interleave round-robins two benchmark streams into a single
+// hierarchy. A low-spatial-locality pointer chaser (health) running
+// beside a streaming FP code (wupwise) shows that distillation's
+// capacity recovery survives (and helps under) cache sharing.
+package main
+
+import (
+	"fmt"
+
+	"ldis"
+	"ldis/internal/trace"
+	"ldis/internal/workload"
+)
+
+func main() {
+	const accesses = 1_000_000
+
+	mix := func() trace.Stream {
+		a, err := workload.ByName("health")
+		if err != nil {
+			panic(err)
+		}
+		b, err := workload.ByName("wupwise")
+		if err != nil {
+			panic(err)
+		}
+		return trace.NewInterleave(a.Stream(), b.Stream())
+	}
+
+	base := ldis.NewBaselineSim().RunStream("health+wupwise", mix(), accesses)
+	dist := ldis.NewDistillSim(ldis.DefaultDistillConfig()).RunStream("health+wupwise", mix(), accesses)
+
+	fmt.Println("shared 1MB L2, interleaved health + wupwise")
+	fmt.Printf("  baseline: %s\n", base)
+	fmt.Printf("  distill:  %s\n", dist)
+	fmt.Printf("\nMPKI %.2f -> %.2f (%.1f%% fewer misses under sharing)\n",
+		base.MPKI, dist.MPKI, 100*(base.MPKI-dist.MPKI)/base.MPKI)
+	fmt.Println("\nwupwise streams full lines (nothing to distill, nothing lost);")
+	fmt.Println("health's 2-word lines pack 4-8x denser in the WOC, so the")
+	fmt.Println("chaser keeps its working set despite the streaming neighbour.")
+}

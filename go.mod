@@ -1,0 +1,3 @@
+module ldis
+
+go 1.24

@@ -1,0 +1,181 @@
+// Package branch implements the baseline machine's branch predictor
+// (paper Table 1): a hybrid of a 64k-entry gshare and a 64k-entry
+// per-address (PAs) predictor with a chooser, all built from 2-bit
+// saturating counters. The CPU timing model drives it with a synthetic
+// branch-outcome stream derived from each workload profile, so
+// mispredictions (and their minimum 15-cycle penalty) are produced
+// mechanistically rather than charged statistically.
+package branch
+
+import (
+	"fmt"
+
+	"ldis/internal/mem"
+)
+
+// Config sizes the predictor tables. Entries must be powers of two.
+type Config struct {
+	GshareEntries  int // 64k in the baseline
+	PAsEntries     int // 64k pattern-history counters
+	PAsHistoryBits int // per-address history length
+	ChooserEntries int
+}
+
+// DefaultConfig returns the paper's 64k/64k hybrid.
+func DefaultConfig() Config {
+	return Config{
+		GshareEntries:  64 << 10,
+		PAsEntries:     64 << 10,
+		PAsHistoryBits: 10,
+		ChooserEntries: 16 << 10,
+	}
+}
+
+// Validate checks the table geometry.
+func (c Config) Validate() error {
+	for _, n := range []int{c.GshareEntries, c.PAsEntries, c.ChooserEntries} {
+		if n <= 0 || n&(n-1) != 0 {
+			return fmt.Errorf("branch: table size %d must be a positive power of two", n)
+		}
+	}
+	if c.PAsHistoryBits < 1 || c.PAsHistoryBits > 16 {
+		return fmt.Errorf("branch: PAs history bits %d out of [1,16]", c.PAsHistoryBits)
+	}
+	return nil
+}
+
+// counter2 is a 2-bit saturating counter: 0,1 predict not-taken; 2,3
+// predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Stats counts predictor behaviour.
+type Stats struct {
+	Branches    uint64
+	Mispredicts uint64
+	GshareUsed  uint64
+	PAsUsed     uint64
+}
+
+// Rate returns the misprediction rate.
+func (s Stats) Rate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Predictor is the gshare/PAs hybrid.
+type Predictor struct {
+	cfg     Config
+	gshare  []counter2
+	pas     []counter2
+	pasHist []uint16 // per-address local history
+	chooser []counter2
+	ghist   uint64
+	st      Stats
+}
+
+// New builds the predictor with all counters weakly taken; panics on
+// invalid config.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		gshare:  make([]counter2, cfg.GshareEntries),
+		pas:     make([]counter2, cfg.PAsEntries),
+		pasHist: make([]uint16, cfg.PAsEntries),
+		chooser: make([]counter2, cfg.ChooserEntries),
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.pas {
+		p.pas[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 2 // weakly prefer gshare
+	}
+	return p
+}
+
+// Stats returns the cumulative counters.
+func (p *Predictor) Stats() Stats { return p.st }
+
+func (p *Predictor) gshareIndex(pc mem.Addr) int {
+	return int((uint64(pc)>>2 ^ p.ghist) & uint64(p.cfg.GshareEntries-1))
+}
+
+func (p *Predictor) pasIndex(pc mem.Addr) (hist int, pht int) {
+	hi := int(uint64(pc) >> 2 & uint64(p.cfg.PAsEntries-1))
+	mask := uint16(1)<<p.cfg.PAsHistoryBits - 1
+	ph := int((uint64(p.pasHist[hi]&mask)<<6 ^ uint64(pc)>>2) & uint64(p.cfg.PAsEntries-1))
+	return hi, ph
+}
+
+func (p *Predictor) chooserIndex(pc mem.Addr) int {
+	return int(uint64(pc) >> 2 & uint64(p.cfg.ChooserEntries-1))
+}
+
+// PredictAndUpdate runs one branch through the hybrid: both components
+// predict, the chooser arbitrates, every structure trains on the actual
+// outcome, and the return value reports whether the final prediction
+// was wrong.
+func (p *Predictor) PredictAndUpdate(pc mem.Addr, taken bool) (mispredicted bool) {
+	gi := p.gshareIndex(pc)
+	hi, ph := p.pasIndex(pc)
+	ci := p.chooserIndex(pc)
+
+	gPred := p.gshare[gi].taken()
+	lPred := p.pas[ph].taken()
+
+	var pred bool
+	if p.chooser[ci].taken() {
+		pred = gPred
+		p.st.GshareUsed++
+	} else {
+		pred = lPred
+		p.st.PAsUsed++
+	}
+
+	// Train the chooser toward whichever component was right (only when
+	// they disagree, the standard tournament rule).
+	if gPred != lPred {
+		p.chooser[ci] = p.chooser[ci].update(gPred == taken)
+	}
+	p.gshare[gi] = p.gshare[gi].update(taken)
+	p.pas[ph] = p.pas[ph].update(taken)
+
+	p.pasHist[hi] = p.pasHist[hi]<<1 | b2u(taken)
+	p.ghist = p.ghist<<1 | uint64(b2u(taken))
+
+	p.st.Branches++
+	if pred != taken {
+		p.st.Mispredicts++
+		return true
+	}
+	return false
+}
+
+func b2u(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,282 @@
+// Package cache implements a traditional set-associative cache with LRU
+// replacement — the paper's baseline L2 organization (Table 1) — plus
+// the per-line footprint instrumentation the motivation experiments need
+// (Figures 1 and 2) and an auxiliary tag-directory mode used by the
+// reverter circuit and set-sampling machinery.
+package cache
+
+import (
+	"fmt"
+
+	"ldis/internal/mem"
+	"ldis/internal/stats"
+)
+
+// Config describes a traditional cache.
+type Config struct {
+	// Name labels the cache in stats output.
+	Name string
+	// SizeBytes is the data capacity (must be sets*ways*64).
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Sets returns the number of sets implied by the config.
+func (c Config) Sets() int { return c.SizeBytes / (mem.LineSize * c.Ways) }
+
+// Validate checks structural invariants: power-of-two set count, at
+// least one way.
+func (c Config) Validate() error {
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %q: ways must be positive, got %d", c.Name, c.Ways)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*mem.LineSize != c.SizeBytes {
+		return fmt.Errorf("cache %q: size %dB not divisible into %d ways of 64B lines", c.Name, c.SizeBytes, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Line is one tag entry. MaxFPPos tracks the maximum recency position
+// the line occupied at any access that changed its footprint — the
+// statistic behind the paper's Figure 2.
+type Line struct {
+	Valid     bool
+	Dirty     bool
+	Tag       uint64
+	Footprint mem.Footprint
+	MaxFPPos  uint8
+}
+
+// Stats aggregates the cache's behaviour.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+
+	// WordsUsedAtEvict histograms footprint popcounts of evicted lines
+	// (buckets 0..8); bucket 0 stays empty because installs mark the
+	// demand word. This is Figure 1 and Table 6.
+	WordsUsedAtEvict *stats.Histogram
+
+	// FPChangePos histograms, per evicted line, the maximum recency
+	// position at which its footprint changed (Figure 2).
+	FPChangePos *stats.Histogram
+}
+
+// HitRate returns hits/accesses.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative LRU cache over 64B lines.
+type Cache struct {
+	cfg  Config
+	sets [][]Line // sets[i] ordered MRU-first
+	st   Stats
+}
+
+// New builds a cache; it panics on an invalid config (configs are
+// programmer-supplied constants, not user input).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]Line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]Line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a pointer to the live statistics.
+func (c *Cache) Stats() *Stats {
+	if c.st.WordsUsedAtEvict == nil {
+		c.st.WordsUsedAtEvict = stats.NewHistogram(c.cfg.Name+" words used", mem.WordsPerLine+1)
+		c.st.FPChangePos = stats.NewHistogram(c.cfg.Name+" fp-change pos", c.cfg.Ways)
+	}
+	return &c.st
+}
+
+// Victim describes a line evicted by an install.
+type Victim struct {
+	Line      mem.LineAddr
+	Dirty     bool
+	Footprint mem.Footprint
+}
+
+// Lookup reports whether the line is present without touching LRU state
+// or stats (used by auxiliary structures and tests).
+func (c *Cache) Lookup(line mem.LineAddr) bool {
+	set := c.sets[line.SetIndex(c.cfg.Sets())]
+	tag := line.Tag(c.cfg.Sets())
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access for one word of a line. On a hit the
+// line moves to MRU and its footprint is updated; the access counts in
+// the stats. On a miss nothing is installed — callers model the fill
+// with Install, mirroring how the simulated hierarchy overlaps fills
+// with memory latency.
+func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
+	st := c.Stats()
+	st.Accesses++
+	si := line.SetIndex(c.cfg.Sets())
+	set := c.sets[si]
+	tag := line.Tag(c.cfg.Sets())
+	for pos := range set {
+		if !set[pos].Valid || set[pos].Tag != tag {
+			continue
+		}
+		st.Hits++
+		l := set[pos]
+		if !l.Footprint.Has(word) {
+			l.Footprint = l.Footprint.Set(word)
+			if uint8(pos) > l.MaxFPPos {
+				l.MaxFPPos = uint8(pos)
+			}
+		}
+		if write {
+			l.Dirty = true
+		}
+		c.promote(set, pos, l)
+		return true
+	}
+	st.Misses++
+	return false
+}
+
+// promote moves the entry at pos to MRU, shifting the more recent
+// entries down one position.
+func (c *Cache) promote(set []Line, pos int, l Line) {
+	copy(set[1:pos+1], set[0:pos])
+	set[0] = l
+}
+
+// Install fills a line (after a miss) as MRU with the demand word's
+// footprint bit set, evicting the LRU entry if the set is full. It
+// returns the victim, if any. Installing a line that is already present
+// is a programming error and panics.
+func (c *Cache) Install(line mem.LineAddr, word int, write bool) (Victim, bool) {
+	si := line.SetIndex(c.cfg.Sets())
+	set := c.sets[si]
+	tag := line.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].Valid && set[pos].Tag == tag {
+			panic(fmt.Sprintf("cache %q: installing already-present %v", c.cfg.Name, line))
+		}
+	}
+	st := c.Stats()
+	victimPos := len(set) - 1
+	var victim Victim
+	had := false
+	if v := set[victimPos]; v.Valid {
+		st.Evictions++
+		st.WordsUsedAtEvict.Add(v.Footprint.Count())
+		st.FPChangePos.Add(int(v.MaxFPPos))
+		if v.Dirty {
+			st.Writebacks++
+		}
+		victim = Victim{
+			Line:      c.lineFromTag(v.Tag, si),
+			Dirty:     v.Dirty,
+			Footprint: v.Footprint,
+		}
+		had = true
+	}
+	nl := Line{
+		Valid:     true,
+		Dirty:     write,
+		Tag:       tag,
+		Footprint: mem.FootprintOfWord(word),
+	}
+	c.promote(set, victimPos, nl)
+	return victim, had
+}
+
+// lineFromTag reconstructs a line address from a tag and set index.
+func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
+	shift := 0
+	for n := c.cfg.Sets(); n > 1; n >>= 1 {
+		shift++
+	}
+	return mem.LineAddr(tag<<shift | uint64(setIdx))
+}
+
+// MergeFootprint ORs fp into the line's footprint if present (the LOC
+// does this with footprints arriving from L1D evictions; the baseline
+// cache does it too so its Figure 1/2 statistics see the full word-usage
+// information). Position tracking: if new bits appear, the line's
+// current recency position competes for MaxFPPos.
+func (c *Cache) MergeFootprint(line mem.LineAddr, fp mem.Footprint) {
+	set := c.sets[line.SetIndex(c.cfg.Sets())]
+	tag := line.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].Valid && set[pos].Tag == tag {
+			if merged := set[pos].Footprint.Or(fp); merged != set[pos].Footprint {
+				set[pos].Footprint = merged
+				if uint8(pos) > set[pos].MaxFPPos {
+					set[pos].MaxFPPos = uint8(pos)
+				}
+			}
+			return
+		}
+	}
+}
+
+// SetDirty marks the line dirty if present (used when a dirty L1D line
+// is written back into a clean L2 copy).
+func (c *Cache) SetDirty(line mem.LineAddr) {
+	set := c.sets[line.SetIndex(c.cfg.Sets())]
+	tag := line.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].Valid && set[pos].Tag == tag {
+			set[pos].Dirty = true
+			return
+		}
+	}
+}
+
+// VisitLines calls fn for every valid line (used by the compressibility
+// sampling of Figure 10). The footprint passed is the line's current
+// footprint.
+func (c *Cache) VisitLines(fn func(line mem.LineAddr, fp mem.Footprint)) {
+	for si, set := range c.sets {
+		for _, l := range set {
+			if l.Valid {
+				fn(c.lineFromTag(l.Tag, si), l.Footprint)
+			}
+		}
+	}
+}
+
+// RecencyPosition returns the LRU-stack position of the line (0 = MRU)
+// or -1 if absent; exposed for tests and the distill cache's auxiliary
+// structures.
+func (c *Cache) RecencyPosition(line mem.LineAddr) int {
+	set := c.sets[line.SetIndex(c.cfg.Sets())]
+	tag := line.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].Valid && set[pos].Tag == tag {
+			return pos
+		}
+	}
+	return -1
+}

@@ -1,0 +1,282 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldis/internal/mem"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways.
+	return New(Config{Name: "t", SizeBytes: 4 * 2 * mem.LineSize, Ways: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "l2", SizeBytes: 1 << 20, Ways: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("baseline config invalid: %v", err)
+	}
+	if good.Sets() != 2048 {
+		t.Errorf("baseline Sets = %d, want 2048", good.Sets())
+	}
+	bad := []Config{
+		{Name: "w0", SizeBytes: 1024, Ways: 0},
+		{Name: "odd", SizeBytes: 3 * 64, Ways: 2},                // sets=0 -> invalid
+		{Name: "np2", SizeBytes: 3 * 64 * 2, Ways: 2},            // 3 sets
+		{Name: "frac", SizeBytes: 4*2*mem.LineSize + 1, Ways: 2}, // not line divisible
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+}
+
+func TestMissThenInstallThenHit(t *testing.T) {
+	c := small()
+	l := mem.LineAddr(0x40)
+	if c.Access(l, 0, false) {
+		t.Fatal("cold access should miss")
+	}
+	if _, had := c.Install(l, 0, false); had {
+		t.Fatal("install into empty set should not evict")
+	}
+	if !c.Access(l, 1, false) {
+		t.Fatal("second access should hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Three lines mapping to set 0 of a 4-set cache: line addresses
+	// congruent mod 4.
+	a, b, d := mem.LineAddr(0), mem.LineAddr(4), mem.LineAddr(8)
+	c.Access(a, 0, false)
+	c.Install(a, 0, false)
+	c.Access(b, 0, false)
+	c.Install(b, 0, false)
+	// a is LRU; touch a to promote it, then install d: b must be victim.
+	c.Access(a, 0, false)
+	v, had := c.Install(d, 0, false)
+	if !had || v.Line != b {
+		t.Fatalf("victim = %+v (had=%v), want line %v", v, had, b)
+	}
+	if !c.Lookup(a) || !c.Lookup(d) || c.Lookup(b) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := small()
+	a, b, d := mem.LineAddr(0), mem.LineAddr(4), mem.LineAddr(8)
+	c.Install(a, 0, true) // dirty install (write miss fill)
+	c.Install(b, 0, false)
+	v, had := c.Install(d, 0, false) // evicts a (LRU)
+	if !had || v.Line != a || !v.Dirty {
+		t.Fatalf("victim = %+v, want dirty line %v", v, a)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := small()
+	a, b, d := mem.LineAddr(0), mem.LineAddr(4), mem.LineAddr(8)
+	c.Install(a, 0, false)
+	c.Access(a, 0, true) // write hit
+	c.Install(b, 0, false)
+	v, _ := c.Install(d, 0, false)
+	if v.Line != a || !v.Dirty {
+		t.Fatalf("write hit should have dirtied %v, victim %+v", a, v)
+	}
+}
+
+func TestFootprintAccumulates(t *testing.T) {
+	c := small()
+	a := mem.LineAddr(0)
+	c.Install(a, 2, false)
+	c.Access(a, 5, false)
+	c.Access(a, 5, false) // repeated word: no new bit
+	c.Install(mem.LineAddr(4), 0, false)
+	v, _ := c.Install(mem.LineAddr(8), 0, false)
+	if v.Line != a {
+		t.Fatalf("victim %v, want %v", v.Line, a)
+	}
+	if v.Footprint.Count() != 2 || !v.Footprint.Has(2) || !v.Footprint.Has(5) {
+		t.Errorf("evicted footprint = %v", v.Footprint)
+	}
+	if c.Stats().WordsUsedAtEvict.Count(2) != 1 {
+		t.Error("words-used histogram not updated")
+	}
+}
+
+func TestMergeFootprint(t *testing.T) {
+	c := small()
+	a := mem.LineAddr(0)
+	c.Install(a, 0, false)
+	c.MergeFootprint(a, mem.FootprintOfWord(7).Or(mem.FootprintOfWord(0)))
+	c.Install(mem.LineAddr(4), 0, false)
+	v, _ := c.Install(mem.LineAddr(8), 0, false)
+	if v.Footprint.Count() != 2 {
+		t.Errorf("merged footprint = %v", v.Footprint)
+	}
+	// Merging into an absent line is a no-op.
+	c.MergeFootprint(mem.LineAddr(0x7777), mem.FullFootprint)
+}
+
+func TestMaxFPPosTracking(t *testing.T) {
+	// 1 set, 4 ways: place a, then bury it to position 2, then touch a
+	// new word -> MaxFPPos should be 2.
+	c := New(Config{Name: "p", SizeBytes: 4 * mem.LineSize, Ways: 4})
+	a := mem.LineAddr(0)
+	c.Install(a, 0, false)
+	c.Install(mem.LineAddr(1), 0, false)
+	c.Install(mem.LineAddr(2), 0, false)
+	if pos := c.RecencyPosition(a); pos != 2 {
+		t.Fatalf("a at position %d, want 2", pos)
+	}
+	c.Access(a, 3, false) // footprint change at position 2
+	c.Install(mem.LineAddr(3), 0, false)
+	c.Install(mem.LineAddr(4), 0, false)
+	c.Install(mem.LineAddr(5), 0, false)
+	// a is LRU now; next install evicts it.
+	c.Install(mem.LineAddr(6), 0, false)
+	if c.Lookup(a) {
+		t.Fatal("a should have been evicted")
+	}
+	if got := c.Stats().FPChangePos.Count(2); got != 1 {
+		t.Errorf("FPChangePos[2] = %d, want 1 (%v)", got, c.Stats().FPChangePos)
+	}
+}
+
+func TestAccessSameWordDoesNotRaiseMaxPos(t *testing.T) {
+	c := New(Config{Name: "p", SizeBytes: 4 * mem.LineSize, Ways: 4})
+	a := mem.LineAddr(0)
+	c.Install(a, 0, false)
+	c.Install(mem.LineAddr(1), 0, false)
+	c.Install(mem.LineAddr(2), 0, false)
+	c.Access(a, 0, false) // same word at depth: footprint unchanged
+	for i := 3; i < 7; i++ {
+		c.Install(mem.LineAddr(i), 0, false)
+	}
+	h := c.Stats().FPChangePos
+	if h.Total() != h.Count(0) {
+		t.Errorf("all footprint changes should be at position 0: %v", h)
+	}
+}
+
+func TestDoubleInstallPanics(t *testing.T) {
+	c := small()
+	c.Install(0, 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double install")
+		}
+	}()
+	c.Install(0, 0, false)
+}
+
+func TestVisitLines(t *testing.T) {
+	c := small()
+	want := map[mem.LineAddr]bool{1: true, 2: true, 5: true}
+	for l := range want {
+		c.Install(l, 0, false)
+	}
+	got := map[mem.LineAddr]bool{}
+	c.VisitLines(func(l mem.LineAddr, fp mem.Footprint) {
+		got[l] = true
+		if fp.Count() != 1 {
+			t.Errorf("line %v footprint %v", l, fp)
+		}
+	})
+	if len(got) != len(want) {
+		t.Errorf("visited %v, want %v", got, want)
+	}
+	for l := range want {
+		if !got[l] {
+			t.Errorf("line %v not visited", l)
+		}
+	}
+}
+
+func TestSetDirty(t *testing.T) {
+	c := small()
+	a := mem.LineAddr(0)
+	c.Install(a, 0, false)
+	c.SetDirty(a)
+	c.Install(mem.LineAddr(4), 0, false)
+	v, _ := c.Install(mem.LineAddr(8), 0, false)
+	if !v.Dirty {
+		t.Error("SetDirty did not stick")
+	}
+	c.SetDirty(mem.LineAddr(0x999)) // absent: no-op
+}
+
+func TestHitRate(t *testing.T) {
+	c := small()
+	c.Access(0, 0, false)
+	c.Install(0, 0, false)
+	c.Access(0, 0, false)
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", hr)
+	}
+	var empty Stats
+	if empty.HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+}
+
+// Property: after any access sequence, each set holds at most Ways valid
+// lines and Lookup agrees with a shadow map of the most recent Ways
+// distinct lines per set under LRU.
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	f := func(seq []uint16) bool {
+		const sets, ways = 4, 2
+		c := New(Config{Name: "ref", SizeBytes: sets * ways * mem.LineSize, Ways: ways})
+		// Reference: per set, slice of lines MRU-first.
+		ref := make([][]mem.LineAddr, sets)
+		for _, raw := range seq {
+			line := mem.LineAddr(raw % 64)
+			si := line.SetIndex(sets)
+			// reference access
+			found := -1
+			for i, l := range ref[si] {
+				if l == line {
+					found = i
+					break
+				}
+			}
+			hit := c.Access(line, 0, false)
+			if (found >= 0) != hit {
+				return false
+			}
+			if found >= 0 {
+				ref[si] = append([]mem.LineAddr{line}, append(ref[si][:found], ref[si][found+1:]...)...)
+			} else {
+				c.Install(line, 0, false)
+				ref[si] = append([]mem.LineAddr{line}, ref[si]...)
+				if len(ref[si]) > ways {
+					ref[si] = ref[si][:ways]
+				}
+			}
+		}
+		// Final contents agree.
+		for si := 0; si < sets; si++ {
+			for _, l := range ref[si] {
+				if !c.Lookup(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

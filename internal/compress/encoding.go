@@ -1,0 +1,117 @@
+// Package compress implements the paper's cache-compression study
+// (Section 8): the 32-bit significance encoding of Table 4, line
+// compressibility classification (Figure 10), a compressed traditional
+// cache (CMPR), and footprint-aware compression (FAC) for the distill
+// cache's WOC.
+package compress
+
+import (
+	"ldis/internal/mem"
+	"ldis/internal/values"
+)
+
+// Code is the 2-bit encoding of one 32-bit datum (paper Table 4).
+type Code uint8
+
+const (
+	// CodeZero: the datum is 0; no payload.
+	CodeZero Code = 0b00
+	// CodeOne: the datum is 1; no payload.
+	CodeOne Code = 0b01
+	// CodeHalf: bits[31:16] are 0; only bits[15:0] stored.
+	CodeHalf Code = 0b10
+	// CodeFull: incompressible; all 32 bits stored.
+	CodeFull Code = 0b11
+)
+
+// Encode32 classifies a 32-bit datum and returns its code and total
+// encoded size in bits (2-bit code + payload).
+func Encode32(v uint32) (Code, int) {
+	switch {
+	case v == 0:
+		return CodeZero, 2
+	case v == 1:
+		return CodeOne, 2
+	case v>>16 == 0:
+		return CodeHalf, 2 + 16
+	default:
+		return CodeFull, 2 + 32
+	}
+}
+
+// WordBits returns the encoded size in bits of the 8B word w of line l
+// under the value model (two 32-bit data).
+func WordBits(m *values.Model, l mem.LineAddr, w int) int {
+	lo, hi := m.Word64(l, w)
+	_, a := Encode32(lo)
+	_, b := Encode32(hi)
+	return a + b
+}
+
+// LineBits returns the encoded size in bits of the words of line l
+// selected by mask (FullFootprint for whole-line compression).
+func LineBits(m *values.Model, l mem.LineAddr, mask mem.Footprint) int {
+	bits := 0
+	for w := 0; w < mem.WordsPerLine; w++ {
+		if mask.Has(w) {
+			bits += WordBits(m, l, w)
+		}
+	}
+	return bits
+}
+
+// Category classifies a compressed size the way Figure 10 does: can the
+// line be stored in at most one-eighth, one-fourth, one-half of its
+// original 64B, or does it need full size.
+type Category uint8
+
+const (
+	// OneEighth: fits in 8 bytes.
+	OneEighth Category = iota
+	// OneFourth: fits in 16 bytes.
+	OneFourth
+	// OneHalf: fits in 32 bytes.
+	OneHalf
+	// Full: needs more than half the original line.
+	Full
+	// NumCategories is the category count (for histograms).
+	NumCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case OneEighth:
+		return "one-eighth"
+	case OneFourth:
+		return "one-fourth"
+	case OneHalf:
+		return "one-half"
+	case Full:
+		return "full"
+	default:
+		return "invalid"
+	}
+}
+
+// Categorize maps an encoded bit count to its Figure-10 category.
+func Categorize(bits int) Category {
+	switch bytes := (bits + 7) / 8; {
+	case bytes <= mem.LineSize/8:
+		return OneEighth
+	case bytes <= mem.LineSize/4:
+		return OneFourth
+	case bytes <= mem.LineSize/2:
+		return OneHalf
+	default:
+		return Full
+	}
+}
+
+// SegmentsFor returns the number of 8B segments (1, 2, 4, or 8) a
+// compressed payload of the given bit count occupies, rounded up to a
+// power of two to satisfy the aligned-placement rule.
+func SegmentsFor(bits int) int {
+	segs := (bits + 63) / 64
+	return mem.Pow2WordsFor(segs)
+}

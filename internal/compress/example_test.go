@@ -1,0 +1,33 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"ldis/internal/compress"
+)
+
+// ExampleEncode32 demonstrates the paper's Table-4 significance codes.
+func ExampleEncode32() {
+	for _, v := range []uint32{0, 1, 0x00001234, 0xdeadbeef} {
+		code, bits := compress.Encode32(v)
+		fmt.Printf("%08x -> code %02b, %d bits\n", v, code, bits)
+	}
+	// Output:
+	// 00000000 -> code 00, 2 bits
+	// 00000001 -> code 01, 2 bits
+	// 00001234 -> code 10, 18 bits
+	// deadbeef -> code 11, 34 bits
+}
+
+// ExampleCategorize maps compressed sizes to the Figure-10 buckets.
+func ExampleCategorize() {
+	fmt.Println(compress.Categorize(32))  // 4 bytes
+	fmt.Println(compress.Categorize(100)) // 13 bytes
+	fmt.Println(compress.Categorize(250)) // 32 bytes
+	fmt.Println(compress.Categorize(544)) // 68 bytes
+	// Output:
+	// one-eighth
+	// one-fourth
+	// one-half
+	// full
+}

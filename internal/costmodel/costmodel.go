@@ -1,0 +1,160 @@
+// Package costmodel reproduces the paper's overhead analysis (Section
+// 7.5): the storage cost of the distill cache (Table 3, measured in
+// register-bit equivalents), its access-latency penalty, and the energy
+// of the extra WOC tags. The storage numbers are pure arithmetic over
+// the organization parameters; latency and energy use the constants the
+// paper obtained from Cacti v3.2 at 65nm.
+package costmodel
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ldis/internal/mem"
+)
+
+// Params describe the organization being costed. Defaults() gives the
+// paper's baseline; the line-size variants of Section 7.5.1 (128B ->
+// ~7%, 256B -> ~4%) follow by changing LineBytes.
+type Params struct {
+	PhysAddrBits int // 40
+	L2Bytes      int // 1MB
+	L2Ways       int // 8
+	WOCWays      int // 2
+	LineBytes    int // 64
+	WordBytes    int // 8
+	L1DBytes     int // 16kB
+	LeaderSets   int // 32
+	ATDWays      int // 8
+	ATDEntryB    int // 4 bytes per ATD entry
+}
+
+// Defaults returns the paper's baseline parameters.
+func Defaults() Params {
+	return Params{
+		PhysAddrBits: mem.PhysAddrBits,
+		L2Bytes:      1 << 20,
+		L2Ways:       8,
+		WOCWays:      2,
+		LineBytes:    mem.LineSize,
+		WordBytes:    mem.WordSize,
+		L1DBytes:     16 << 10,
+		LeaderSets:   32,
+		ATDWays:      8,
+		ATDEntryB:    4,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.LineBytes <= 0 || p.WordBytes <= 0 || p.LineBytes%p.WordBytes != 0 {
+		return fmt.Errorf("costmodel: line %dB not divisible into %dB words", p.LineBytes, p.WordBytes)
+	}
+	if p.L2Ways <= 0 || p.WOCWays < 0 || p.WOCWays >= p.L2Ways {
+		return fmt.Errorf("costmodel: ways %d / WOC ways %d invalid", p.L2Ways, p.WOCWays)
+	}
+	if p.L2Bytes <= 0 || p.L1DBytes <= 0 || p.PhysAddrBits <= 0 {
+		return fmt.Errorf("costmodel: non-positive size parameter")
+	}
+	return nil
+}
+
+// WordsPerLine returns the footprint width.
+func (p Params) WordsPerLine() int { return p.LineBytes / p.WordBytes }
+
+// Sets returns the L2 set count.
+func (p Params) Sets() int { return p.L2Bytes / (p.LineBytes * p.L2Ways) }
+
+// log2 of a power of two.
+func log2(n int) int { return bits.TrailingZeros(uint(n)) }
+
+// Storage is the Table-3 breakdown, in bytes (except the per-entry bit
+// fields, which are in bits as the paper reports them).
+type Storage struct {
+	WOCTagEntryBits int // 29 in the baseline
+	WOCTagEntries   int // 32k
+	WOCTagBytes     int // 116kB
+
+	LOCLines          int // 16k (the paper counts all 1MB/64B lines)
+	LOCFootprintBytes int // 16kB
+
+	L1DLines          int // 256
+	L1DFootprintBytes int // 256B
+
+	MedianCounterBytes int // 18B (9 two-byte counters)
+
+	ATDEntries int // 256
+	ATDBytes   int // 1kB
+
+	TotalBytes int // 133kB
+
+	BaselineTagBytes  int // 64kB
+	BaselineAreaBytes int // 1088kB (tags + data)
+	OverheadPercent   float64
+}
+
+// DistillStorage computes the Table-3 storage overhead for the given
+// parameters, following the paper's accounting exactly (footprint bits
+// are charged for every line of the data array; the WOC tag covers
+// valid + dirty + head + tag + word-id).
+func DistillStorage(p Params) (Storage, error) {
+	if err := p.Validate(); err != nil {
+		return Storage{}, err
+	}
+	var s Storage
+	wpl := p.WordsPerLine()
+	sets := p.Sets()
+
+	// WOC tag entry: valid + dirty + head + tag + word-id.
+	tagBits := p.PhysAddrBits - log2(sets) - log2(p.LineBytes)
+	wordIDBits := log2(wpl)
+	s.WOCTagEntryBits = 3 + tagBits + wordIDBits
+	s.WOCTagEntries = sets * p.WOCWays * wpl
+	s.WOCTagBytes = s.WOCTagEntryBits * s.WOCTagEntries / 8
+
+	// Footprint bits: the paper charges one footprint per line of the
+	// whole data array (1MB/64B = 16k) and per L1D line.
+	s.LOCLines = p.L2Bytes / p.LineBytes
+	s.LOCFootprintBytes = wpl * s.LOCLines / 8
+	s.L1DLines = p.L1DBytes / p.LineBytes
+	s.L1DFootprintBytes = wpl * s.L1DLines / 8
+
+	// Median-threshold distillation: one 2B counter per word count plus
+	// the eviction-sum counter (9 counters in the baseline).
+	s.MedianCounterBytes = (wpl + 1) * 2
+
+	// Reverter ATD.
+	s.ATDEntries = p.LeaderSets * p.ATDWays
+	s.ATDBytes = s.ATDEntries * p.ATDEntryB
+
+	s.TotalBytes = s.WOCTagBytes + s.LOCFootprintBytes + s.L1DFootprintBytes +
+		s.MedianCounterBytes + s.ATDBytes
+
+	// Baseline area: the paper uses 64kB of tags for the 1MB cache.
+	baselineTagEntryBits := 32 // valid + dirty + tag + LRU state, 4B rounded
+	s.BaselineTagBytes = baselineTagEntryBits * s.LOCLines / 8
+	s.BaselineAreaBytes = s.BaselineTagBytes + p.L2Bytes
+	s.OverheadPercent = 100 * float64(s.TotalBytes) / float64(s.BaselineAreaBytes)
+	return s, nil
+}
+
+// Latency holds the Section 7.5.2 estimates.
+type Latency struct {
+	ExtraTagDelayNS    float64 // Cacti estimate at 65nm
+	ExtraTagCycles     int     // charged in the IPC model
+	WOCRearrangeCycles int
+}
+
+// Energy holds the Section 7.5.3 estimates (per L2 access).
+type Energy struct {
+	LOCTagNJ   float64
+	WOCExtraNJ float64
+	TotalTagNJ float64
+}
+
+// Overheads returns the paper's latency and energy constants.
+func Overheads() (Latency, Energy) {
+	l := Latency{ExtraTagDelayNS: 0.14, ExtraTagCycles: 1, WOCRearrangeCycles: 2}
+	e := Energy{LOCTagNJ: 3.06, WOCExtraNJ: 3.76, TotalTagNJ: 3.06 + 3.76}
+	return l, e
+}

@@ -1,0 +1,112 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable3Baseline(t *testing.T) {
+	s, err := DistillStorage(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row of Table 3.
+	if s.WOCTagEntryBits != 29 {
+		t.Errorf("WOC tag entry = %d bits, want 29", s.WOCTagEntryBits)
+	}
+	if s.WOCTagEntries != 32<<10 {
+		t.Errorf("WOC tag entries = %d, want 32k", s.WOCTagEntries)
+	}
+	if s.WOCTagBytes != 29*32<<10/8 { // 116kB (118784 B)
+		t.Errorf("WOC tag bytes = %d", s.WOCTagBytes)
+	}
+	if s.LOCLines != 16<<10 {
+		t.Errorf("LOC lines = %d, want 16k", s.LOCLines)
+	}
+	if s.LOCFootprintBytes != 16<<10 {
+		t.Errorf("LOC footprint = %dB, want 16kB", s.LOCFootprintBytes)
+	}
+	if s.L1DLines != 256 || s.L1DFootprintBytes != 256 {
+		t.Errorf("L1D footprint = %d lines / %dB, want 256/256", s.L1DLines, s.L1DFootprintBytes)
+	}
+	if s.MedianCounterBytes != 18 {
+		t.Errorf("median counters = %dB, want 18", s.MedianCounterBytes)
+	}
+	if s.ATDEntries != 256 || s.ATDBytes != 1024 {
+		t.Errorf("ATD = %d entries / %dB, want 256/1kB", s.ATDEntries, s.ATDBytes)
+	}
+	// Total: 116kB + 16kB + 256B + 18B + 1kB = 133kB (the paper rounds).
+	wantTotal := s.WOCTagBytes + s.LOCFootprintBytes + 256 + 18 + 1024
+	if s.TotalBytes != wantTotal {
+		t.Errorf("total = %d, want %d", s.TotalBytes, wantTotal)
+	}
+	if kb := float64(s.TotalBytes) / 1024; math.Abs(kb-133) > 1.0 {
+		t.Errorf("total = %.1fkB, want ~133kB", kb)
+	}
+	if s.BaselineTagBytes != 64<<10 {
+		t.Errorf("baseline tags = %dB, want 64kB", s.BaselineTagBytes)
+	}
+	if s.BaselineAreaBytes != (64+1024)<<10 {
+		t.Errorf("baseline area = %dB, want 1088kB", s.BaselineAreaBytes)
+	}
+	if math.Abs(s.OverheadPercent-12.2) > 0.3 {
+		t.Errorf("overhead = %.2f%%, want ~12.2%%", s.OverheadPercent)
+	}
+}
+
+func TestLineSizeReducesOverhead(t *testing.T) {
+	// Section 7.5.1: 128B lines -> ~7%, 256B lines -> ~4%. The paper
+	// keeps eight words per line (the word scales with the line), so
+	// the footprint stays 8 bits and the WOC tag count shrinks.
+	p128 := Defaults()
+	p128.LineBytes = 128
+	p128.WordBytes = 16
+	s128, err := DistillStorage(p128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s128.OverheadPercent-7) > 1.0 {
+		t.Errorf("128B overhead = %.2f%%, want ~7%%", s128.OverheadPercent)
+	}
+	p256 := Defaults()
+	p256.LineBytes = 256
+	p256.WordBytes = 32
+	s256, err := DistillStorage(p256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s256.OverheadPercent-4) > 1.0 {
+		t.Errorf("256B overhead = %.2f%%, want ~4%%", s256.OverheadPercent)
+	}
+	if !(s256.OverheadPercent < s128.OverheadPercent && s128.OverheadPercent < 12.5) {
+		t.Error("overhead should fall with line size")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := Defaults()
+	bad.WordBytes = 7
+	if _, err := DistillStorage(bad); err == nil {
+		t.Error("odd word size should fail")
+	}
+	bad2 := Defaults()
+	bad2.WOCWays = 8
+	if _, err := DistillStorage(bad2); err == nil {
+		t.Error("WOCWays >= ways should fail")
+	}
+	bad3 := Defaults()
+	bad3.L2Bytes = 0
+	if _, err := DistillStorage(bad3); err == nil {
+		t.Error("zero size should fail")
+	}
+}
+
+func TestOverheadConstants(t *testing.T) {
+	l, e := Overheads()
+	if l.ExtraTagDelayNS != 0.14 || l.ExtraTagCycles != 1 || l.WOCRearrangeCycles != 2 {
+		t.Errorf("latency constants wrong: %+v", l)
+	}
+	if e.LOCTagNJ != 3.06 || e.WOCExtraNJ != 3.76 || math.Abs(e.TotalTagNJ-6.82) > 1e-9 {
+		t.Errorf("energy constants wrong: %+v", e)
+	}
+}

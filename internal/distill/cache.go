@@ -1,0 +1,537 @@
+package distill
+
+import (
+	"fmt"
+
+	"ldis/internal/mem"
+	"ldis/internal/sampler"
+	"ldis/internal/stats"
+	"ldis/internal/wordstore"
+)
+
+// Outcome classifies a distill-cache access (paper Section 5.2).
+type Outcome uint8
+
+const (
+	// LOCHit: the line is in the line-organized ways.
+	LOCHit Outcome = iota
+	// WOCHit: line hit and word hit in the word-organized ways.
+	WOCHit
+	// HoleMiss: line hit in the WOC but the requested word was
+	// distilled away; the WOC copy is invalidated and the line refetched.
+	HoleMiss
+	// LineMiss: the line is in neither structure.
+	LineMiss
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case LOCHit:
+		return "loc-hit"
+	case WOCHit:
+		return "woc-hit"
+	case HoleMiss:
+		return "hole-miss"
+	case LineMiss:
+		return "line-miss"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// IsMiss reports whether the outcome required a memory fetch.
+func (o Outcome) IsMiss() bool { return o == HoleMiss || o == LineMiss }
+
+// AccessResult is what the L1 receives: the outcome and the valid-word
+// mask of the returned line (partial only for WOC hits, Section 4.2).
+type AccessResult struct {
+	Outcome   Outcome
+	ValidBits mem.Footprint
+}
+
+// Stats aggregates distill-cache behaviour; the four outcome counters
+// are the paper's Figure 7 breakdown.
+type Stats struct {
+	Accesses   uint64
+	LOCHits    uint64
+	WOCHits    uint64
+	HoleMisses uint64
+	LineMisses uint64
+
+	Writebacks uint64 // dirty data leaving the cache toward memory
+
+	Distilled      uint64 // LOC victims whose words entered the WOC
+	ThresholdSkips uint64 // LOC victims filtered out by MT
+	TradEvictions  uint64 // LOC victims evicted while a set ran traditional
+	InstrEvictions uint64 // instruction-line victims (never distilled)
+	WOCEvictions   uint64 // WOC lines displaced by installs
+	ModeSwitches   uint64 // follower sets toggling distill/traditional
+
+	// WordsUsedAtEvict histograms the footprint popcount of LOC
+	// victims (Figure 1 / Table 6 for the distill cache).
+	WordsUsedAtEvict *stats.Histogram
+	// FPChangePos histograms the maximum recency position at
+	// footprint-change of LOC victims (Figure 2).
+	FPChangePos *stats.Histogram
+}
+
+// Misses returns the total miss count.
+func (s *Stats) Misses() uint64 { return s.HoleMisses + s.LineMisses }
+
+// Hits returns the total hit count.
+func (s *Stats) Hits() uint64 { return s.LOCHits + s.WOCHits }
+
+// locEntry is a LOC tag entry: tag, per-word footprint and dirty mask,
+// and the Figure-2 recency instrumentation.
+type locEntry struct {
+	valid    bool
+	instr    bool // instruction lines are never distilled (Section 4)
+	tag      uint64
+	fp       mem.Footprint
+	dirty    mem.Footprint
+	maxFPPos uint8
+}
+
+// set is one distill-cache set. In distill mode loc has LOCWays entries
+// and woc is active; in traditional mode (reverter fallback) loc has
+// Ways entries and woc is empty.
+type set struct {
+	loc  []locEntry // MRU-first
+	woc  wordstore.Set
+	trad bool
+}
+
+// Cache is the distill cache.
+type Cache struct {
+	cfg  Config
+	sets []set
+	smp  *sampler.Sampler
+	mt   *medianFilter
+	st   Stats
+	rng  uint64
+	tick uint64
+}
+
+// New builds a distill cache; panics on invalid config.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, rng: cfg.Seed | 1}
+	c.sets = make([]set, cfg.Sets())
+	for i := range c.sets {
+		c.sets[i] = set{
+			loc: make([]locEntry, cfg.LOCWays(), cfg.Ways),
+			woc: wordstore.NewSet(cfg.WOCWays),
+		}
+	}
+	if cfg.Reverter {
+		sc := sampler.DefaultConfig(cfg.Sets())
+		if cfg.SamplerConfig != nil {
+			sc = *cfg.SamplerConfig
+		}
+		c.smp = sampler.New(sc)
+	}
+	if cfg.MedianThreshold {
+		c.mt = newMedianFilter()
+	}
+	c.st.WordsUsedAtEvict = stats.NewHistogram(cfg.Name+" words used", mem.WordsPerLine+1)
+	c.st.FPChangePos = stats.NewHistogram(cfg.Name+" fp-change pos", cfg.Ways)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the live statistics.
+func (c *Cache) Stats() *Stats { return &c.st }
+
+// Sampler exposes the reverter's sampler (nil when disabled).
+func (c *Cache) Sampler() *sampler.Sampler { return c.smp }
+
+// MedianThreshold returns the current distillation threshold K, or 8
+// when MT filtering is disabled.
+func (c *Cache) MedianThreshold() int {
+	if c.mt == nil {
+		return mem.WordsPerLine
+	}
+	return c.mt.Threshold()
+}
+
+func (c *Cache) nextRand() uint64 {
+	// xorshift64*: cheap, deterministic, good enough for replacement.
+	x := c.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Access performs a complete demand data access for one word,
+// including the fill on a miss (the timing of the memory fetch is
+// modelled separately by the CPU simulator). The returned ValidBits
+// tell the L1D which words of the line it receives.
+func (c *Cache) Access(la mem.LineAddr, word int, write bool) AccessResult {
+	return c.access(la, word, write, false)
+}
+
+// AccessInstruction performs an instruction-fetch access. Instruction
+// lines live in the LOC like any line but are never distilled into the
+// WOC on eviction — the paper performs LDIS only for data lines
+// (Section 4).
+func (c *Cache) AccessInstruction(la mem.LineAddr, word int, write bool) AccessResult {
+	return c.access(la, word, write, true)
+}
+
+func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResult {
+	c.st.Accesses++
+	si := la.SetIndex(c.cfg.Sets())
+	s := &c.sets[si]
+	leader := false
+	if c.smp != nil {
+		leader = c.smp.IsLeader(si)
+		c.smp.ObserveATD(si, la)
+		if !leader {
+			// Followers lazily adopt the sampler's decision.
+			if wantTrad := !c.smp.Enabled(); wantTrad != s.trad {
+				c.switchMode(s, si, wantTrad)
+			}
+		}
+	}
+	tag := la.Tag(c.cfg.Sets())
+
+	// LOC lookup.
+	for pos := range s.loc {
+		if !s.loc[pos].valid || s.loc[pos].tag != tag {
+			continue
+		}
+		e := s.loc[pos]
+		if !e.fp.Has(word) {
+			e.fp = e.fp.Set(word)
+			if uint8(pos) > e.maxFPPos {
+				e.maxFPPos = uint8(pos)
+			}
+		}
+		if write {
+			e.dirty = e.dirty.Set(word)
+		}
+		copy(s.loc[1:pos+1], s.loc[0:pos])
+		s.loc[0] = e
+		c.st.LOCHits++
+		return AccessResult{Outcome: LOCHit, ValidBits: mem.FullFootprint}
+	}
+
+	// WOC lookup (inactive in traditional mode).
+	if !s.trad {
+		if idx := s.woc.Find(tag); idx >= 0 {
+			wl := &s.woc.Lines[idx]
+			if wl.Words.Has(word) {
+				if write {
+					wl.Dirty = wl.Dirty.Set(word)
+				}
+				c.tick++
+				wl.LastUse = c.tick
+				c.st.WOCHits++
+				return AccessResult{Outcome: WOCHit, ValidBits: wl.Words}
+			}
+			// Hole miss: invalidate the WOC copy, keep its dirty words,
+			// refetch from memory, install in the LOC (Section 5.2).
+			removed := s.woc.RemoveAt(idx)
+			c.st.HoleMisses++
+			if leader {
+				c.smp.RecordPolicyMiss(si)
+			}
+			c.installLOC(s, la, word, write, instr, removed.Dirty)
+			return AccessResult{Outcome: HoleMiss, ValidBits: mem.FullFootprint}
+		}
+	}
+
+	// Line miss.
+	c.st.LineMisses++
+	if leader {
+		c.smp.RecordPolicyMiss(si)
+	}
+	c.installLOC(s, la, word, write, instr, 0)
+	return AccessResult{Outcome: LineMiss, ValidBits: mem.FullFootprint}
+}
+
+// lineFromTag reconstructs a line address from a tag and set index.
+func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
+	shift := 0
+	for n := c.cfg.Sets(); n > 1; n >>= 1 {
+		shift++
+	}
+	return mem.LineAddr(tag<<shift | uint64(setIdx))
+}
+
+// installLOC fills the line as MRU in the LOC, distilling the LRU
+// victim if the set is full. mergedDirty carries dirty words recovered
+// from a hole-missed WOC copy.
+func (c *Cache) installLOC(s *set, la mem.LineAddr, word int, write, instr bool, mergedDirty mem.Footprint) {
+	victimPos := len(s.loc) - 1
+	if v := s.loc[victimPos]; v.valid {
+		c.evictLOC(s, la.SetIndex(c.cfg.Sets()), v)
+	}
+	e := locEntry{
+		valid: true,
+		instr: instr,
+		tag:   la.Tag(c.cfg.Sets()),
+		fp:    mem.FootprintOfWord(word).Or(mergedDirty),
+		dirty: mergedDirty,
+	}
+	if write {
+		e.dirty = e.dirty.Set(word)
+	}
+	if c.cfg.FootprintNoise > 0 {
+		// Wrong-path pollution (paper footnote 8): a speculative access
+		// may mark an extra word used.
+		r := c.nextRand()
+		if float64(r>>11)/(1<<53) < c.cfg.FootprintNoise {
+			e.fp = e.fp.Set(int(r % mem.WordsPerLine))
+		}
+	}
+	copy(s.loc[1:victimPos+1], s.loc[0:victimPos])
+	s.loc[0] = e
+}
+
+// evictLOC handles a LOC victim: record statistics, then either distill
+// its used words into the WOC or evict it entirely (traditional mode or
+// filtered by MT).
+func (c *Cache) evictLOC(s *set, si int, v locEntry) {
+	if v.instr {
+		// Instruction lines bypass distillation and the data-footprint
+		// statistics (Section 4: LDIS only for data lines).
+		c.st.InstrEvictions++
+		if v.dirty != 0 {
+			c.st.Writebacks++
+		}
+		return
+	}
+	used := v.fp.Count()
+	c.st.WordsUsedAtEvict.Add(used)
+	c.st.FPChangePos.Add(int(v.maxFPPos))
+
+	if s.trad {
+		c.st.TradEvictions++
+		if v.dirty != 0 {
+			c.st.Writebacks++
+		}
+		return
+	}
+	if !c.admit(used) {
+		c.st.ThresholdSkips++
+		if v.dirty != 0 {
+			c.st.Writebacks++
+		}
+		return
+	}
+	slots := mem.Pow2WordsFor(used)
+	if c.cfg.Slots != nil {
+		slots = c.cfg.Slots(c.lineFromTag(v.tag, si), v.fp)
+	}
+	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots})
+}
+
+// installWOC places a distilled line and accounts for displaced lines.
+func (c *Cache) installWOC(s *set, wl wordstore.Line) {
+	c.st.Distilled++
+	c.tick++
+	wl.LastUse = c.tick
+	var evicted []wordstore.Line
+	if c.cfg.WOCLRU {
+		evicted = s.woc.InstallLRU(wl)
+	} else {
+		evicted = s.woc.Install(wl, c.nextRand())
+	}
+	for _, ev := range evicted {
+		c.st.WOCEvictions++
+		if ev.Dirty != 0 {
+			c.st.Writebacks++
+		}
+	}
+}
+
+// switchMode toggles a follower set between distill and traditional
+// organization (reverter fallback). Entering traditional mode empties
+// the WOC (writing back dirty words) and widens the LOC to all ways;
+// returning to distill mode narrows the LOC, distilling the overflow.
+func (c *Cache) switchMode(s *set, si int, trad bool) {
+	c.st.ModeSwitches++
+	if trad {
+		for _, wl := range s.woc.Clear() {
+			if wl.Dirty != 0 {
+				c.st.Writebacks++
+			}
+		}
+		// Expose the full-width LOC; the extra entries were zeroed at
+		// allocation or by the previous narrow step.
+		s.loc = s.loc[:c.cfg.Ways]
+	} else {
+		// Distill the entries that no longer fit, LRU-most first.
+		for i := len(s.loc) - 1; i >= c.cfg.LOCWays(); i-- {
+			if s.loc[i].valid {
+				c.evictLOCNarrow(s, si, s.loc[i])
+			}
+			s.loc[i] = locEntry{}
+		}
+		s.loc = s.loc[:c.cfg.LOCWays()]
+	}
+	s.trad = trad
+}
+
+// evictLOCNarrow distills a line displaced by a traditional->distill
+// mode switch. The set's trad flag is still true at this point, so it
+// bypasses the trad check in evictLOC.
+func (c *Cache) evictLOCNarrow(s *set, si int, v locEntry) {
+	if v.instr {
+		c.st.InstrEvictions++
+		if v.dirty != 0 {
+			c.st.Writebacks++
+		}
+		return
+	}
+	used := v.fp.Count()
+	c.st.WordsUsedAtEvict.Add(used)
+	c.st.FPChangePos.Add(int(v.maxFPPos))
+	if !c.admit(used) {
+		c.st.ThresholdSkips++
+		if v.dirty != 0 {
+			c.st.Writebacks++
+		}
+		return
+	}
+	slots := mem.Pow2WordsFor(used)
+	if c.cfg.Slots != nil {
+		slots = c.cfg.Slots(c.lineFromTag(v.tag, si), v.fp)
+	}
+	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots})
+}
+
+// admit applies the configured distillation threshold: the running
+// median (LDIS-MT), a static K, or everything.
+func (c *Cache) admit(used int) bool {
+	switch {
+	case c.mt != nil:
+		ok := c.mt.admit(used)
+		c.mt.record(used)
+		return ok
+	case c.cfg.StaticThreshold > 0:
+		return used <= c.cfg.StaticThreshold
+	default:
+		return true
+	}
+}
+
+// WritebackFromL1 accepts an L1D eviction notice: the accumulated
+// footprint is ORed into the LOC entry (Section 4.1) and dirty words
+// update whichever structure holds the line; dirty data for an absent
+// line goes to memory.
+func (c *Cache) WritebackFromL1(la mem.LineAddr, footprint, dirty mem.Footprint) {
+	footprint = footprint.Or(dirty) // written words are used words
+	si := la.SetIndex(c.cfg.Sets())
+	s := &c.sets[si]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range s.loc {
+		if s.loc[pos].valid && s.loc[pos].tag == tag {
+			e := &s.loc[pos]
+			if merged := e.fp.Or(footprint); merged != e.fp {
+				e.fp = merged
+				if uint8(pos) > e.maxFPPos {
+					e.maxFPPos = uint8(pos)
+				}
+			}
+			e.dirty = e.dirty.Or(dirty)
+			return
+		}
+	}
+	if !s.trad {
+		if idx := s.woc.Find(tag); idx >= 0 {
+			wl := &s.woc.Lines[idx]
+			// Dirty words the WOC copy stores stay with it; words it
+			// discarded must go to memory now.
+			kept := dirty & wl.Words
+			wl.Dirty = wl.Dirty.Or(kept)
+			if dirty&^wl.Words != 0 {
+				c.st.Writebacks++
+			}
+			return
+		}
+	}
+	if dirty != 0 {
+		c.st.Writebacks++
+	}
+}
+
+// Present reports where the line currently resides ("loc", "woc", or
+// ""); exposed for tests.
+func (c *Cache) Present(la mem.LineAddr) string {
+	si := la.SetIndex(c.cfg.Sets())
+	s := &c.sets[si]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range s.loc {
+		if s.loc[pos].valid && s.loc[pos].tag == tag {
+			return "loc"
+		}
+	}
+	if !s.trad && s.woc.Find(tag) >= 0 {
+		return "woc"
+	}
+	return ""
+}
+
+// WOCValidBits returns the stored-word mask of a WOC-resident line
+// (zero if not in the WOC).
+func (c *Cache) WOCValidBits(la mem.LineAddr) mem.Footprint {
+	si := la.SetIndex(c.cfg.Sets())
+	s := &c.sets[si]
+	if s.trad {
+		return 0
+	}
+	if idx := s.woc.Find(la.Tag(c.cfg.Sets())); idx >= 0 {
+		return s.woc.Lines[idx].Words
+	}
+	return 0
+}
+
+// CheckInvariants validates internal consistency of every set; tests
+// call it after stress runs.
+func (c *Cache) CheckInvariants() error {
+	for i := range c.sets {
+		s := &c.sets[i]
+		if err := s.woc.CheckInvariants(); err != nil {
+			return fmt.Errorf("set %d: %v", i, err)
+		}
+		want := c.cfg.LOCWays()
+		if s.trad {
+			want = c.cfg.Ways
+		}
+		if len(s.loc) != want {
+			return fmt.Errorf("set %d: loc width %d, want %d", i, len(s.loc), want)
+		}
+		if s.trad && len(s.woc.Lines) != 0 {
+			return fmt.Errorf("set %d: traditional mode with %d WOC lines", i, len(s.woc.Lines))
+		}
+		seen := map[uint64]bool{}
+		for _, e := range s.loc {
+			if !e.valid {
+				continue
+			}
+			if seen[e.tag] {
+				return fmt.Errorf("set %d: duplicate LOC tag %x", i, e.tag)
+			}
+			seen[e.tag] = true
+			if e.dirty&^e.fp != 0 {
+				return fmt.Errorf("set %d: LOC dirty outside footprint", i)
+			}
+		}
+		for _, wl := range s.woc.Lines {
+			if seen[wl.Tag] {
+				return fmt.Errorf("set %d: tag %x in both LOC and WOC", i, wl.Tag)
+			}
+			seen[wl.Tag] = true
+		}
+	}
+	return nil
+}

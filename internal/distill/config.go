@@ -1,0 +1,120 @@
+// Package distill implements the paper's primary contribution: the
+// Distill Cache (Section 5). Each set splits into a Line-Organized
+// Cache (LOC) — ordinary ways whose tag entries carry a footprint — and
+// a Word-Organized Cache (WOC) whose ways are logically partitioned
+// into 8B word entries. Lines evicted from the LOC are *distilled*:
+// their used words move to the WOC at a power-of-two aligned position
+// and the unused words are discarded. Median-threshold filtering
+// (Section 5.4) and the reverter circuit (Section 5.5) are both
+// implemented here.
+package distill
+
+import (
+	"fmt"
+
+	"ldis/internal/mem"
+	"ldis/internal/sampler"
+)
+
+// SlotsFunc computes how many 8B WOC entries a distilled line occupies.
+// The default is the smallest power of two covering the used-word count;
+// footprint-aware compression (Section 8.2) plugs in a function that
+// compresses the used words first.
+type SlotsFunc func(line mem.LineAddr, used mem.Footprint) int
+
+// Config describes a distill cache. The paper's default (Section 6.1):
+// 1MB, 8 ways, 64B lines, 6 ways LOC + 2 ways WOC, LRU in the LOC,
+// random aligned replacement in the WOC.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	WOCWays   int
+
+	// MedianThreshold enables LDIS-MT filtering (Section 5.4).
+	MedianThreshold bool
+
+	// StaticThreshold, when nonzero, applies a fixed distillation
+	// threshold K (Section 5.4's general threshold-based distillation):
+	// only lines with at most K used words enter the WOC. Mutually
+	// exclusive with MedianThreshold.
+	StaticThreshold int
+
+	// WOCLRU switches the WOC's replacement from the paper's random
+	// candidate selection to a variable-size LRU approximation; the
+	// paper's footnote 4 claims the two perform similarly, which the
+	// BenchmarkAblationWOCReplacement ablation checks.
+	WOCLRU bool
+
+	// FootprintNoise models wrong-path pollution of footprints (the
+	// paper's footnote 8): with this probability an install marks one
+	// random extra word as used, diluting distillation.
+	FootprintNoise float64
+
+	// Reverter enables the reverter circuit (Section 5.5). Follower
+	// sets fall back to a traditional (Ways)-way LRU organization when
+	// the sampler decides LDIS is losing.
+	Reverter bool
+
+	// Seed drives the WOC's random replacement choices.
+	Seed uint64
+
+	// Slots overrides the WOC allocation size (used by FAC). Nil means
+	// the uncompressed power-of-two rule.
+	Slots SlotsFunc
+
+	// SamplerConfig overrides the reverter's sampler parameters; zero
+	// value means sampler.DefaultConfig for this cache's set count.
+	SamplerConfig *sampler.Config
+}
+
+// DefaultConfig returns the paper's baseline distill cache: a 1MB 8-way
+// cache with 2 WOC ways, median-threshold filtering and the reverter
+// (the LDIS-MT-RC configuration used throughout Section 7).
+func DefaultConfig() Config {
+	return Config{
+		Name:            "distill",
+		SizeBytes:       1 << 20,
+		Ways:            8,
+		WOCWays:         2,
+		MedianThreshold: true,
+		Reverter:        true,
+		Seed:            1,
+	}
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (mem.LineSize * c.Ways) }
+
+// LOCWays returns the number of line-organized ways.
+func (c Config) LOCWays() int { return c.Ways - c.WOCWays }
+
+// WOCEntries returns the number of word entries per set.
+func (c Config) WOCEntries() int { return c.WOCWays * mem.WordsPerLine }
+
+// Validate checks structural invariants.
+func (c Config) Validate() error {
+	if c.Ways <= 1 {
+		return fmt.Errorf("distill %q: need at least 2 ways, got %d", c.Name, c.Ways)
+	}
+	if c.WOCWays < 1 || c.WOCWays >= c.Ways {
+		return fmt.Errorf("distill %q: WOCWays %d must be in [1, %d]", c.Name, c.WOCWays, c.Ways-1)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*mem.LineSize != c.SizeBytes {
+		return fmt.Errorf("distill %q: size %dB not divisible into %d ways of 64B lines", c.Name, c.SizeBytes, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("distill %q: set count %d not a power of two", c.Name, sets)
+	}
+	if c.StaticThreshold < 0 || c.StaticThreshold > mem.WordsPerLine {
+		return fmt.Errorf("distill %q: static threshold %d out of [0,%d]", c.Name, c.StaticThreshold, mem.WordsPerLine)
+	}
+	if c.StaticThreshold > 0 && c.MedianThreshold {
+		return fmt.Errorf("distill %q: StaticThreshold and MedianThreshold are mutually exclusive", c.Name)
+	}
+	if c.FootprintNoise < 0 || c.FootprintNoise > 1 {
+		return fmt.Errorf("distill %q: footprint noise %v out of [0,1]", c.Name, c.FootprintNoise)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package distill_test
+
+import (
+	"fmt"
+
+	"ldis/internal/distill"
+	"ldis/internal/mem"
+)
+
+// Example walks the four access outcomes of Section 5.2 on a minimal
+// distill cache: a line miss fills the LOC, eviction distills the used
+// word into the WOC, a WOC hit serves it, and touching a discarded word
+// hole-misses.
+func Example() {
+	cfg := distill.Config{
+		Name:      "demo",
+		SizeBytes: 4 * 4 * mem.LineSize, // 4 sets x 4 ways
+		Ways:      4,
+		WOCWays:   1,
+		Seed:      7,
+	}
+	d := distill.New(cfg)
+
+	// All lines map to set 0 (multiples of 4).
+	line := func(i int) mem.LineAddr { return mem.LineAddr(i * 4) }
+
+	fmt.Println(d.Access(line(0), 2, false).Outcome) // cold
+	for i := 1; i <= 3; i++ {
+		d.Access(line(i), 0, false) // fill the 3 LOC ways; line 0 distilled
+	}
+	fmt.Println(d.Present(line(0)))                  // its used word lives on
+	fmt.Println(d.Access(line(0), 2, false).Outcome) // served from the WOC
+	fmt.Println(d.Access(line(0), 6, false).Outcome) // word was discarded
+
+	// Output:
+	// line-miss
+	// woc
+	// woc-hit
+	// hole-miss
+}
+
+// ExampleConfig_Validate shows the structural checks on configurations.
+func ExampleConfig_Validate() {
+	bad := distill.Config{Name: "bad", SizeBytes: 1 << 20, Ways: 8, WOCWays: 8}
+	fmt.Println(bad.Validate())
+	// Output:
+	// distill "bad": WOCWays 8 must be in [1, 7]
+}

@@ -1,0 +1,62 @@
+package distill
+
+import "ldis/internal/mem"
+
+// medianWindowEvictions is how often the median threshold is
+// recomputed: once every 4k LOC evictions (paper Section 5.4).
+const medianWindowEvictions = 4096
+
+// medianFilter implements median-threshold (MT) filtering with the
+// paper's hardware: eight counters (one per used-word count), an
+// eviction-sum counter, and a median recomputed by accumulating counts
+// until half the eviction-sum is reached.
+type medianFilter struct {
+	counts    [mem.WordsPerLine]uint64
+	sum       uint64
+	threshold int
+}
+
+// newMedianFilter starts with the permissive threshold (8), which makes
+// the first window behave like LDIS-Base.
+func newMedianFilter() *medianFilter {
+	return &medianFilter{threshold: mem.WordsPerLine}
+}
+
+// record notes a LOC eviction with n used words (clamped to 1..8) and
+// recomputes the threshold at window boundaries.
+func (m *medianFilter) record(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > mem.WordsPerLine {
+		n = mem.WordsPerLine
+	}
+	m.counts[n-1]++
+	m.sum++
+	if m.sum >= medianWindowEvictions {
+		m.threshold = m.median()
+		m.counts = [mem.WordsPerLine]uint64{}
+		m.sum = 0
+	}
+}
+
+// median adds counts from the first counter until half the eviction-sum
+// is reached, exactly as the paper's hardware does.
+func (m *medianFilter) median() int {
+	half := (m.sum + 1) / 2
+	var cum uint64
+	for i, c := range m.counts {
+		cum += c
+		if cum >= half {
+			return i + 1
+		}
+	}
+	return mem.WordsPerLine
+}
+
+// admit reports whether a line with n used words may be installed in
+// the WOC: at most the median number of words used.
+func (m *medianFilter) admit(n int) bool { return n <= m.threshold }
+
+// Threshold exposes the current distillation threshold K.
+func (m *medianFilter) Threshold() int { return m.threshold }

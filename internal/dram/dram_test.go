@@ -1,0 +1,142 @@
+package dram
+
+import (
+	"testing"
+
+	"ldis/internal/mem"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OpenPageConfig(150).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Banks: 0, AccessLatency: 400, MaxOutstanding: 32},
+		{Banks: 32, AccessLatency: 0, MaxOutstanding: 32},
+		{Banks: 32, AccessLatency: 400, MaxOutstanding: 0},
+		{Banks: 32, AccessLatency: 400, MaxOutstanding: 32, BankBusy: -1},
+		{Banks: 32, AccessLatency: 400, MaxOutstanding: 32, RowHitLatency: 500},
+		{Banks: 32, AccessLatency: 400, MaxOutstanding: 32, RowHitLatency: 100, LinesPerRow: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	done := m.Access(0, 0)
+	want := float64(400 + 16) // array access + bus transfer
+	if done != want {
+		t.Errorf("completion = %v, want %v", done, want)
+	}
+}
+
+func TestBankConflictQueues(t *testing.T) {
+	m := New(DefaultConfig())
+	// Lines 0 and 32 share bank 0 (32 banks).
+	first := m.Access(0, 0)
+	second := m.Access(0, 32)
+	if second <= first {
+		t.Errorf("conflicting request finished at %v, first at %v", second, first)
+	}
+	if m.Stats().BankConflicts != 1 {
+		t.Errorf("bank conflicts = %d", m.Stats().BankConflicts)
+	}
+	// Different banks at the same time: only bus serialization applies.
+	m2 := New(DefaultConfig())
+	a := m2.Access(0, 0)
+	b := m2.Access(0, 1)
+	if b != a+16 {
+		t.Errorf("parallel banks should serialize only on the bus: %v then %v", a, b)
+	}
+	if m2.Stats().BankConflicts != 0 {
+		t.Error("different banks should not conflict")
+	}
+}
+
+func TestBusSerializesResponses(t *testing.T) {
+	m := New(DefaultConfig())
+	var last float64
+	for i := 0; i < 8; i++ {
+		done := m.Access(0, mem.LineAddr(i)) // 8 different banks
+		if done <= last {
+			t.Fatalf("bus order violated: %v after %v", done, last)
+		}
+		last = done
+	}
+	// 8 transfers of 16 cycles each after the common 400-cycle access.
+	if want := float64(400 + 8*16); last != want {
+		t.Errorf("last completion %v, want %v", last, want)
+	}
+}
+
+func TestMSHRBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxOutstanding = 2
+	m := New(cfg)
+	m.Access(0, 0)
+	m.Access(0, 1)
+	// Third request at time 0 must wait for the first to complete.
+	done := m.Access(0, 2)
+	if m.Stats().MSHRStalls != 1 {
+		t.Errorf("MSHR stalls = %d", m.Stats().MSHRStalls)
+	}
+	if done <= 416 {
+		t.Errorf("third request completed at %v despite full MSHR", done)
+	}
+}
+
+func TestRowBufferHits(t *testing.T) {
+	m := New(OpenPageConfig(100))
+	// Same bank, same row: lines 0 and 32 (bank 0, row 0 with 64
+	// lines/row covering lines 0..2047 of bank 0).
+	first := m.Access(0, 0)
+	second := m.Access(first+1000, 32)
+	if got := second - (first + 1000); got != 100+16 {
+		t.Errorf("row hit latency = %v, want 116", got)
+	}
+	if m.Stats().RowHits != 1 {
+		t.Errorf("row hits = %d", m.Stats().RowHits)
+	}
+	// A different row closes the page.
+	far := mem.LineAddr(32 * 64 * 10) // bank 0, row 10
+	third := m.Access(second+1000, far)
+	if got := third - (second + 1000); got != 400+16 {
+		t.Errorf("row miss latency = %v, want 416", got)
+	}
+}
+
+func TestClosedPageNeverRowHits(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 0)
+	m.Access(1000, 0)
+	if m.Stats().RowHits != 0 {
+		t.Error("closed-page config should record no row hits")
+	}
+	if m.Stats().Requests != 2 {
+		t.Errorf("requests = %d", m.Stats().Requests)
+	}
+}
+
+func TestCompletionMonotoneUnderLoad(t *testing.T) {
+	m := New(DefaultConfig())
+	now, last := 0.0, 0.0
+	for i := 0; i < 5000; i++ {
+		done := m.Access(now, mem.LineAddr(i*7))
+		if done < now {
+			t.Fatalf("completion %v before issue %v", done, now)
+		}
+		if done <= last && i > 0 {
+			// The shared bus must serialize all responses.
+			t.Fatalf("bus order violated at %d: %v after %v", i, done, last)
+		}
+		last = done
+		now += 3
+	}
+}

@@ -1,0 +1,238 @@
+package exp
+
+import (
+	"ldis/internal/cache"
+	"ldis/internal/distill"
+	"ldis/internal/hierarchy"
+	"ldis/internal/mem"
+	"ldis/internal/prefetch"
+	"ldis/internal/sampler"
+	"ldis/internal/stats"
+	"ldis/internal/workload"
+)
+
+// This file registers the design-space ablations DESIGN.md calls out as
+// first-class experiments, so `ldisexp ablation-...` regenerates them
+// like any paper figure. The corresponding Benchmark* functions in
+// bench_test.go run reduced versions of the same sweeps.
+
+// AblationWOCWays sweeps the LOC/WOC way split.
+func AblationWOCWays(o Options) ([]*stats.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: WOC way count (MPKI, 1MB 8-way total)",
+		"benchmark", "baseline", "1 WOC way", "2 WOC ways", "3 WOC ways", "4 WOC ways")
+	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
+		vals := []float64{}
+		base, _ := baselineMPKI(prof, o)
+		vals = append(vals, base.MPKI())
+		for woc := 1; woc <= 4; woc++ {
+			sys, _ := hierarchy.Distill(ldisMTRC(woc, prof.Seed))
+			vals = append(vals, runWindowed(sys, prof, o).MPKI())
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range o.benchmarks() {
+		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4])
+	}
+	return []*stats.Table{t}, nil
+}
+
+// AblationThreshold sweeps the static distillation threshold K against
+// the adaptive median (Section 5.4).
+func AblationThreshold(o Options) ([]*stats.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: distillation threshold K (MPKI, no reverter)",
+		"benchmark", "K=1", "K=2", "K=4", "K=8", "median")
+	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
+		var vals []float64
+		for _, k := range []int{1, 2, 4, 8} {
+			cfg := ldisBase(2, prof.Seed)
+			cfg.StaticThreshold = k
+			sys, _ := hierarchy.Distill(cfg)
+			vals = append(vals, runWindowed(sys, prof, o).MPKI())
+		}
+		sys, _ := hierarchy.Distill(ldisMT(2, prof.Seed))
+		vals = append(vals, runWindowed(sys, prof, o).MPKI())
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range o.benchmarks() {
+		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4])
+	}
+	return []*stats.Table{t}, nil
+}
+
+// AblationVictim isolates filtering from associativity: the same data
+// budget as the WOC, used as a plain full-line victim buffer.
+func AblationVictim(o Options) ([]*stats.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: distillation vs full-line victim buffer (MPKI)",
+		"benchmark", "baseline", "distill (LDIS-MT-RC)", "victim buffer")
+	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
+		base, _ := baselineMPKI(prof, o)
+		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		d := runWindowed(sysD, prof, o).MPKI()
+		vcfg := ldisBase(2, prof.Seed)
+		vcfg.Slots = func(mem.LineAddr, mem.Footprint) int { return mem.WordsPerLine }
+		sysV, _ := hierarchy.Distill(vcfg)
+		v := runWindowed(sysV, prof, o).MPKI()
+		return []float64{base.MPKI(), d, v}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range o.benchmarks() {
+		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2])
+	}
+	return []*stats.Table{t}, nil
+}
+
+// AblationPrefetch measures next-line prefetching over the baseline and
+// the distill cache (the paper's Section 9 composition argument).
+func AblationPrefetch(o Options) ([]*stats.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: next-line prefetching composed with LDIS (MPKI)",
+		"benchmark", "baseline", "baseline+pf2", "distill", "distill+pf2")
+	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
+		run := func(mk func() hierarchy.L2) float64 {
+			sys := hierarchy.NewSystem(mk())
+			return runWindowed(sys, prof, o).MPKI()
+		}
+		base := run(func() hierarchy.L2 {
+			return hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
+		})
+		basePF := run(func() hierarchy.L2 {
+			inner := hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
+			return prefetch.Wrap(inner, prefetch.Config{Degree: 2})
+		})
+		dist := run(func() hierarchy.L2 {
+			return hierarchy.NewDistillL2(distill.New(ldisMTRC(2, prof.Seed)))
+		})
+		distPF := run(func() hierarchy.L2 {
+			inner := hierarchy.NewDistillL2(distill.New(ldisMTRC(2, prof.Seed)))
+			return prefetch.Wrap(inner, prefetch.Config{Degree: 2})
+		})
+		return []float64{base, basePF, dist, distPF}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range o.benchmarks() {
+		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3])
+	}
+	return []*stats.Table{t}, nil
+}
+
+// AblationLeaderSets sweeps the reverter's sampling density on the
+// adversarial benchmarks.
+func AblationLeaderSets(o Options) ([]*stats.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = []string{"swim", "bzip2", "parser", "galgel"}
+	}
+	leaderCounts := []int{8, 32, 128}
+	t := stats.NewTable("Ablation: reverter leader-set count (MPKI)",
+		"benchmark", "baseline", "8 leaders", "32 leaders", "128 leaders")
+	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
+		base, _ := baselineMPKI(prof, o)
+		vals := []float64{base.MPKI()}
+		for _, n := range leaderCounts {
+			cfg := ldisMTRC(2, prof.Seed)
+			sc := sampler.DefaultConfig(cfg.Sets())
+			sc.LeaderSets = n
+			sc.LowWatermark = 112
+			sc.HighWatermark = 144
+			cfg.SamplerConfig = &sc
+			sys, _ := hierarchy.Distill(cfg)
+			vals = append(vals, runWindowed(sys, prof, o).MPKI())
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range o.benchmarks() {
+		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3])
+	}
+	return []*stats.Table{t}, nil
+}
+
+// ProfilesTable documents every synthetic benchmark's parameters.
+func ProfilesTable() *stats.Table {
+	t := stats.NewTable("Synthetic benchmark profiles (see DESIGN.md for the substitution argument)",
+		"benchmark", "refs/kinst", "store frac", "MLP", "L1I MPKI", "paper MPKI", "paper words")
+	for _, name := range workload.Names() {
+		p, err := workload.ByName(name)
+		if err != nil {
+			continue
+		}
+		t.AddRow(p.Name, p.MemRefsPerKInst, p.StoreFrac, p.MLP, p.L1IMPKI, p.PaperMPKI, p.PaperWordsUsed)
+	}
+	return t
+}
+
+func init() {
+	registerExp("ablation-woc-ways", "sweep the LOC/WOC way split", AblationWOCWays)
+	registerExp("ablation-threshold", "sweep the distillation threshold K vs median", AblationThreshold)
+	registerExp("ablation-victim", "distillation vs a same-budget victim buffer", AblationVictim)
+	registerExp("ablation-prefetch", "next-line prefetching composed with LDIS", AblationPrefetch)
+	registerExp("ablation-leaders", "reverter leader-set density", AblationLeaderSets)
+	registerExp("ablation-traffic", "off-chip traffic: fills + writebacks", AblationTraffic)
+	registerExp("profiles", "synthetic benchmark parameter summary", func(Options) ([]*stats.Table, error) {
+		return []*stats.Table{ProfilesTable()}, nil
+	})
+}
+
+// AblationTraffic measures off-chip traffic (fills + writebacks, whole
+// run): distillation trades extra refetches (hole misses) against the
+// miss fills it saves, and its WOC evicts dirty words early.
+func AblationTraffic(o Options) ([]*stats.Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: off-chip traffic in 64B transfers per kilo-instruction",
+		"benchmark", "base fills", "base wbs", "distill fills", "distill wbs", "traffic delta %")
+	type row struct{ bf, bw, df, dw, delta float64 }
+	rows, err := mapBenchmarks(o, func(prof *workload.Profile) (row, error) {
+		sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
+		sysB.Run(prof.Stream(), o.Accesses)
+		kinst := float64(sysB.Instructions) / 1000
+		bf := float64(cb.Stats().Misses) / kinst
+		bw := float64(cb.Stats().Writebacks) / kinst
+
+		sysD, cd := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		sysD.Run(prof.Stream(), o.Accesses)
+		kinstD := float64(sysD.Instructions) / 1000
+		df := float64(cd.Stats().Misses()) / kinstD
+		dw := float64(cd.Stats().Writebacks) / kinstD
+
+		delta := 0.0
+		if bf+bw > 0 {
+			delta = 100 * ((df + dw) - (bf + bw)) / (bf + bw)
+		}
+		return row{bf, bw, df, dw, delta}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range o.benchmarks() {
+		r := rows[i]
+		t.AddRow(name, r.bf, r.bw, r.df, r.dw, r.delta)
+	}
+	return []*stats.Table{t}, nil
+}

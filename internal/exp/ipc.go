@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"ldis/internal/cpu"
+	"ldis/internal/hierarchy"
+	"ldis/internal/stats"
+	"ldis/internal/workload"
+)
+
+// Fig9Row is one benchmark's IPC under the baseline and the distill
+// cache (paper Figure 9).
+type Fig9Row struct {
+	Benchmark          string
+	BaseIPC, DistIPC   float64
+	ImprovementPercent float64
+}
+
+// Fig9 runs the execution-driven IPC comparison: the baseline machine
+// versus the same machine with a distill cache (which pays one extra
+// tag cycle on every L2 access and two extra cycles on WOC hits).
+func Fig9(o Options) ([]Fig9Row, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return mapBenchmarks(o, func(prof *workload.Profile) (Fig9Row, error) {
+		sysB, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
+		rB := cpu.New(cpu.DefaultConfig()).Run(sysB, prof, prof.Stream(), o.Accesses)
+
+		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		rD := cpu.New(cpu.DistillConfig()).Run(sysD, prof, prof.Stream(), o.Accesses)
+
+		return Fig9Row{
+			Benchmark:          prof.Name,
+			BaseIPC:            rB.IPC(),
+			DistIPC:            rD.IPC(),
+			ImprovementPercent: stats.PctIncrease(rB.IPC(), rD.IPC()),
+		}, nil
+	})
+}
+
+// Fig9GMean returns the geometric mean of the per-benchmark IPC
+// improvements, as the paper's gmean bar.
+func Fig9GMean(rows []Fig9Row) float64 {
+	pcts := make([]float64, len(rows))
+	for i, r := range rows {
+		pcts[i] = r.ImprovementPercent
+	}
+	return stats.GeoMeanPct(pcts)
+}
+
+func fig9Table(rows []Fig9Row) *stats.Table {
+	t := stats.NewTable("Figure 9: system IPC improvement with distill cache",
+		"benchmark", "base IPC", "distill IPC", "improvement %")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.BaseIPC, r.DistIPC, r.ImprovementPercent)
+	}
+	t.AddRow("gmean", "", "", Fig9GMean(rows))
+	return t
+}
+
+func init() {
+	registerExp("fig9", "IPC improvement with the distill cache", func(o Options) ([]*stats.Table, error) {
+		rows, err := Fig9(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{fig9Table(rows)}, nil
+	})
+}

@@ -1,0 +1,275 @@
+package exp
+
+import (
+	"fmt"
+
+	"ldis/internal/cache"
+	"ldis/internal/distill"
+	"ldis/internal/hierarchy"
+	"ldis/internal/stats"
+	"ldis/internal/workload"
+)
+
+// Fig6Row is one benchmark's MPKI reduction under the three LDIS
+// configurations (paper Figure 6).
+type Fig6Row struct {
+	Benchmark    string
+	BaselineMPKI float64
+	Base, MT, RC float64 // % MPKI reduction vs baseline
+}
+
+// Fig6 compares LDIS-Base, LDIS-MT, and LDIS-MT-RC against the 1MB
+// baseline.
+func Fig6(o Options) ([]Fig6Row, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return mapBenchmarks(o, func(prof *workload.Profile) (Fig6Row, error) {
+		base, _ := baselineMPKI(prof, o)
+		row := Fig6Row{Benchmark: prof.Name, BaselineMPKI: base.MPKI()}
+		for i, cfg := range []distill.Config{
+			ldisBase(2, prof.Seed),
+			ldisMT(2, prof.Seed),
+			ldisMTRC(2, prof.Seed),
+		} {
+			sys, _ := hierarchy.Distill(cfg)
+			w := runWindowed(sys, prof, o)
+			red := stats.PctReduction(base.MPKI(), w.MPKI())
+			switch i {
+			case 0:
+				row.Base = red
+			case 1:
+				row.MT = red
+			case 2:
+				row.RC = red
+			}
+		}
+		return row, nil
+	})
+}
+
+// Fig6Summary computes the paper's avg and avgNomcf bars: the reduction
+// of the *arithmetic mean MPKI* across benchmarks.
+type Fig6Summary struct {
+	Avg, AvgNomcf struct{ Base, MT, RC float64 }
+}
+
+// SummarizeFig6 reduces the per-benchmark rows to the avg bars. The
+// mean-MPKI reduction needs the absolute MPKIs, reconstructed from the
+// baseline and the reduction percentages.
+func SummarizeFig6(rows []Fig6Row) Fig6Summary {
+	var s Fig6Summary
+	type acc struct{ base, b, m, r float64 }
+	var all, nomcf acc
+	for _, row := range rows {
+		b := row.BaselineMPKI
+		add := func(a *acc) {
+			a.base += b
+			a.b += b * (1 - row.Base/100)
+			a.m += b * (1 - row.MT/100)
+			a.r += b * (1 - row.RC/100)
+		}
+		add(&all)
+		if row.Benchmark != "mcf" {
+			add(&nomcf)
+		}
+	}
+	fill := func(a acc) struct{ Base, MT, RC float64 } {
+		if a.base == 0 {
+			return struct{ Base, MT, RC float64 }{}
+		}
+		return struct{ Base, MT, RC float64 }{
+			Base: 100 * (a.base - a.b) / a.base,
+			MT:   100 * (a.base - a.m) / a.base,
+			RC:   100 * (a.base - a.r) / a.base,
+		}
+	}
+	s.Avg = fill(all)
+	s.AvgNomcf = fill(nomcf)
+	return s
+}
+
+func fig6Table(rows []Fig6Row) *stats.Table {
+	t := stats.NewTable("Figure 6: % reduction in MPKI over baseline",
+		"benchmark", "base MPKI", "LDIS-Base", "LDIS-MT", "LDIS-MT-RC")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.BaselineMPKI, r.Base, r.MT, r.RC)
+	}
+	s := SummarizeFig6(rows)
+	t.AddRow("avg", "", s.Avg.Base, s.Avg.MT, s.Avg.RC)
+	t.AddRow("avgNomcf", "", s.AvgNomcf.Base, s.AvgNomcf.MT, s.AvgNomcf.RC)
+	return t
+}
+
+// Fig7Row is one benchmark's hit-miss breakdown for the baseline and
+// the distill cache (paper Figure 7), as fractions of L2 accesses.
+type Fig7Row struct {
+	Benchmark string
+	// Baseline.
+	BaseHit float64
+	// Distill cache.
+	LOCHit, WOCHit, HoleMiss, LineMiss float64
+}
+
+// Fig7 measures the four-outcome breakdown of the default distill
+// cache against the baseline's hit rate.
+func Fig7(o Options) ([]Fig7Row, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return mapBenchmarks(o, func(prof *workload.Profile) (Fig7Row, error) {
+		sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
+		runWindowed(sysB, prof, o)
+
+		cfg := ldisMTRC(2, prof.Seed)
+		sysD, cd := hierarchy.Distill(cfg)
+		runWindowed(sysD, prof, o)
+
+		ds := cd.Stats()
+		total := float64(ds.Accesses)
+		if total == 0 {
+			total = 1
+		}
+		return Fig7Row{
+			Benchmark: prof.Name,
+			BaseHit:   cb.Stats().HitRate(),
+			LOCHit:    float64(ds.LOCHits) / total,
+			WOCHit:    float64(ds.WOCHits) / total,
+			HoleMiss:  float64(ds.HoleMisses) / total,
+			LineMiss:  float64(ds.LineMisses) / total,
+		}, nil
+	})
+}
+
+func fig7Table(rows []Fig7Row) *stats.Table {
+	t := stats.NewTable("Figure 7: hit-miss breakdown (fractions of L2 accesses)",
+		"benchmark", "base hit", "LOC-hit", "WOC-hit", "hole-miss", "line-miss", "distill hit")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.BaseHit, r.LOCHit, r.WOCHit, r.HoleMiss, r.LineMiss, r.LOCHit+r.WOCHit)
+	}
+	return t
+}
+
+// Fig8Row compares the distill cache against bigger traditional caches
+// (paper Figure 8): % MPKI reduction over the 1MB baseline.
+type Fig8Row struct {
+	Benchmark           string
+	Distill, MB15, MB20 float64
+}
+
+// Fig8 runs the capacity analysis.
+func Fig8(o Options) ([]Fig8Row, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return mapBenchmarks(o, func(prof *workload.Profile) (Fig8Row, error) {
+		base, _ := baselineMPKI(prof, o)
+
+		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		wd := runWindowed(sysD, prof, o)
+
+		row := Fig8Row{Benchmark: prof.Name, Distill: stats.PctReduction(base.MPKI(), wd.MPKI())}
+		for _, sz := range []float64{1.5, 2.0} {
+			c := cache.New(baselineConfig(fmt.Sprintf("trad-%.1fMB", sz), sz))
+			sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
+			w := runWindowed(sys, prof, o)
+			red := stats.PctReduction(base.MPKI(), w.MPKI())
+			if sz == 1.5 {
+				row.MB15 = red
+			} else {
+				row.MB20 = red
+			}
+		}
+		return row, nil
+	})
+}
+
+func fig8Table(rows []Fig8Row) *stats.Table {
+	t := stats.NewTable("Figure 8: % MPKI reduction: distill vs bigger traditional caches",
+		"benchmark", "DISTILL 1MB", "TRAD 1.5MB", "TRAD 2MB")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.Distill, r.MB15, r.MB20)
+	}
+	return t
+}
+
+// Table5Row gives MPKI for the cache-insensitive benchmarks under four
+// configurations (paper Table 5).
+type Table5Row struct {
+	Benchmark                          string
+	Trad1MB, LDIS1MB, Trad2MB, Trad4MB float64
+}
+
+// Table5 runs the Appendix A sanity check: LDIS must track the
+// traditional cache when capacity does not matter.
+func Table5(o Options) ([]Table5Row, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if len(o.Benchmarks) == 0 {
+		// The seven Table-5 rows plus the four benchmarks Appendix A
+		// mentions in text as having unchanged MPKI.
+		o.Benchmarks = []string{"equake", "lucas", "mgrid", "applu", "mesa", "crafty", "gap",
+			"gzip", "fma3d", "perlbmk", "eon"}
+	}
+	return mapBenchmarks(o, func(prof *workload.Profile) (Table5Row, error) {
+		row := Table5Row{Benchmark: prof.Name}
+		base, _ := baselineMPKI(prof, o)
+		row.Trad1MB = base.MPKI()
+
+		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		row.LDIS1MB = runWindowed(sysD, prof, o).MPKI()
+
+		for _, sz := range []float64{2, 4} {
+			c := cache.New(baselineConfig(fmt.Sprintf("trad-%gMB", sz), sz))
+			sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
+			w := runWindowed(sys, prof, o)
+			if sz == 2 {
+				row.Trad2MB = w.MPKI()
+			} else {
+				row.Trad4MB = w.MPKI()
+			}
+		}
+		return row, nil
+	})
+}
+
+func table5Table(rows []Table5Row) *stats.Table {
+	t := stats.NewTable("Table 5: MPKI for cache-insensitive benchmarks",
+		"benchmark", "Trad 1MB", "LDIS 1MB", "Trad 2MB", "Trad 4MB")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.Trad1MB, r.LDIS1MB, r.Trad2MB, r.Trad4MB)
+	}
+	return t
+}
+
+func init() {
+	registerExp("fig6", "MPKI reduction: LDIS-Base / LDIS-MT / LDIS-MT-RC", func(o Options) ([]*stats.Table, error) {
+		rows, err := Fig6(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{fig6Table(rows)}, nil
+	})
+	registerExp("fig7", "hit-miss breakdown: baseline vs distill cache", func(o Options) ([]*stats.Table, error) {
+		rows, err := Fig7(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{fig7Table(rows)}, nil
+	})
+	registerExp("fig8", "capacity analysis: distill vs 1.5MB and 2MB traditional", func(o Options) ([]*stats.Table, error) {
+		rows, err := Fig8(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{fig8Table(rows)}, nil
+	})
+	registerExp("table5", "cache-insensitive benchmarks (Appendix A)", func(o Options) ([]*stats.Table, error) {
+		rows, err := Table5(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{table5Table(rows)}, nil
+	})
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"ldis/internal/workload"
+)
+
+// mapBenchmarks runs fn once per benchmark in o, in parallel up to
+// o.Parallel workers (GOMAXPROCS when zero), and returns the results in
+// benchmark order. Every simulator a worker touches is private to that
+// worker, so no locking is needed beyond the fan-out itself; results
+// stay deterministic because each (benchmark, config) simulation is
+// seeded independently of scheduling.
+func mapBenchmarks[T any](o Options, fn func(prof *workload.Profile) (T, error)) ([]T, error) {
+	names := o.benchmarks()
+	out := make([]T, len(names))
+	errs := make([]error, len(names))
+
+	workers := o.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				prof, err := workload.ByName(names[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = fn(prof)
+			}
+		}()
+	}
+	for i := range names {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"ldis/internal/hierarchy"
+	"ldis/internal/sampler"
+	"ldis/internal/sfp"
+	"ldis/internal/stats"
+	"ldis/internal/workload"
+)
+
+// Fig13Row compares spatial footprint prediction against line
+// distillation (paper Figure 13): % MPKI reduction over the baseline.
+type Fig13Row struct {
+	Benchmark               string
+	SFP64kB, SFP256kB, LDIS float64
+}
+
+// Fig13 runs SFP with 16k-entry (64kB) and 64k-entry (256kB) predictors
+// — both reverter-wrapped, as in the paper — against LDIS-MT-RC.
+func Fig13(o Options) ([]Fig13Row, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return mapBenchmarks(o, func(prof *workload.Profile) (Fig13Row, error) {
+		base, _ := baselineMPKI(prof, o)
+		row := Fig13Row{Benchmark: prof.Name}
+
+		for i, entries := range []int{16 << 10, 64 << 10} {
+			cfg := sfp.DefaultConfig()
+			cfg.PredictorEntries = entries
+			cfg.Seed = prof.Seed
+			// Same short-trace reverter band as ldisMTRC (see exp.go).
+			sc := sampler.DefaultConfig(cfg.Sets())
+			sc.LowWatermark = 112
+			sc.HighWatermark = 144
+			cfg.SamplerConfig = &sc
+			sys, _ := hierarchy.SFP(cfg)
+			red := stats.PctReduction(base.MPKI(), runWindowed(sys, prof, o).MPKI())
+			if i == 0 {
+				row.SFP64kB = red
+			} else {
+				row.SFP256kB = red
+			}
+		}
+
+		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		row.LDIS = stats.PctReduction(base.MPKI(), runWindowed(sysD, prof, o).MPKI())
+		return row, nil
+	})
+}
+
+func fig13Table(rows []Fig13Row) *stats.Table {
+	t := stats.NewTable("Figure 13: % MPKI reduction: SFP vs LDIS (equal tag entries)",
+		"benchmark", "SFP-64kB", "SFP-256kB", "LDIS")
+	var a, b, c float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.SFP64kB, r.SFP256kB, r.LDIS)
+		a += r.SFP64kB
+		b += r.SFP256kB
+		c += r.LDIS
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.AddRow("mean", a/n, b/n, c/n)
+	}
+	return t
+}
+
+func init() {
+	registerExp("fig13", "SFP (spatial footprint predictor) vs LDIS", func(o Options) ([]*stats.Table, error) {
+		rows, err := Fig13(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{fig13Table(rows)}, nil
+	})
+}

@@ -1,0 +1,268 @@
+// Package l1 implements the first-level data cache of the paper's
+// framework (Section 4): a small set-associative cache that is
+// *sectored* at word granularity — lines filled from the WOC may hold
+// only a subset of valid words — and that tracks a per-line footprint
+// which is handed to the L2 when the line is evicted (Section 4.1).
+package l1
+
+import (
+	"fmt"
+
+	"ldis/internal/mem"
+)
+
+// Config describes the L1D. The paper's baseline is 16kB, 2-way, 64B
+// lines with LRU replacement (Table 1).
+type Config struct {
+	SizeBytes int
+	Ways      int
+}
+
+// DefaultConfig is the paper's baseline L1D.
+func DefaultConfig() Config { return Config{SizeBytes: 16 << 10, Ways: 2} }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (mem.LineSize * c.Ways) }
+
+// Validate checks structural invariants.
+func (c Config) Validate() error {
+	if c.Ways <= 0 {
+		return fmt.Errorf("l1: ways must be positive, got %d", c.Ways)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*mem.LineSize != c.SizeBytes {
+		return fmt.Errorf("l1: size %dB not divisible into %d ways of 64B lines", c.SizeBytes, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("l1: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type line struct {
+	valid     bool
+	tag       uint64
+	validBits mem.Footprint // which words hold data (sectored fill)
+	dirty     mem.Footprint // which words have been written
+	footprint mem.Footprint // which words the processor accessed
+}
+
+// Outcome classifies an L1D access.
+type Outcome uint8
+
+const (
+	// Hit: the word is present.
+	Hit Outcome = iota
+	// SectorMiss: the line is present but the requested word's sector is
+	// invalid (it was filled from a partial WOC line). The request must
+	// go to the L2 with the sector id (paper Section 4.2).
+	SectorMiss
+	// LineMiss: the line is absent.
+	LineMiss
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case SectorMiss:
+		return "sector-miss"
+	case LineMiss:
+		return "line-miss"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Eviction carries the information an evicted line sends to the L2: the
+// accumulated footprint (ORed into the LOC entry) and the dirty words
+// (written back).
+type Eviction struct {
+	Line      mem.LineAddr
+	Footprint mem.Footprint
+	Dirty     mem.Footprint
+}
+
+// Stats counts L1D behaviour.
+type Stats struct {
+	Accesses     uint64
+	Hits         uint64
+	SectorMisses uint64
+	LineMisses   uint64
+	Evictions    uint64
+	Writebacks   uint64 // evictions carrying at least one dirty word
+}
+
+// Cache is the sectored, footprint-tracking L1D.
+type Cache struct {
+	cfg  Config
+	sets [][]line // MRU-first
+	st   Stats
+}
+
+// New builds the L1D; panics on invalid config.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Stats returns the live counters.
+func (c *Cache) Stats() *Stats { return &c.st }
+
+// Access performs a processor load/store of one word. On Hit the
+// footprint and dirty bits update and the line moves to MRU. On
+// SectorMiss or LineMiss the caller must consult the L2 and then call
+// Fill.
+func (c *Cache) Access(la mem.LineAddr, word int, write bool) Outcome {
+	c.st.Accesses++
+	set := c.sets[la.SetIndex(c.cfg.Sets())]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range set {
+		if !set[pos].valid || set[pos].tag != tag {
+			continue
+		}
+		l := set[pos]
+		if !l.validBits.Has(word) {
+			c.st.SectorMisses++
+			// Keep LRU state untouched until the fill arrives.
+			return SectorMiss
+		}
+		c.st.Hits++
+		l.footprint = l.footprint.Set(word)
+		if write {
+			l.dirty = l.dirty.Set(word)
+		}
+		copy(set[1:pos+1], set[0:pos])
+		set[0] = l
+		return Hit
+	}
+	c.st.LineMisses++
+	return LineMiss
+}
+
+// Fill installs the response to a miss: the line with validBits valid
+// words (FullFootprint when served by the LOC or memory, possibly
+// partial when served by the WOC). word is the demand word — it is
+// recorded in the footprint (and dirty mask if write). If the line is
+// already present (sector miss fill) the valid bits are merged and
+// footprint/dirty state is preserved. Returns the eviction the fill
+// displaced, if any.
+func (c *Cache) Fill(la mem.LineAddr, validBits mem.Footprint, word int, write bool) (Eviction, bool) {
+	if !validBits.Has(word) {
+		panic(fmt.Sprintf("l1: fill of %v lacks demand word %d (valid %v)", la, word, validBits))
+	}
+	si := la.SetIndex(c.cfg.Sets())
+	set := c.sets[si]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].valid && set[pos].tag == tag {
+			l := set[pos]
+			l.validBits = l.validBits.Or(validBits)
+			l.footprint = l.footprint.Set(word)
+			if write {
+				l.dirty = l.dirty.Set(word)
+			}
+			copy(set[1:pos+1], set[0:pos])
+			set[0] = l
+			return Eviction{}, false
+		}
+	}
+	var ev Eviction
+	had := false
+	if v := set[len(set)-1]; v.valid {
+		c.st.Evictions++
+		if v.dirty != 0 {
+			c.st.Writebacks++
+		}
+		ev = Eviction{Line: c.lineFromTag(v.tag, si), Footprint: v.footprint, Dirty: v.dirty}
+		had = true
+	}
+	nl := line{valid: true, tag: tag, validBits: validBits, footprint: mem.FootprintOfWord(word)}
+	if write {
+		nl.dirty = mem.FootprintOfWord(word)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = nl
+	return ev, had
+}
+
+// EvictFor frees a slot for an incoming fill of la, returning the
+// victim's eviction record. It is a no-op when the line is already
+// present (sector fill) or its set has a free way. Callers use it to
+// send the victim's footprint and dirty words to the L2 *before* the
+// miss request, as a victim buffer would, so the LOC has the usage
+// information when it distills.
+func (c *Cache) EvictFor(la mem.LineAddr) (Eviction, bool) {
+	si := la.SetIndex(c.cfg.Sets())
+	set := c.sets[si]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range set {
+		if !set[pos].valid || set[pos].tag == tag {
+			return Eviction{}, false // free way, or sector fill
+		}
+	}
+	v := set[len(set)-1]
+	set[len(set)-1] = line{}
+	c.st.Evictions++
+	if v.dirty != 0 {
+		c.st.Writebacks++
+	}
+	return Eviction{Line: c.lineFromTag(v.tag, si), Footprint: v.footprint, Dirty: v.dirty}, true
+}
+
+// Invalidate removes the line if present, returning its eviction record
+// (footprint + dirty words) so the L2 still learns the usage. Used when
+// the L2 needs exclusivity (e.g. tests and future coherence hooks).
+func (c *Cache) Invalidate(la mem.LineAddr) (Eviction, bool) {
+	si := la.SetIndex(c.cfg.Sets())
+	set := c.sets[si]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].valid && set[pos].tag == tag {
+			v := set[pos]
+			set[pos] = line{}
+			ev := Eviction{Line: la, Footprint: v.footprint, Dirty: v.dirty}
+			return ev, true
+		}
+	}
+	return Eviction{}, false
+}
+
+// Present reports whether the line (any sector) is cached.
+func (c *Cache) Present(la mem.LineAddr) bool {
+	set := c.sets[la.SetIndex(c.cfg.Sets())]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].valid && set[pos].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidBits returns the valid-word mask of the line (0 if absent).
+func (c *Cache) ValidBits(la mem.LineAddr) mem.Footprint {
+	set := c.sets[la.SetIndex(c.cfg.Sets())]
+	tag := la.Tag(c.cfg.Sets())
+	for pos := range set {
+		if set[pos].valid && set[pos].tag == tag {
+			return set[pos].validBits
+		}
+	}
+	return 0
+}
+
+func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
+	shift := 0
+	for n := c.cfg.Sets(); n > 1; n >>= 1 {
+		shift++
+	}
+	return mem.LineAddr(tag<<shift | uint64(setIdx))
+}

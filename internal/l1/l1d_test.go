@@ -1,0 +1,236 @@
+package l1
+
+import (
+	"testing"
+
+	"ldis/internal/mem"
+)
+
+func tiny() *Cache {
+	// 2 sets x 2 ways = 256B.
+	return New(Config{SizeBytes: 2 * 2 * mem.LineSize, Ways: 2})
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Sets() != 128 {
+		t.Errorf("default L1D sets = %d, want 128", c.Sets())
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 128, Ways: 0},
+		{SizeBytes: 64 * 3 * 2, Ways: 2}, // 3 sets
+		{SizeBytes: 100, Ways: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v should fail validation", c)
+		}
+	}
+}
+
+func TestMissFillHit(t *testing.T) {
+	c := tiny()
+	l := mem.LineAddr(10)
+	if got := c.Access(l, 3, false); got != LineMiss {
+		t.Fatalf("cold access = %v", got)
+	}
+	if _, had := c.Fill(l, mem.FullFootprint, 3, false); had {
+		t.Fatal("fill into empty set evicted")
+	}
+	if got := c.Access(l, 3, false); got != Hit {
+		t.Fatalf("after fill = %v", got)
+	}
+	if got := c.Access(l, 6, false); got != Hit {
+		t.Fatalf("other word = %v", got)
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Hits != 2 || st.LineMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSectorMiss(t *testing.T) {
+	c := tiny()
+	l := mem.LineAddr(4)
+	// Fill with only words 0 and 1 valid (a partial WOC response).
+	partial := mem.FootprintOfWord(0).Or(mem.FootprintOfWord(1))
+	c.Access(l, 0, false)
+	c.Fill(l, partial, 0, false)
+	if got := c.Access(l, 1, false); got != Hit {
+		t.Fatalf("valid word = %v", got)
+	}
+	if got := c.Access(l, 5, false); got != SectorMiss {
+		t.Fatalf("invalid word = %v", got)
+	}
+	if c.Stats().SectorMisses != 1 {
+		t.Errorf("sector misses = %d", c.Stats().SectorMisses)
+	}
+	// Sector fill merges valid bits without losing footprint.
+	if _, had := c.Fill(l, mem.FullFootprint, 5, false); had {
+		t.Fatal("sector fill must not evict")
+	}
+	if got := c.ValidBits(l); got != mem.FullFootprint {
+		t.Errorf("valid bits after merge = %v", got)
+	}
+	if got := c.Access(l, 5, false); got != Hit {
+		t.Fatalf("after sector fill = %v", got)
+	}
+}
+
+func TestFootprintHandoffOnEviction(t *testing.T) {
+	c := tiny()
+	// Lines 0, 2, 4 all map to set 0 (2 sets).
+	a, b, d := mem.LineAddr(0), mem.LineAddr(2), mem.LineAddr(4)
+	c.Fill(a, mem.FullFootprint, 1, false)
+	c.Access(a, 4, false)
+	c.Access(a, 4, true) // write word 4
+	c.Fill(b, mem.FullFootprint, 0, false)
+	ev, had := c.Fill(d, mem.FullFootprint, 0, false) // evicts a
+	if !had || ev.Line != a {
+		t.Fatalf("eviction = %+v (had=%v)", ev, had)
+	}
+	if ev.Footprint.Count() != 2 || !ev.Footprint.Has(1) || !ev.Footprint.Has(4) {
+		t.Errorf("footprint = %v", ev.Footprint)
+	}
+	if ev.Dirty != mem.FootprintOfWord(4) {
+		t.Errorf("dirty = %v", ev.Dirty)
+	}
+	if c.Stats().Evictions != 1 || c.Stats().Writebacks != 1 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := tiny()
+	a, b, d := mem.LineAddr(0), mem.LineAddr(2), mem.LineAddr(4)
+	c.Fill(a, mem.FullFootprint, 0, false)
+	c.Fill(b, mem.FullFootprint, 0, false)
+	ev, had := c.Fill(d, mem.FullFootprint, 0, false)
+	if !had || ev.Dirty != 0 {
+		t.Fatalf("clean eviction = %+v", ev)
+	}
+	if c.Stats().Writebacks != 0 {
+		t.Error("clean eviction counted as writeback")
+	}
+}
+
+func TestLRUPromotionOnHit(t *testing.T) {
+	c := tiny()
+	a, b, d := mem.LineAddr(0), mem.LineAddr(2), mem.LineAddr(4)
+	c.Fill(a, mem.FullFootprint, 0, false)
+	c.Fill(b, mem.FullFootprint, 0, false)
+	c.Access(a, 0, false) // promote a
+	ev, _ := c.Fill(d, mem.FullFootprint, 0, false)
+	if ev.Line != b {
+		t.Errorf("victim %v, want %v", ev.Line, b)
+	}
+	if !c.Present(a) || c.Present(b) {
+		t.Error("contents wrong after eviction")
+	}
+}
+
+func TestFillDemandWordMustBeValid(t *testing.T) {
+	c := tiny()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when fill lacks demand word")
+		}
+	}()
+	c.Fill(0, mem.FootprintOfWord(0), 5, false)
+}
+
+func TestWriteOnFillSetsDirty(t *testing.T) {
+	c := tiny()
+	a, b, d := mem.LineAddr(0), mem.LineAddr(2), mem.LineAddr(4)
+	c.Fill(a, mem.FullFootprint, 2, true)
+	c.Fill(b, mem.FullFootprint, 0, false)
+	ev, _ := c.Fill(d, mem.FullFootprint, 0, false)
+	if ev.Line != a || ev.Dirty != mem.FootprintOfWord(2) {
+		t.Errorf("eviction = %+v", ev)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := tiny()
+	a := mem.LineAddr(0)
+	c.Fill(a, mem.FullFootprint, 3, true)
+	ev, ok := c.Invalidate(a)
+	if !ok || ev.Dirty != mem.FootprintOfWord(3) || ev.Footprint != mem.FootprintOfWord(3) {
+		t.Errorf("invalidate = %+v ok=%v", ev, ok)
+	}
+	if c.Present(a) {
+		t.Error("line still present after invalidate")
+	}
+	if _, ok := c.Invalidate(a); ok {
+		t.Error("double invalidate reported ok")
+	}
+}
+
+func TestValidBitsAbsent(t *testing.T) {
+	c := tiny()
+	if c.ValidBits(123) != 0 {
+		t.Error("absent line should have zero valid bits")
+	}
+}
+
+func TestSectorMissDoesNotTouchLRU(t *testing.T) {
+	c := tiny()
+	a, b := mem.LineAddr(0), mem.LineAddr(2)
+	c.Fill(a, mem.FootprintOfWord(0), 0, false)
+	c.Fill(b, mem.FullFootprint, 0, false)
+	// Sector-missing on a must not promote it...
+	if got := c.Access(a, 7, false); got != SectorMiss {
+		t.Fatalf("access = %v", got)
+	}
+	// ...so a is still LRU and gets evicted by the next fill.
+	ev, _ := c.Fill(mem.LineAddr(4), mem.FullFootprint, 0, false)
+	if ev.Line != a {
+		t.Errorf("victim %v, want %v (sector miss must not promote)", ev.Line, a)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Hit.String() != "hit" || SectorMiss.String() != "sector-miss" || LineMiss.String() != "line-miss" {
+		t.Error("Outcome.String wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Error("unknown outcome should render")
+	}
+}
+
+func TestEvictFor(t *testing.T) {
+	c := tiny()
+	a, b := mem.LineAddr(0), mem.LineAddr(2)
+	// Empty set: no eviction needed.
+	if _, had := c.EvictFor(a); had {
+		t.Fatal("empty set should not evict")
+	}
+	c.Fill(a, mem.FullFootprint, 1, true)
+	// Line present (sector fill): no eviction.
+	if _, had := c.EvictFor(a); had {
+		t.Fatal("present line should not trigger eviction")
+	}
+	c.Fill(b, mem.FullFootprint, 0, false)
+	// Set full, new line: the LRU victim (a) is evicted early with its
+	// footprint and dirty words.
+	ev, had := c.EvictFor(mem.LineAddr(4))
+	if !had || ev.Line != a {
+		t.Fatalf("eviction = %+v (had=%v)", ev, had)
+	}
+	if ev.Dirty != mem.FootprintOfWord(1) {
+		t.Errorf("dirty = %v", ev.Dirty)
+	}
+	if c.Present(a) {
+		t.Error("victim still present")
+	}
+	// The follow-up fill must not evict again.
+	if _, had := c.Fill(mem.LineAddr(4), mem.FullFootprint, 0, false); had {
+		t.Error("fill evicted despite EvictFor")
+	}
+}

@@ -1,0 +1,64 @@
+package mem
+
+import "fmt"
+
+// AccessKind distinguishes the kinds of memory references the simulated
+// processor issues. Instruction fetches are kept separate because the
+// paper performs distillation only for data lines (Section 4).
+type AccessKind uint8
+
+const (
+	// Load is a data read.
+	Load AccessKind = iota
+	// Store is a data write.
+	Store
+	// IFetch is an instruction fetch.
+	IFetch
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case IFetch:
+		return "ifetch"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// IsData reports whether the access touches the data hierarchy.
+func (k AccessKind) IsData() bool { return k == Load || k == Store }
+
+// Access is one memory reference in a trace. Size is implicit: accesses
+// touch a single word (the paper's maximum Alpha access is 8B, the word
+// size, and footprints are tracked per word).
+//
+// PC is the address of the instruction issuing the access; only its low
+// bits matter (it indexes the SFP baseline's predictor). Instret is the
+// number of instructions retired since the previous access, which lets
+// trace-driven runs compute MPKI and lets the timing model charge
+// non-memory work between references.
+type Access struct {
+	Addr    Addr
+	PC      Addr
+	Kind    AccessKind
+	Instret uint32
+}
+
+// Line returns the cache line the access falls in.
+func (a Access) Line() LineAddr { return LineOf(a.Addr) }
+
+// Word returns the word index (0..7) within the line.
+func (a Access) Word() int { return WordOf(a.Addr) }
+
+// IsWrite reports whether the access modifies memory.
+func (a Access) IsWrite() bool { return a.Kind == Store }
+
+// String implements fmt.Stringer.
+func (a Access) String() string {
+	return fmt.Sprintf("%s %#x (pc %#x, +%d inst)", a.Kind, uint64(a.Addr), uint64(a.PC), a.Instret)
+}

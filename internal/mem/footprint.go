@@ -1,0 +1,76 @@
+package mem
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Footprint is the per-line bit-vector the paper associates with every
+// cache line (Section 3): bit w is set once word w has been accessed.
+// With 8 words per line it fits in one byte, exactly as in the paper's
+// storage accounting (Table 3).
+type Footprint uint8
+
+// FullFootprint has every word marked used.
+const FullFootprint Footprint = 1<<WordsPerLine - 1
+
+// FootprintOfWord returns a footprint with only word w (0..7) set.
+func FootprintOfWord(w int) Footprint { return 1 << uint(w) }
+
+// Has reports whether word w is marked used.
+func (f Footprint) Has(w int) bool { return f&(1<<uint(w)) != 0 }
+
+// Set returns the footprint with word w marked used.
+func (f Footprint) Set(w int) Footprint { return f | 1<<uint(w) }
+
+// Or merges two footprints, as the LOC does with footprints arriving
+// from L1D evictions (Section 4.1).
+func (f Footprint) Or(g Footprint) Footprint { return f | g }
+
+// Count returns the number of used words (the paper's "words used").
+func (f Footprint) Count() int { return bits.OnesCount8(uint8(f)) }
+
+// Words returns the indices of the used words in ascending order.
+func (f Footprint) Words() []int {
+	if f == 0 {
+		return nil
+	}
+	ws := make([]int, 0, f.Count())
+	for w := 0; w < WordsPerLine; w++ {
+		if f.Has(w) {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// String renders the footprint as a bit pattern, word 0 first, e.g.
+// "10000001" for a line whose first and last words were used.
+func (f Footprint) String() string {
+	var b strings.Builder
+	for w := 0; w < WordsPerLine; w++ {
+		if f.Has(w) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Pow2WordsFor returns the WOC allocation size (1, 2, 4, or 8 word
+// slots) for a line with n used words. The distill cache only installs
+// power-of-two sized, aligned groups (Section 5.1), so the used-word
+// count is rounded up.
+func Pow2WordsFor(n int) int {
+	switch {
+	case n <= 1:
+		return 1
+	case n <= 2:
+		return 2
+	case n <= 4:
+		return 4
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// MPKI returns misses per thousand instructions.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(instructions)
+}
+
+// PctReduction returns the percentage reduction of new relative to base:
+// 100 * (base-new)/base. Positive means new is better (fewer misses).
+func PctReduction(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - new) / base
+}
+
+// PctIncrease returns the percentage increase of new over base:
+// 100 * (new-base)/base. Positive means new is larger (e.g. higher IPC).
+func PctIncrease(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (new - base) / base
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMeanPct returns the geometric mean of percentage improvements: each
+// x is a percentage (e.g. 12 for +12%); the result is the percentage
+// corresponding to the geometric mean of the ratios (1+x/100). This is
+// how the paper's "gmean" IPC bar is computed (Section 7.4).
+func GeoMeanPct(pcts []float64) float64 {
+	if len(pcts) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, p := range pcts {
+		r := 1 + p/100
+		if r <= 0 {
+			// A total collapse: fall back to the arithmetic mean rather
+			// than producing NaN.
+			return Mean(pcts)
+		}
+		logSum += math.Log(r)
+	}
+	return 100 * (math.Exp(logSum/float64(len(pcts))) - 1)
+}
+
+// SatCounter is a saturating counter in [0, max], used by the reverter
+// circuit's PSEL (8-bit, Section 5.5) and by branch predictor entries.
+type SatCounter struct {
+	v, max uint32
+}
+
+// NewSatCounter returns a counter saturating at max, initialized to the
+// midpoint.
+func NewSatCounter(max uint32) *SatCounter {
+	return &SatCounter{v: (max + 1) / 2, max: max}
+}
+
+// Inc increments with saturation.
+func (c *SatCounter) Inc() {
+	if c.v < c.max {
+		c.v++
+	}
+}
+
+// Dec decrements with saturation.
+func (c *SatCounter) Dec() {
+	if c.v > 0 {
+		c.v--
+	}
+}
+
+// Value returns the current counter value.
+func (c *SatCounter) Value() uint32 { return c.v }
+
+// Set forces the counter to v, clamped to [0, max].
+func (c *SatCounter) Set(v uint32) {
+	if v > c.max {
+		v = c.max
+	}
+	c.v = v
+}
+
+// Max returns the saturation bound.
+func (c *SatCounter) Max() uint32 { return c.max }

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ldis/internal/mem"
+)
+
+// Binary trace format: a fixed header followed by fixed-size records.
+// Values are little-endian. The format is intentionally simple — the
+// traces are synthetic and regenerable, so there is no compression.
+//
+//	header: magic "LDTR" | version u16 | reserved u16 | count u64
+//	record: addr u64 | pc u64 | kind u8 | pad u8[3] | instret u32
+const (
+	magic        = "LDTR"
+	formatVer    = 1
+	headerSize   = 4 + 2 + 2 + 8
+	recordSize   = 8 + 8 + 1 + 3 + 4
+	maxTraceLen  = 1 << 32 // sanity bound when reading
+	kindMaxValid = uint8(mem.IFetch)
+)
+
+// ErrBadTrace is wrapped by all decode errors.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Write encodes accs to w in the binary trace format.
+func Write(w io.Writer, accs []mem.Access) error {
+	bw := bufio.NewWriter(w)
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], formatVer)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(accs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, a := range accs {
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(a.Addr))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(a.PC))
+		rec[16] = uint8(a.Kind)
+		rec[17], rec[18], rec[19] = 0, 0, 0
+		binary.LittleEndian.PutUint32(rec[20:24], a.Instret)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a full trace from r.
+func Read(r io.Reader) ([]mem.Access, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadTrace, err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != formatVer {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count > maxTraceLen {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, count)
+	}
+	accs := make([]mem.Access, 0, count)
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTrace, i, err)
+		}
+		kind := rec[16]
+		if kind > kindMaxValid {
+			return nil, fmt.Errorf("%w: record %d has invalid kind %d", ErrBadTrace, i, kind)
+		}
+		accs = append(accs, mem.Access{
+			Addr:    mem.Addr(binary.LittleEndian.Uint64(rec[0:8])),
+			PC:      mem.Addr(binary.LittleEndian.Uint64(rec[8:16])),
+			Kind:    mem.AccessKind(kind),
+			Instret: binary.LittleEndian.Uint32(rec[20:24]),
+		})
+	}
+	return accs, nil
+}

@@ -1,0 +1,153 @@
+package values
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldis/internal/mem"
+)
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{Zero: "zero", One: "one", Half: "half", Full: "full", Class(9): "invalid"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	a := NewModel(42, PointerLike)
+	b := NewModel(42, PointerLike)
+	for i := 0; i < 1000; i++ {
+		addr := mem.Addr(i * 4)
+		if a.ClassAt(addr) != b.ClassAt(addr) || a.Word32(addr) != b.Word32(addr) {
+			t.Fatalf("model not deterministic at %#x", uint64(addr))
+		}
+	}
+}
+
+func TestModelSeedsDiffer(t *testing.T) {
+	a := NewModel(1, Mix{Zero: 0.5, Full: 0.5})
+	b := NewModel(2, Mix{Zero: 0.5, Full: 0.5})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.ClassAt(mem.Addr(i*4)) == b.ClassAt(mem.Addr(i*4)) {
+			same++
+		}
+	}
+	if same > 700 {
+		t.Errorf("different seeds agree on %d/1000 classes; want ~500", same)
+	}
+}
+
+func TestValueMatchesClass(t *testing.T) {
+	m := NewModel(7, Mix{Zero: 0.25, One: 0.25, Half: 0.25, Full: 0.25})
+	for i := 0; i < 4000; i++ {
+		addr := mem.Addr(i * 4)
+		v := m.Word32(addr)
+		switch m.ClassAt(addr) {
+		case Zero:
+			if v != 0 {
+				t.Fatalf("Zero class but value %#x", v)
+			}
+		case One:
+			if v != 1 {
+				t.Fatalf("One class but value %#x", v)
+			}
+		case Half:
+			if v>>16 != 0 || v <= 1 {
+				t.Fatalf("Half class but value %#x", v)
+			}
+		case Full:
+			if v>>16 == 0 {
+				t.Fatalf("Full class but value %#x", v)
+			}
+		}
+	}
+}
+
+func TestMixFrequencies(t *testing.T) {
+	mix := Mix{Zero: 0.5, One: 0.1, Half: 0.2, Full: 0.2}
+	m := NewModel(99, mix)
+	const n = 50000
+	var counts [4]int
+	for i := 0; i < n; i++ {
+		counts[m.ClassAt(mem.Addr(i*4))]++
+	}
+	want := []float64{0.5, 0.1, 0.2, 0.2}
+	for c, w := range want {
+		got := float64(counts[c]) / n
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("class %v frequency %.3f, want ~%.2f", Class(c), got, w)
+		}
+	}
+}
+
+func TestDegenerateMixFallsBack(t *testing.T) {
+	m := NewModel(1, Mix{}) // zero mix -> incompressible
+	for i := 0; i < 100; i++ {
+		if c := m.ClassAt(mem.Addr(i * 4)); c != Full {
+			t.Fatalf("degenerate mix gave class %v", c)
+		}
+	}
+}
+
+func TestIncompressibleMix(t *testing.T) {
+	m := NewModel(3, Incompressible)
+	for i := 0; i < 200; i++ {
+		if m.ClassAt(mem.Addr(i*4)) != Full {
+			t.Fatal("Incompressible mix must always be Full")
+		}
+	}
+}
+
+func TestLineAndWord64(t *testing.T) {
+	m := NewModel(5, HighlyCompressible)
+	l := mem.LineAddr(100)
+	line := m.Line(l)
+	for w := 0; w < mem.WordsPerLine; w++ {
+		lo, hi := m.Word64(l, w)
+		if lo != line[2*w] || hi != line[2*w+1] {
+			t.Fatalf("Word64(%d) = %#x,%#x; Line has %#x,%#x", w, lo, hi, line[2*w], line[2*w+1])
+		}
+	}
+}
+
+func TestAddressTruncation(t *testing.T) {
+	m := NewModel(11, PointerLike)
+	// All byte addresses within one 4-byte datum must agree.
+	for base := 0; base < 64; base += 4 {
+		c := m.ClassAt(mem.Addr(base))
+		for off := 1; off < 4; off++ {
+			if m.ClassAt(mem.Addr(base+off)) != c {
+				t.Fatalf("class differs within 32-bit datum at %d+%d", base, off)
+			}
+		}
+	}
+}
+
+// Property: Word32 is always consistent with ClassAt for arbitrary
+// addresses and seeds.
+func TestValueClassProperty(t *testing.T) {
+	f := func(seed uint64, addr uint64) bool {
+		m := NewModel(seed, PointerLike)
+		a := mem.Addr(addr)
+		v := m.Word32(a)
+		switch m.ClassAt(a) {
+		case Zero:
+			return v == 0
+		case One:
+			return v == 1
+		case Half:
+			return v>>16 == 0 && v > 1
+		case Full:
+			return v>>16 != 0
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

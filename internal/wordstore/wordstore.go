@@ -1,0 +1,251 @@
+// Package wordstore implements a word-organized cache set: a group of
+// 64B data ways logically partitioned into 8B word entries, holding
+// variable-size (power-of-two, aligned) groups of words per line. It is
+// the storage substrate of the distill cache's WOC (paper Section 5.1)
+// and of the decoupled-sectored store used by the SFP baseline
+// (Section 9 / Figure 13).
+package wordstore
+
+import (
+	"fmt"
+
+	"ldis/internal/mem"
+)
+
+// Line is one resident line: its stored words are packed into Slots
+// consecutive word entries of way Way, starting at the aligned offset
+// Start. The paper's head-bit corresponds to the Start slot.
+type Line struct {
+	Tag   uint64
+	Words mem.Footprint // which words of the line are stored
+	Dirty mem.Footprint // which stored words are dirty
+	Way   int
+	Start int
+	Slots int // power-of-two entry count (>= stored payload)
+
+	// LastUse is an optional recency stamp maintained by callers that
+	// use InstallLRU (the paper's footnote 4 compares the WOC's random
+	// replacement against such an LRU variant).
+	LastUse uint64
+}
+
+// Set is the word-organized portion of one cache set.
+type Set struct {
+	Lines []Line
+	occ   []mem.Footprint // per-way occupancy bitmap over the 8 slots
+}
+
+// NewSet returns an empty set with the given number of data ways.
+func NewSet(ways int) Set {
+	return Set{occ: make([]mem.Footprint, ways)}
+}
+
+// Ways returns the number of data ways.
+func (s *Set) Ways() int { return len(s.occ) }
+
+// Find returns the index of the line with the given tag, or -1.
+func (s *Set) Find(tag uint64) int {
+	for i := range s.Lines {
+		if s.Lines[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// RemoveAt deletes the line at index i and frees its slots.
+func (s *Set) RemoveAt(i int) Line {
+	l := s.Lines[i]
+	s.occ[l.Way] &^= RegionMask(l.Start, l.Slots)
+	s.Lines[i] = s.Lines[len(s.Lines)-1]
+	s.Lines = s.Lines[:len(s.Lines)-1]
+	return l
+}
+
+// Clear removes every line, returning the removed lines so the caller
+// can account for dirty writebacks.
+func (s *Set) Clear() []Line {
+	out := append([]Line(nil), s.Lines...)
+	s.Lines = s.Lines[:0]
+	for i := range s.occ {
+		s.occ[i] = 0
+	}
+	return out
+}
+
+// RegionMask returns the occupancy bits for slots [start, start+slots).
+func RegionMask(start, slots int) mem.Footprint {
+	return mem.Footprint(((1 << uint(slots)) - 1) << uint(start))
+}
+
+// candidate is one aligned region eligible for replacement.
+type candidate struct {
+	way, start int
+}
+
+// candidates enumerates the eligible aligned regions for a line of the
+// given slot count: regions whose first slot is invalid or carries a
+// head-bit (paper Section 5.3). Fully free regions come back in the
+// first slice; they never cost an eviction.
+func (s *Set) candidates(slots int) (free, occupied []candidate) {
+	for way := range s.occ {
+		for start := 0; start+slots <= mem.WordsPerLine; start += slots {
+			mask := RegionMask(start, slots)
+			if s.occ[way]&mask == 0 {
+				free = append(free, candidate{way, start})
+				continue
+			}
+			firstFree := s.occ[way]&RegionMask(start, 1) == 0
+			if firstFree || s.isHead(way, start) {
+				occupied = append(occupied, candidate{way, start})
+			}
+		}
+	}
+	return free, occupied
+}
+
+// Install places nl (whose Slots field must be a power of two <= 8)
+// into the set, evicting any lines overlapping the chosen region. The
+// region is picked uniformly at random — via the caller-supplied rnd
+// value — among the eligible aligned candidates (paper Section 5.3);
+// fully free regions are preferred because they never cost an eviction.
+// It returns the evicted lines.
+func (s *Set) Install(nl Line, rnd uint64) []Line {
+	s.checkInstall(nl)
+	free, occupied := s.candidates(nl.Slots)
+	pool := free
+	if len(pool) == 0 {
+		pool = occupied
+	}
+	if len(pool) == 0 {
+		// Cannot happen: region (way, 0) is always eligible — slot 0 is
+		// either free or the head of the line covering it; defend anyway.
+		panic("wordstore: no replacement candidate")
+	}
+	return s.place(nl, pool[rnd%uint64(len(pool))])
+}
+
+// InstallLRU places nl like Install but, when no region is free, evicts
+// the candidate region whose youngest resident line is oldest (a
+// variable-size LRU approximation — the policy the paper's footnote 4
+// says random replacement approximates).
+func (s *Set) InstallLRU(nl Line) []Line {
+	s.checkInstall(nl)
+	free, occupied := s.candidates(nl.Slots)
+	if len(free) > 0 {
+		return s.place(nl, free[0])
+	}
+	if len(occupied) == 0 {
+		panic("wordstore: no replacement candidate")
+	}
+	best := occupied[0]
+	bestAge := ^uint64(0)
+	for _, c := range occupied {
+		// Age of a region = the max LastUse of the lines it would evict.
+		var youngest uint64
+		for i := range s.Lines {
+			l := &s.Lines[i]
+			if l.Way == c.way && l.Start >= c.start && l.Start < c.start+nl.Slots {
+				if l.LastUse > youngest {
+					youngest = l.LastUse
+				}
+			}
+		}
+		if youngest < bestAge {
+			best, bestAge = c, youngest
+		}
+	}
+	return s.place(nl, best)
+}
+
+func (s *Set) checkInstall(nl Line) {
+	if nl.Slots <= 0 || nl.Slots > mem.WordsPerLine || nl.Slots&(nl.Slots-1) != 0 {
+		panic(fmt.Sprintf("wordstore: installing line with %d slots", nl.Slots))
+	}
+	if s.Find(nl.Tag) >= 0 {
+		panic("wordstore: set already holds this line")
+	}
+}
+
+// place evicts every line starting inside the chosen region (alignment
+// guarantees such lines are fully contained or fully cover it; the
+// paper's head-bit rule evicts them whole either way) and installs nl.
+func (s *Set) place(nl Line, c candidate) []Line {
+	var evicted []Line
+	for i := 0; i < len(s.Lines); {
+		l := s.Lines[i]
+		if l.Way == c.way && l.Start >= c.start && l.Start < c.start+nl.Slots {
+			evicted = append(evicted, s.RemoveAt(i))
+			continue
+		}
+		i++
+	}
+	if s.occ[c.way]&RegionMask(c.start, nl.Slots) != 0 {
+		panic("wordstore: region still occupied after eviction")
+	}
+	nl.Way, nl.Start = c.way, c.start
+	s.occ[c.way] |= RegionMask(c.start, nl.Slots)
+	s.Lines = append(s.Lines, nl)
+	return evicted
+}
+
+// isHead reports whether (way, start) is the first slot of a resident
+// line.
+func (s *Set) isHead(way, start int) bool {
+	for i := range s.Lines {
+		if s.Lines[i].Way == way && s.Lines[i].Start == start {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFreeRegion reports whether some aligned region of the given
+// power-of-two size is entirely free.
+func (s *Set) HasFreeRegion(slots int) bool {
+	for way := range s.occ {
+		for start := 0; start+slots <= mem.WordsPerLine; start += slots {
+			if s.occ[way]&RegionMask(start, slots) == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OccupiedSlots returns the total number of word entries in use.
+func (s *Set) OccupiedSlots() int {
+	n := 0
+	for _, l := range s.Lines {
+		n += l.Slots
+	}
+	return n
+}
+
+// CheckInvariants verifies occupancy bookkeeping; tests call it after
+// stress runs.
+func (s *Set) CheckInvariants() error {
+	occ := make([]mem.Footprint, len(s.occ))
+	for _, l := range s.Lines {
+		if l.Slots&(l.Slots-1) != 0 || l.Start%l.Slots != 0 {
+			return fmt.Errorf("line %x misaligned: start %d slots %d", l.Tag, l.Start, l.Slots)
+		}
+		if l.Words == 0 {
+			return fmt.Errorf("line %x stores no words", l.Tag)
+		}
+		if l.Dirty&^l.Words != 0 {
+			return fmt.Errorf("line %x has dirty bits outside stored words", l.Tag)
+		}
+		mask := RegionMask(l.Start, l.Slots)
+		if occ[l.Way]&mask != 0 {
+			return fmt.Errorf("line %x overlaps another line", l.Tag)
+		}
+		occ[l.Way] |= mask
+	}
+	for w := range occ {
+		if occ[w] != s.occ[w] {
+			return fmt.Errorf("way %d occupancy %v, recorded %v", w, occ[w], s.occ[w])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,447 @@
+package workload
+
+import (
+	"ldis/internal/mem"
+	"ldis/internal/values"
+)
+
+// This file declares one synthetic profile per paper benchmark. The
+// shapes are chosen to reproduce, per benchmark, the statistics the
+// paper publishes: MPKI and compulsory fraction (Table 2), words used
+// per line vs cache size (Figure 1, Table 6), cache-size sensitivity
+// (Figure 8, Table 5), and value compressibility (Figure 10a). Absolute
+// numbers are approximate by design; the experiments compare *shapes*.
+//
+// Address regions are spaced 64MB apart per benchmark (the profiles are
+// only ever simulated one at a time, but distinct bases exercise tags).
+
+func baseFor(i int) mem.LineAddr { return mem.LineAddr(i) * mem.LineAddr(MB(64)) }
+
+// Paper-ordered benchmark name lists.
+var (
+	// MainNames are the 16 memory-intensive benchmarks of Table 2, in
+	// the paper's column order.
+	MainNames = []string{
+		"art", "mcf", "twolf", "vpr", "ammp", "galgel", "bzip2", "facerec",
+		"parser", "sixtrack", "apsi", "swim", "vortex", "gcc", "wupwise", "health",
+	}
+	// InsensitiveNames are the cache-insensitive benchmarks of
+	// Appendix A (Table 5 plus the four with unchanged MPKI).
+	InsensitiveNames = []string{
+		"equake", "lucas", "mgrid", "applu", "mesa", "crafty", "gap",
+		"gzip", "fma3d", "perlbmk", "eon",
+	}
+)
+
+// Main returns the 16 memory-intensive profiles in paper order.
+func Main() []*Profile {
+	out := make([]*Profile, len(MainNames))
+	for i, n := range MainNames {
+		p, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Insensitive returns the Appendix A profiles in paper order.
+func Insensitive() []*Profile {
+	out := make([]*Profile, len(InsensitiveNames))
+	for i, n := range InsensitiveNames {
+		p, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+var (
+	// art: a streaming neural-net kernel whose 1.6MB dataset thrashes a
+	// 1MB LRU cache, plus a hot 0.4MB kernel. Masks average ~4 words but
+	// each visit touches only 2, so words-used grows once lines live
+	// longer (Table 6: 1.81 at 1MB -> 3.63 at 2MB) and distilled lines
+	// suffer hole-misses (Figure 7).
+	_ = register(&Profile{
+		Name: "art", Seed: 101, BaseLine: baseFor(0),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.35, RegionLines: MB(1), Spec: TierSpec{
+				Tiers: []Tier{{Frac: 1, Lines: MB(0.4)}},
+				Words: Counts(0.30, 0.40, 0.15, 0.15), Style: MaskContig, Burst: 2, PCs: 64,
+			}},
+			{Frac: 0.65, RegionLines: MB(4), Spec: ScanSpec{
+				Lines: MB(1.6),
+				Words: Counts(0.10, 0.25, 0.25, 0.30, 0.05, 0.05), Style: MaskScatter, Burst: 2, PCs: 32,
+			}},
+		}},
+		MemRefsPerKInst: 105, StoreFrac: 0.12,
+		ValueMix: values.Mix{Zero: 0.30, One: 0.02, Half: 0.18, Full: 0.50},
+		BaseCPI:  0.28, BranchPerKInst: 60, MispredictRate: 0.02, MLP: 4.5, L1IMPKI: 0.1,
+		PaperMPKI: 38.3, PaperWordsUsed: 1.81,
+	})
+
+	// mcf: pointer-chasing over an 8MB graph; very low spatial locality
+	// (1.83 words), nearly every access misses (MPKI 136), and misses
+	// barely overlap (MLP ~1.3).
+	_ = register(&Profile{
+		Name: "mcf", Seed: 102, BaseLine: baseFor(1),
+		Pattern: TierSpec{
+			Tiers: []Tier{{Frac: 0.10, Lines: MB(0.5)}, {Frac: 0.90, Lines: MB(8)}},
+			Words: Counts(0.60, 0.25, 0.07, 0.04, 0, 0, 0, 0.04), Style: MaskScatter, PCs: 128,
+		},
+		MemRefsPerKInst: 285, StoreFrac: 0.10,
+		ValueMix: values.Mix{Zero: 0.62, One: 0.06, Half: 0.22, Full: 0.10},
+		BaseCPI:  0.30, BranchPerKInst: 180, MispredictRate: 0.05, MLP: 1.3, L1IMPKI: 0.1,
+		PaperMPKI: 136, PaperWordsUsed: 1.83,
+	})
+
+	// twolf: place-and-route with a ~0.9MB hot core and a 1.8MB total
+	// set; moderate spatial locality (3.24 words).
+	_ = register(&Profile{
+		Name: "twolf", Seed: 103, BaseLine: baseFor(2),
+		Pattern: TierSpec{
+			Tiers: []Tier{{Frac: 0.90, Lines: MB(0.85)}, {Frac: 0.10, Lines: MB(1.6)}},
+			Words: Counts(0.20, 0.25, 0.20, 0.17, 0.10, 0.08), Style: MaskScatter, PCs: 256,
+		},
+		MemRefsPerKInst: 125, StoreFrac: 0.20,
+		ValueMix: values.Mix{Zero: 0.25, One: 0.05, Half: 0.30, Full: 0.40},
+		BaseCPI:  0.35, BranchPerKInst: 160, MispredictRate: 0.06, MLP: 1.8, L1IMPKI: 0.3,
+		PaperMPKI: 3.6, PaperWordsUsed: 3.24,
+	})
+
+	// vpr: like twolf but word usage grows strongly with residency
+	// (3.71 -> 6.09): masks average ~6 words, visits touch 2.
+	_ = register(&Profile{
+		Name: "vpr", Seed: 104, BaseLine: baseFor(3),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.90, RegionLines: MB(1), Spec: TierSpec{
+				Tiers: []Tier{{Frac: 1, Lines: MB(0.45)}},
+				Words: Counts(0.05, 0.15, 0.20, 0.20, 0.15, 0.10, 0.05, 0.10), Style: MaskContig, Burst: 3, PCs: 256,
+			}},
+			{Frac: 0.10, RegionLines: MB(3), Spec: ScanSpec{
+				Lines: MB(1.3), Words: Counts(0.07, 0.22, 0.23, 0.18, 0.12, 0.08, 0.05, 0.05), Style: MaskContig, Burst: 3, PCs: 64,
+			}},
+		}},
+		MemRefsPerKInst: 85, StoreFrac: 0.18,
+		ValueMix: values.Mix{Zero: 0.25, One: 0.04, Half: 0.26, Full: 0.45},
+		BaseCPI:  0.35, BranchPerKInst: 150, MispredictRate: 0.07, MLP: 1.8, L1IMPKI: 0.2,
+		PaperMPKI: 2.2, PaperWordsUsed: 3.71,
+	})
+
+	// ammp: molecular dynamics; low words used (2.40), working set a
+	// little over 1MB, large LDIS gain (Figure 6).
+	_ = register(&Profile{
+		Name: "ammp", Seed: 105, BaseLine: baseFor(4),
+		Pattern: TierSpec{
+			Tiers: []Tier{{Frac: 0.90, Lines: MB(0.85)}, {Frac: 0.10, Lines: MB(1.7)}},
+			Words: Counts(0.40, 0.25, 0.20, 0.10, 0.05), Style: MaskScatter, PCs: 128,
+		},
+		MemRefsPerKInst: 70, StoreFrac: 0.15,
+		ValueMix: values.Mix{Zero: 0.20, One: 0.02, Half: 0.18, Full: 0.60},
+		BaseCPI:  0.32, BranchPerKInst: 80, MispredictRate: 0.02, MLP: 2.2, L1IMPKI: 0.1,
+		PaperMPKI: 2.8, PaperWordsUsed: 2.40,
+	})
+
+	// galgel: dense FP kernels, nearly every word used (7.60); LDIS has
+	// little to filter.
+	_ = register(&Profile{
+		Name: "galgel", Seed: 106, BaseLine: baseFor(5),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.86, RegionLines: MB(1), Spec: TierSpec{
+				Tiers: []Tier{{Frac: 1, Lines: MB(0.45)}},
+				Words: Counts(0, 0, 0, 0.10, 0, 0.05, 0.10, 0.75), Style: MaskContig, PCs: 64,
+			}},
+			{Frac: 0.14, RegionLines: MB(4), Spec: ScanSpec{
+				Lines: MB(2.2), Words: Counts(0, 0, 0, 0.10, 0, 0.05, 0.10, 0.75), Style: MaskContig, PCs: 16,
+			}},
+		}},
+		MemRefsPerKInst: 260, StoreFrac: 0.25,
+		ValueMix: values.FloatLike,
+		BaseCPI:  0.30, BranchPerKInst: 40, MispredictRate: 0.01, MLP: 5.0, L1IMPKI: 0.05,
+		PaperMPKI: 4.7, PaperWordsUsed: 7.60,
+	})
+
+	// bzip2: word usage grows with capacity (4.13 -> 6.13) so eager
+	// distillation backfires; the reverter must step in (Figure 6).
+	_ = register(&Profile{
+		Name: "bzip2", Seed: 107, BaseLine: baseFor(6),
+		Pattern: TierSpec{
+			Tiers: []Tier{{Frac: 0.94, Lines: MB(0.8)}, {Frac: 0.06, Lines: MB(2.0)}},
+			Words: Counts(0.03, 0.07, 0.10, 0.10, 0.10, 0.15, 0.15, 0.30), Style: MaskContig, Burst: 3, PCs: 128,
+		},
+		MemRefsPerKInst: 110, StoreFrac: 0.25,
+		ValueMix: values.Mix{Zero: 0.15, One: 0.05, Half: 0.25, Full: 0.55},
+		BaseCPI:  0.33, BranchPerKInst: 140, MispredictRate: 0.05, MLP: 2.5, L1IMPKI: 0.05,
+		PaperMPKI: 2.4, PaperWordsUsed: 4.13,
+	})
+
+	// facerec: FP streaming with high words used (7.01) and 18%
+	// compulsory misses; distill ~ a 1.5MB traditional cache (Figure 8).
+	_ = register(&Profile{
+		Name: "facerec", Seed: 108, BaseLine: baseFor(7),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.85, RegionLines: MB(1), Spec: TierSpec{
+				Tiers: []Tier{{Frac: 1, Lines: MB(0.45)}},
+				Words: Counts(0.04, 0.04, 0.04, 0.04, 0.04, 0.05, 0.15, 0.60), Style: MaskContig, PCs: 64,
+			}},
+			{Frac: 0.12, RegionLines: MB(2), Spec: ScanSpec{
+				Lines: MB(1.2), Words: Counts(0.04, 0.04, 0.04, 0.04, 0.04, 0.05, 0.15, 0.60), Style: MaskContig, PCs: 16,
+			}},
+			{Frac: 0.03, RegionLines: MB(32), Spec: ScanSpec{
+				Lines: MB(24), Words: Counts(0, 0, 0, 0.1, 0, 0, 0.2, 0.7), Style: MaskContig, PCs: 16,
+			}},
+		}},
+		MemRefsPerKInst: 230, StoreFrac: 0.15,
+		ValueMix: values.FloatLike,
+		BaseCPI:  0.30, BranchPerKInst: 50, MispredictRate: 0.015, MLP: 4.0, L1IMPKI: 0.05,
+		PaperMPKI: 4.8, PaperWordsUsed: 7.01,
+	})
+
+	// parser: dictionary walks; words used grows 6.01 -> 7.59, another
+	// reverter client.
+	_ = register(&Profile{
+		Name: "parser", Seed: 109, BaseLine: baseFor(8),
+		Pattern: TierSpec{
+			Tiers: []Tier{{Frac: 0.88, Lines: MB(0.8)}, {Frac: 0.12, Lines: MB(1.8)}},
+			Words: Counts(0.02, 0.03, 0.05, 0.10, 0.10, 0.15, 0.20, 0.35), Style: MaskContig, Burst: 4, PCs: 256,
+		},
+		MemRefsPerKInst: 95, StoreFrac: 0.20,
+		ValueMix: values.HighlyCompressible,
+		BaseCPI:  0.35, BranchPerKInst: 170, MispredictRate: 0.06, MLP: 1.6, L1IMPKI: 0.2,
+		PaperMPKI: 1.6, PaperWordsUsed: 6.42,
+	})
+
+	// sixtrack: small working set just over 1MB with moderate word use
+	// (4.34, stable) — LDIS shines (Figure 6, >40%).
+	_ = register(&Profile{
+		Name: "sixtrack", Seed: 110, BaseLine: baseFor(9),
+		Pattern: TierSpec{
+			Tiers: []Tier{{Frac: 0.94, Lines: MB(0.85)}, {Frac: 0.06, Lines: MB(1.4)}},
+			Words: Counts(0.15, 0.25, 0.15, 0.20, 0.10, 0.05, 0.05, 0.05), Style: MaskContig, PCs: 64,
+		},
+		MemRefsPerKInst: 60, StoreFrac: 0.20,
+		ValueMix: values.HighlyCompressible,
+		BaseCPI:  0.30, BranchPerKInst: 60, MispredictRate: 0.02, MLP: 2.0, L1IMPKI: 0.05,
+		PaperMPKI: 0.4, PaperWordsUsed: 4.34,
+	})
+
+	// apsi: high words used (7.80), small miss rate, modest LDIS effect.
+	_ = register(&Profile{
+		Name: "apsi", Seed: 111, BaseLine: baseFor(10),
+		// apsi: a hot set that fits even the smallest LOC under study
+		// (5 ways = 0.625MB) plus a long compulsory stream. This keeps
+		// LDIS neutral at every configuration, matching the paper's
+		// near-zero apsi bars, while the stream's evictions supply the
+		// words-used statistics (7.8 words on average).
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.988, RegionLines: MB(1), Spec: TierSpec{
+				Tiers: []Tier{{Frac: 1, Lines: MB(0.58)}},
+				Words: Counts(0.02, 0.02, 0.02, 0.04, 0, 0.05, 0.10, 0.75), Style: MaskContig, PCs: 64,
+			}},
+			{Frac: 0.012, RegionLines: MB(16), Spec: ScanSpec{
+				Lines: MB(14), Words: Counts(0.02, 0.02, 0.02, 0.04, 0, 0.05, 0.10, 0.75), Style: MaskContig, PCs: 8,
+			}},
+		}},
+		MemRefsPerKInst: 200, StoreFrac: 0.25,
+		ValueMix: values.FloatLike,
+		BaseCPI:  0.30, BranchPerKInst: 45, MispredictRate: 0.012, MLP: 4.5, L1IMPKI: 0.1,
+		PaperMPKI: 0.3, PaperWordsUsed: 7.80,
+	})
+
+	// swim: the adversarial two-phase pattern described in Section 7.1 —
+	// first touch uses one word, a ~0.7MB/~1.1MB reuse distance later a
+	// second touch uses all eight. Distillation discards words that are
+	// about to be used; the reverter must disable LDIS.
+	_ = register(&Profile{
+		Name: "swim", Seed: 112, BaseLine: baseFor(11),
+		Pattern: TwoPhaseSpec{
+			// Both phases promote lines, so the LRU reuse distance is
+			// about twice the gap: 0.35MB ~ fits a 1MB cache, 0.55MB
+			// needs ~1.25MB (Table 6: swim's words jump to 7.98 there).
+			Lines:         MB(4),
+			GapShortLines: MB(0.35),
+			GapLongLines:  MB(0.55),
+			LongFrac:      0.20,
+			PCs:           16,
+		},
+		MemRefsPerKInst: 175, StoreFrac: 0.30,
+		ValueMix: values.FloatLike,
+		BaseCPI:  0.28, BranchPerKInst: 25, MispredictRate: 0.01, MLP: 6.0, L1IMPKI: 0.02,
+		PaperMPKI: 26.6, PaperWordsUsed: 6.91,
+	})
+
+	// vortex: OO database, 53% compulsory, low words used (3.04).
+	_ = register(&Profile{
+		Name: "vortex", Seed: 113, BaseLine: baseFor(12),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.992, RegionLines: MB(1.5), Spec: TierSpec{
+				Tiers: []Tier{{Frac: 0.97, Lines: MB(0.55)}, {Frac: 0.03, Lines: MB(1.15)}},
+				Words: Counts(0.30, 0.25, 0.20, 0.10, 0.05, 0.05, 0, 0.05), Style: MaskScatter, PCs: 512,
+			}},
+			{Frac: 0.008, RegionLines: MB(48), Spec: ScanSpec{
+				Lines: MB(40), Words: Counts(0.30, 0.25, 0.20, 0.10, 0.05, 0.05, 0, 0.05),
+				Style: MaskScatter, PCs: 64,
+			}},
+		}},
+		MemRefsPerKInst: 100, StoreFrac: 0.30,
+		ValueMix: values.PointerLike,
+		BaseCPI:  0.35, BranchPerKInst: 160, MispredictRate: 0.03, MLP: 1.8, L1IMPKI: 0.4,
+		PaperMPKI: 0.7, PaperWordsUsed: 3.04,
+	})
+
+	// gcc: 77% compulsory, instruction-cache intensive (its IPC dips
+	// with the distill cache's extra tag cycle, Section 7.4).
+	_ = register(&Profile{
+		Name: "gcc", Seed: 114, BaseLine: baseFor(13),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.975, RegionLines: MB(1), Spec: TierSpec{
+				Tiers: []Tier{{Frac: 1, Lines: MB(0.4)}},
+				Words: Counts(0.05, 0.05, 0.05, 0.10, 0.10, 0.15, 0.20, 0.30), Style: MaskContig, PCs: 512,
+			}},
+			{Frac: 0.025, RegionLines: MB(32), Spec: ScanSpec{
+				Lines: MB(28), Words: Counts(0.05, 0.05, 0.05, 0.10, 0.10, 0.15, 0.20, 0.30),
+				Style: MaskContig, PCs: 128,
+			}},
+		}},
+		MemRefsPerKInst: 90, StoreFrac: 0.30, CodeLines: MB(0.125),
+		ValueMix: values.HighlyCompressible,
+		BaseCPI:  0.40, BranchPerKInst: 200, MispredictRate: 0.05, MLP: 2.0, L1IMPKI: 8.0,
+		PaperMPKI: 0.4, PaperWordsUsed: 6.38,
+	})
+
+	// wupwise: pure streaming, 83% compulsory, 7.01 words used at every
+	// cache size — nothing for LDIS to win or lose.
+	_ = register(&Profile{
+		Name: "wupwise", Seed: 115, BaseLine: baseFor(14),
+		Pattern: ScanSpec{
+			Lines: MB(48), Words: Counts(0, 0, 0, 0.05, 0.05, 0.10, 0.45, 0.35),
+			Style: MaskContig, PCs: 16,
+		},
+		MemRefsPerKInst: 18, StoreFrac: 0.20,
+		ValueMix: values.FloatLike,
+		BaseCPI:  0.28, BranchPerKInst: 30, MispredictRate: 0.008, MLP: 5.0, L1IMPKI: 0.05,
+		PaperMPKI: 2.3, PaperWordsUsed: 7.01,
+	})
+
+	// health (olden): linked-list hospital simulation; tiny words used
+	// (2.44 at every size), ~2.75MB of lists, serial chase (MLP ~1.1).
+	// Distillation beats even a 2MB traditional cache (Figure 8).
+	_ = register(&Profile{
+		Name: "health", Seed: 116, BaseLine: baseFor(15),
+		Pattern: TierSpec{
+			Tiers: []Tier{{Frac: 0.15, Lines: MB(0.25)}, {Frac: 0.85, Lines: MB(3.0)}},
+			Words: Counts(0.50, 0.23, 0.12, 0.09, 0.03, 0.03), Style: MaskScatter, PCs: 32,
+		},
+		MemRefsPerKInst: 205, StoreFrac: 0.15,
+		ValueMix: values.PointerLike,
+		BaseCPI:  0.32, BranchPerKInst: 150, MispredictRate: 0.03, MLP: 1.1, L1IMPKI: 0.02,
+		PaperMPKI: 62, PaperWordsUsed: 2.44,
+	})
+)
+
+// Cache-insensitive benchmarks (Appendix A). Streaming profiles whose
+// misses are compulsory (so capacity does not matter) or tiny working
+// sets that always fit.
+var (
+	_ = register(&Profile{
+		Name: "equake", Seed: 201, BaseLine: baseFor(16),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.92, RegionLines: MB(56), Spec: ScanSpec{Lines: MB(56), Words: Counts(0, 0, 0, 0.2, 0, 0.2, 0.2, 0.4), Style: MaskContig, PCs: 16}},
+			{Frac: 0.08, RegionLines: MB(8), Spec: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(6)}}, Words: SingleCount(8), PCs: 16}},
+		}},
+		MemRefsPerKInst: 140, StoreFrac: 0.2, ValueMix: values.FloatLike,
+		BaseCPI: 0.3, BranchPerKInst: 40, MispredictRate: 0.01, MLP: 5, L1IMPKI: 0.05,
+		PaperMPKI: 18.42, PaperWordsUsed: 7,
+	})
+	_ = register(&Profile{
+		Name: "lucas", Seed: 202, BaseLine: baseFor(17),
+		Pattern:         ScanSpec{Lines: MB(60), Words: SingleCount(8), PCs: 8},
+		MemRefsPerKInst: 130, StoreFrac: 0.25, ValueMix: values.FloatLike,
+		BaseCPI: 0.28, BranchPerKInst: 20, MispredictRate: 0.005, MLP: 6, L1IMPKI: 0.02,
+		PaperMPKI: 16.17, PaperWordsUsed: 8,
+	})
+	_ = register(&Profile{
+		Name: "mgrid", Seed: 203, BaseLine: baseFor(18),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.95, RegionLines: MB(54), Spec: ScanSpec{Lines: MB(54), Words: SingleCount(8), PCs: 8}},
+			{Frac: 0.05, RegionLines: MB(8), Spec: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(5)}}, Words: SingleCount(8), PCs: 8}},
+		}},
+		MemRefsPerKInst: 62, StoreFrac: 0.2, ValueMix: values.FloatLike,
+		BaseCPI: 0.28, BranchPerKInst: 15, MispredictRate: 0.005, MLP: 6, L1IMPKI: 0.02,
+		PaperMPKI: 7.73, PaperWordsUsed: 8,
+	})
+	_ = register(&Profile{
+		Name: "applu", Seed: 204, BaseLine: baseFor(19),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.94, RegionLines: MB(54), Spec: ScanSpec{Lines: MB(54), Words: SingleCount(8), PCs: 8}},
+			{Frac: 0.06, RegionLines: MB(8), Spec: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(6)}}, Words: SingleCount(8), PCs: 8}},
+		}},
+		MemRefsPerKInst: 110, StoreFrac: 0.25, ValueMix: values.FloatLike,
+		BaseCPI: 0.28, BranchPerKInst: 20, MispredictRate: 0.005, MLP: 5.5, L1IMPKI: 0.02,
+		PaperMPKI: 13.75, PaperWordsUsed: 8,
+	})
+	_ = register(&Profile{
+		Name: "mesa", Seed: 205, BaseLine: baseFor(20),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.97, RegionLines: MB(1), Spec: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(0.4)}}, Words: Counts(0, 0, 0, 0.3, 0, 0.3, 0, 0.4), Style: MaskContig, PCs: 64}},
+			{Frac: 0.03, RegionLines: MB(32), Spec: ScanSpec{Lines: MB(24), Words: SingleCount(8), PCs: 8}},
+		}},
+		MemRefsPerKInst: 150, StoreFrac: 0.3, ValueMix: values.Mix{Zero: 0.2, Half: 0.2, Full: 0.6},
+		BaseCPI: 0.32, BranchPerKInst: 90, MispredictRate: 0.02, MLP: 3, L1IMPKI: 0.3,
+		PaperMPKI: 0.62, PaperWordsUsed: 6.5,
+	})
+	_ = register(&Profile{
+		Name: "crafty", Seed: 206, BaseLine: baseFor(21),
+		Pattern: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(0.6)}},
+			Words: Counts(0.1, 0.2, 0.2, 0.2, 0.1, 0.1, 0.05, 0.05), Style: MaskScatter, PCs: 512},
+		MemRefsPerKInst: 120, StoreFrac: 0.2, ValueMix: values.PointerLike,
+		BaseCPI: 0.35, BranchPerKInst: 180, MispredictRate: 0.06, MLP: 1.5, L1IMPKI: 1.5,
+		PaperMPKI: 0.09, PaperWordsUsed: 4,
+	})
+	_ = register(&Profile{
+		Name: "gap", Seed: 207, BaseLine: baseFor(22),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.9, RegionLines: MB(1), Spec: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(0.5)}}, Words: Counts(0.1, 0.2, 0.2, 0.2, 0.1, 0.1, 0.05, 0.05), Style: MaskScatter, PCs: 128}},
+			{Frac: 0.1, RegionLines: MB(48), Spec: ScanSpec{Lines: MB(40), Words: Counts(0, 0.3, 0, 0.4, 0, 0, 0, 0.3), Style: MaskContig, PCs: 16}},
+		}},
+		MemRefsPerKInst: 130, StoreFrac: 0.25, ValueMix: values.PointerLike,
+		BaseCPI: 0.33, BranchPerKInst: 130, MispredictRate: 0.03, MLP: 2, L1IMPKI: 0.2,
+		PaperMPKI: 1.65, PaperWordsUsed: 4,
+	})
+	_ = register(&Profile{
+		Name: "gzip", Seed: 208, BaseLine: baseFor(23),
+		Pattern: MixSpec{Components: []Component{
+			{Frac: 0.85, RegionLines: MB(1), Spec: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(0.3)}}, Words: Counts(0, 0.1, 0.1, 0.2, 0.1, 0.2, 0.1, 0.2), Style: MaskContig, PCs: 64}},
+			{Frac: 0.15, RegionLines: MB(48), Spec: ScanSpec{Lines: MB(40), Words: SingleCount(8), PCs: 8}},
+		}},
+		MemRefsPerKInst: 120, StoreFrac: 0.25, ValueMix: values.Mix{Zero: 0.1, Half: 0.2, Full: 0.7},
+		BaseCPI: 0.32, BranchPerKInst: 140, MispredictRate: 0.04, MLP: 2.5, L1IMPKI: 0.05,
+		PaperMPKI: 1.45, PaperWordsUsed: 6,
+	})
+	_ = register(&Profile{
+		Name: "fma3d", Seed: 209, BaseLine: baseFor(24),
+		Pattern:         ScanSpec{Lines: MB(56), Words: Counts(0, 0, 0, 0.2, 0, 0.2, 0.2, 0.4), Style: MaskContig, PCs: 16},
+		MemRefsPerKInst: 40, StoreFrac: 0.25, ValueMix: values.FloatLike,
+		BaseCPI: 0.3, BranchPerKInst: 40, MispredictRate: 0.01, MLP: 4, L1IMPKI: 0.4,
+		PaperMPKI: 4.61, PaperWordsUsed: 7,
+	})
+	_ = register(&Profile{
+		Name: "perlbmk", Seed: 210, BaseLine: baseFor(25),
+		Pattern: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(0.4)}},
+			Words: Counts(0.1, 0.2, 0.2, 0.2, 0.1, 0.1, 0.05, 0.05), Style: MaskScatter, PCs: 512},
+		MemRefsPerKInst: 140, StoreFrac: 0.3, ValueMix: values.PointerLike,
+		BaseCPI: 0.35, BranchPerKInst: 170, MispredictRate: 0.04, MLP: 1.5, L1IMPKI: 1.0,
+		PaperMPKI: 0.04, PaperWordsUsed: 4,
+	})
+	_ = register(&Profile{
+		Name: "eon", Seed: 211, BaseLine: baseFor(26),
+		Pattern: TierSpec{Tiers: []Tier{{Frac: 1, Lines: MB(0.3)}},
+			Words: Counts(0, 0.1, 0.1, 0.2, 0.2, 0.2, 0.1, 0.1), Style: MaskContig, PCs: 256},
+		MemRefsPerKInst: 150, StoreFrac: 0.3, ValueMix: values.Mix{Zero: 0.15, Half: 0.2, Full: 0.65},
+		BaseCPI: 0.33, BranchPerKInst: 120, MispredictRate: 0.03, MLP: 2, L1IMPKI: 0.8,
+		PaperMPKI: 0.01, PaperWordsUsed: 5,
+	})
+)

@@ -1,0 +1,151 @@
+// Package workload generates the synthetic memory reference streams that
+// stand in for the paper's SPEC CPU2000 Alpha traces (see DESIGN.md for
+// the substitution argument). Each paper benchmark becomes a named
+// Profile whose knobs — working-set structure, per-line word masks,
+// reuse pattern, value mixture, and CPU-side rates — are calibrated to
+// the statistics the paper publishes (Table 2 MPKI, Table 6 words used,
+// Figure 1 footprint histograms).
+package workload
+
+import (
+	"fmt"
+
+	"ldis/internal/mem"
+)
+
+// WordCountDist is a distribution over the number of words used per
+// line: Weights[i] is the relative weight of (i+1) words. It drives the
+// per-line footprint masks and therefore the paper's Figure 1 histogram.
+type WordCountDist struct {
+	Weights [mem.WordsPerLine]float64
+}
+
+// UniformWords gives every count 1..8 equal weight.
+func UniformWords() WordCountDist {
+	var d WordCountDist
+	for i := range d.Weights {
+		d.Weights[i] = 1
+	}
+	return d
+}
+
+// SingleCount puts all weight on exactly n words used.
+func SingleCount(n int) WordCountDist {
+	if n < 1 || n > mem.WordsPerLine {
+		panic(fmt.Sprintf("workload: SingleCount(%d) out of range", n))
+	}
+	var d WordCountDist
+	d.Weights[n-1] = 1
+	return d
+}
+
+// Counts builds a distribution from weights for 1..8 words; missing
+// entries are zero.
+func Counts(w ...float64) WordCountDist {
+	var d WordCountDist
+	copy(d.Weights[:], w)
+	return d
+}
+
+// Mean returns the expected number of words used.
+func (d WordCountDist) Mean() float64 {
+	var sum, tot float64
+	for i, w := range d.Weights {
+		sum += float64(i+1) * w
+		tot += w
+	}
+	if tot == 0 {
+		return 0
+	}
+	return sum / tot
+}
+
+// sample picks a count (1..8) given a uniform u in [0,1).
+func (d WordCountDist) sample(u float64) int {
+	var tot float64
+	for _, w := range d.Weights {
+		tot += w
+	}
+	if tot <= 0 {
+		return mem.WordsPerLine
+	}
+	acc := 0.0
+	for i, w := range d.Weights {
+		acc += w / tot
+		if u < acc {
+			return i + 1
+		}
+	}
+	return mem.WordsPerLine
+}
+
+// MaskStyle controls which words form a line's mask once its count is
+// chosen. Different styles matter: contiguous masks compact well in the
+// WOC and mimic record fields; strided masks mimic large-struct column
+// access; scattered masks mimic hash/pointer data.
+type MaskStyle uint8
+
+const (
+	// MaskContig places the used words in a contiguous run at a
+	// line-dependent offset (wrapping).
+	MaskContig MaskStyle = iota
+	// MaskStride spreads the used words at the largest stride that fits.
+	MaskStride
+	// MaskScatter picks a line-dependent random subset.
+	MaskScatter
+)
+
+// maskFor deterministically derives the footprint mask of a line from
+// the profile seed, so every visit to the same line agrees on its mask.
+func maskFor(seed uint64, line mem.LineAddr, d WordCountDist, style MaskStyle) mem.Footprint {
+	h := splitmix64(uint64(line) ^ seed)
+	u := float64(h>>11) / (1 << 53)
+	n := d.sample(u)
+	if n >= mem.WordsPerLine {
+		return mem.FullFootprint
+	}
+	h2 := splitmix64(h)
+	var f mem.Footprint
+	switch style {
+	case MaskContig:
+		start := int(h2 % mem.WordsPerLine)
+		for i := 0; i < n; i++ {
+			f = f.Set((start + i) % mem.WordsPerLine)
+		}
+	case MaskStride:
+		stride := mem.WordsPerLine / n
+		if stride < 1 {
+			stride = 1
+		}
+		off := int(h2) & (stride - 1)
+		for i := 0; i < n; i++ {
+			f = f.Set((off + i*stride) % mem.WordsPerLine)
+		}
+	case MaskScatter:
+		// Select n distinct words via a per-line permutation.
+		perm := h2
+		chosen := 0
+		for chosen < n {
+			w := int(perm % mem.WordsPerLine)
+			perm = splitmix64(perm)
+			if !f.Has(w) {
+				f = f.Set(w)
+				chosen++
+			}
+		}
+	}
+	return f
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// LinesPerMB is the number of 64B lines in one megabyte.
+const LinesPerMB = 1 << 20 / mem.LineSize
+
+// MB converts a size in megabytes to a line count.
+func MB(x float64) int { return int(x * LinesPerMB) }

@@ -1,0 +1,231 @@
+// Package ldis is a library-scale reproduction of "Line Distillation:
+// Increasing Cache Capacity by Filtering Unused Words in Cache Lines"
+// (Qureshi, Suleman, Patt — HPCA 2007).
+//
+// The package exposes a small facade over the internal simulator: build
+// a cache organization (traditional, distill, compressed, or
+// SFP-predicted), pick a workload, run it, and read the results. The
+// full experiment harness that regenerates every table and figure of
+// the paper lives behind RunExperiment and the ldisexp command.
+//
+// Quick start:
+//
+//	sim := ldis.NewDistillSim(ldis.DefaultDistillConfig())
+//	res := sim.RunWorkload("mcf", 1_000_000)
+//	fmt.Println(res)
+package ldis
+
+import (
+	"fmt"
+
+	"ldis/internal/cache"
+	"ldis/internal/cpu"
+	"ldis/internal/distill"
+	"ldis/internal/exp"
+	"ldis/internal/hierarchy"
+	"ldis/internal/sfp"
+	"ldis/internal/stats"
+	"ldis/internal/trace"
+	"ldis/internal/workload"
+
+	icompress "ldis/internal/compress"
+)
+
+// DistillConfig re-exports the distill cache configuration.
+type DistillConfig = distill.Config
+
+// DefaultDistillConfig returns the paper's LDIS-MT-RC configuration: a
+// 1MB 8-way cache with 6 LOC ways + 2 WOC ways, median-threshold
+// filtering, and the reverter circuit.
+func DefaultDistillConfig() DistillConfig { return distill.DefaultConfig() }
+
+// Benchmarks lists the names of all built-in synthetic benchmarks (the
+// paper's 16 memory-intensive ones plus the 11 cache-insensitive ones
+// from Appendix A).
+func Benchmarks() []string { return workload.Names() }
+
+// MainBenchmarks lists the paper's 16 memory-intensive benchmarks in
+// paper order.
+func MainBenchmarks() []string { return append([]string(nil), workload.MainNames...) }
+
+// Result summarizes one simulation run.
+type Result struct {
+	Benchmark    string
+	Accesses     uint64
+	Instructions uint64
+	L2Accesses   uint64
+	L2Misses     uint64
+	MPKI         float64
+
+	// Distill-cache outcome breakdown (zero for other organizations).
+	LOCHits, WOCHits, HoleMisses, LineMisses uint64
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	s := fmt.Sprintf("%s: %d accesses, %d instructions, L2 misses %d (MPKI %.2f)",
+		r.Benchmark, r.Accesses, r.Instructions, r.L2Misses, r.MPKI)
+	if r.LOCHits+r.WOCHits+r.HoleMisses > 0 {
+		s += fmt.Sprintf(" [LOC-hit %d, WOC-hit %d, hole-miss %d, line-miss %d]",
+			r.LOCHits, r.WOCHits, r.HoleMisses, r.LineMisses)
+	}
+	return s
+}
+
+// Sim is a ready-to-run L1D+L2 hierarchy.
+type Sim struct {
+	sys     *hierarchy.System
+	distill *distill.Cache
+}
+
+// NewBaselineSim builds the paper's baseline: a 1MB 8-way traditional
+// L2 behind the 16kB sectored L1D.
+func NewBaselineSim() *Sim {
+	sys, _ := hierarchy.Baseline("baseline", 1<<20, 8)
+	return &Sim{sys: sys}
+}
+
+// NewTraditionalSim builds a traditional L2 of the given geometry.
+func NewTraditionalSim(sizeBytes, ways int) (*Sim, error) {
+	cfg := cache.Config{Name: "trad", SizeBytes: sizeBytes, Ways: ways}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, _ := hierarchy.Baseline("trad", sizeBytes, ways)
+	return &Sim{sys: sys}, nil
+}
+
+// NewDistillSim builds a distill-cache hierarchy.
+func NewDistillSim(cfg DistillConfig) *Sim {
+	sys, dc := hierarchy.Distill(cfg)
+	return &Sim{sys: sys, distill: dc}
+}
+
+// NewCompressedSim builds the CMPR comparator (compressed traditional
+// cache) using the named benchmark's value model.
+func NewCompressedSim(benchmark string) (*Sim, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	sys, _ := hierarchy.Compressed(icompress.DefaultCMPRConfig(), prof.Values())
+	return &Sim{sys: sys}, nil
+}
+
+// NewFACSim builds a distill cache with footprint-aware compression
+// (Section 8.2) using the named benchmark's value model.
+func NewFACSim(cfg DistillConfig, benchmark string) (*Sim, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	sys, dc := hierarchy.FAC(cfg, prof.Values())
+	return &Sim{sys: sys, distill: dc}, nil
+}
+
+// NewSFPSim builds the spatial-footprint-predictor comparator.
+func NewSFPSim(predictorEntries int) (*Sim, error) {
+	cfg := sfp.DefaultConfig()
+	if predictorEntries > 0 {
+		cfg.PredictorEntries = predictorEntries
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, _ := hierarchy.SFP(cfg)
+	return &Sim{sys: sys}, nil
+}
+
+// RunWorkload drives n accesses of the named synthetic benchmark
+// through the hierarchy and summarizes the outcome. It can be called
+// repeatedly (the stream continues where the previous call stopped only
+// if the same Stream is reused; each call here starts a fresh stream,
+// which is the common single-shot use).
+func (s *Sim) RunWorkload(benchmark string, n int) (Result, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunStream(benchmark, prof.Stream(), n), nil
+}
+
+// RunStream drives up to n accesses from an arbitrary trace stream.
+func (s *Sim) RunStream(label string, st trace.Stream, n int) Result {
+	s.sys.Run(st, n)
+	r := Result{
+		Benchmark:    label,
+		Accesses:     s.sys.DemandAccesses,
+		Instructions: s.sys.Instructions,
+		L2Accesses:   s.sys.L2.Accesses(),
+		L2Misses:     s.sys.L2.Misses(),
+		MPKI:         stats.MPKI(s.sys.L2.Misses(), s.sys.Instructions),
+	}
+	if s.distill != nil {
+		ds := s.distill.Stats()
+		r.LOCHits, r.WOCHits = ds.LOCHits, ds.WOCHits
+		r.HoleMisses, r.LineMisses = ds.HoleMisses, ds.LineMisses
+	}
+	return r
+}
+
+// DistillStats exposes the distill cache's detailed statistics (nil for
+// non-distill sims).
+func (s *Sim) DistillStats() *distill.Stats {
+	if s.distill == nil {
+		return nil
+	}
+	return s.distill.Stats()
+}
+
+// System exposes the underlying hierarchy for advanced use (custom
+// streams, window measurements).
+func (s *Sim) System() *hierarchy.System { return s.sys }
+
+// IPCResult reports an execution-driven timing run (Section 7.4).
+type IPCResult struct {
+	Benchmark string
+	IPC       float64
+	Cycles    float64
+	MPKI      float64
+}
+
+// MeasureIPC runs the named benchmark through both the baseline and the
+// distill-cache machines using the paper's timing parameters and
+// returns (baseline, distill) results.
+func MeasureIPC(benchmark string, accesses int) (IPCResult, IPCResult, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return IPCResult{}, IPCResult{}, err
+	}
+	sysB, _ := hierarchy.Baseline("baseline", 1<<20, 8)
+	rB := cpu.New(cpu.DefaultConfig()).Run(sysB, prof, prof.Stream(), accesses)
+
+	sysD, _ := hierarchy.Distill(distill.DefaultConfig())
+	rD := cpu.New(cpu.DistillConfig()).Run(sysD, prof, prof.Stream(), accesses)
+
+	mk := func(r cpu.Result, sys *hierarchy.System) IPCResult {
+		return IPCResult{
+			Benchmark: benchmark,
+			IPC:       r.IPC(),
+			Cycles:    r.Cycles,
+			MPKI:      stats.MPKI(sys.L2.Misses(), r.Instructions),
+		}
+	}
+	return mk(rB, sysB), mk(rD, sysD), nil
+}
+
+// ExperimentIDs lists the paper-experiment identifiers understood by
+// RunExperiment (fig1..fig13, table1..table6, overheads).
+func ExperimentIDs() []string { return exp.IDs() }
+
+// ExperimentOptions re-exports the experiment harness options.
+type ExperimentOptions = exp.Options
+
+// DefaultExperimentOptions returns sensible interactive defaults.
+func DefaultExperimentOptions() ExperimentOptions { return exp.DefaultOptions() }
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns the rendered tables.
+func RunExperiment(id string, o ExperimentOptions) ([]*stats.Table, error) {
+	return exp.Run(id, o)
+}

@@ -1,0 +1,56 @@
+package ldis
+
+import (
+	"testing"
+
+	"ldis/internal/workload"
+)
+
+// TestMatrixAllBenchmarksAllOrganizations is the breadth smoke test:
+// every registered benchmark runs on every cache organization without
+// panicking, with sane accounting (hits+misses == L2 accesses, MPKI
+// finite) and, for distill caches, intact structural invariants.
+func TestMatrixAllBenchmarksAllOrganizations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full matrix")
+	}
+	const n = 25_000
+	builders := map[string]func(benchmark string) (*Sim, error){
+		"baseline": func(string) (*Sim, error) { return NewBaselineSim(), nil },
+		"distill":  func(string) (*Sim, error) { return NewDistillSim(DefaultDistillConfig()), nil },
+		"cmpr":     NewCompressedSim,
+		"fac": func(b string) (*Sim, error) {
+			return NewFACSim(DefaultDistillConfig(), b)
+		},
+		"sfp": func(string) (*Sim, error) { return NewSFPSim(0) },
+	}
+	for _, bench := range workload.Names() {
+		for kind, build := range builders {
+			sim, err := build(bench)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, kind, err)
+			}
+			res, err := sim.RunWorkload(bench, n)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, kind, err)
+			}
+			if res.Accesses != n {
+				t.Errorf("%s/%s: ran %d accesses", bench, kind, res.Accesses)
+			}
+			if res.Instructions == 0 {
+				t.Errorf("%s/%s: no instructions retired", bench, kind)
+			}
+			if res.MPKI < 0 || res.MPKI > 1000 {
+				t.Errorf("%s/%s: implausible MPKI %v", bench, kind, res.MPKI)
+			}
+			if res.L2Misses > res.L2Accesses {
+				t.Errorf("%s/%s: misses %d exceed accesses %d", bench, kind, res.L2Misses, res.L2Accesses)
+			}
+			if ds := sim.DistillStats(); ds != nil {
+				if ds.Hits()+ds.Misses() != ds.Accesses {
+					t.Errorf("%s/%s: distill accounting broken: %+v", bench, kind, ds)
+				}
+			}
+		}
+	}
+}
