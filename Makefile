@@ -1,0 +1,49 @@
+# ldis — build, verification, and benchmark targets.
+#
+# `make check` is the tier-1 gate: build, vet, tests.
+# `make race` runs the test suite under the race detector (the
+# experiment engine fans (benchmark × configuration) cells out across
+# worker goroutines, so the suite doubles as a scheduler race test).
+# `make bench-smoke` regenerates BENCH_throughput.json with a short run.
+
+GO ?= go
+
+.PHONY: all build vet test check race bench bench-smoke profile clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (per-figure, hot-path, and scheduler fan-out).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short throughput run: regenerates the committed BENCH_throughput.json.
+# Sized to finish in well under a minute on one core.
+bench-smoke:
+	$(GO) run ./cmd/ldisexp -accesses 200000 -throughput BENCH_throughput.json \
+		fig6 fig7 fig8 table5 > /dev/null
+	@tail -n +2 BENCH_throughput.json | head -n 12
+
+# CPU + heap profiles of the headline experiment, written to ./profiles.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/ldisexp -accesses 400000 \
+		-cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof \
+		fig6 > /dev/null
+	@echo "inspect with: go tool pprof profiles/cpu.prof"
+
+clean:
+	rm -rf profiles

@@ -6,6 +6,7 @@
 package ldis
 
 import (
+	"fmt"
 	"testing"
 
 	"ldis/internal/cache"
@@ -209,6 +210,27 @@ func BenchmarkTable6WordsVsSize(b *testing.B) {
 	}
 	b.ReportMetric(grow, "art-words-growth-0.75-to-2MB")
 	reportAccesses(b, o.Accesses*5)
+}
+
+// BenchmarkSchedulerFanOut measures the (benchmark × configuration)
+// grid scheduler at several worker counts. Fig6 on three benchmarks
+// exposes 12 independent simulation cells; on a multicore box the
+// accesses/s metric should scale with workers until cells run out.
+func BenchmarkSchedulerFanOut(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			o := benchOpts("ammp", "twolf", "swim")
+			o.Parallel = workers
+			exp.ResetSimAccesses()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Fig6(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(exp.SimAccesses())/b.Elapsed().Seconds(), "accesses/s")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -7,16 +7,38 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ldis/internal/exp"
 	"ldis/internal/stats"
 )
+
+// throughputEntry is one experiment's line in BENCH_throughput.json.
+type throughputEntry struct {
+	ID             string  `json:"id"`
+	SimAccesses    uint64  `json:"sim_accesses"`
+	Seconds        float64 `json:"seconds"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+}
+
+// throughputReport is the -throughput output: simulated accesses per
+// wall-clock second per experiment, plus the scheduler configuration.
+type throughputReport struct {
+	Generated  string            `json:"generated"`
+	GoMaxProcs int               `json:"go_max_procs"`
+	Workers    int               `json:"workers"`
+	Accesses   int               `json:"accesses"`
+	Total      throughputEntry   `json:"total"`
+	Results    []throughputEntry `json:"results"`
+}
 
 func main() {
 	accesses := flag.Int("accesses", 1_000_000, "accesses per benchmark per configuration")
@@ -25,8 +47,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	markdown := flag.Bool("markdown", false, "emit tables as markdown")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
-	parallel := flag.Int("parallel", 0, "benchmark worker goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for (benchmark × configuration) cells (0 = GOMAXPROCS)")
 	outDir := flag.String("out", "", "also write each experiment's tables to <dir>/<id>.txt (or .md/.csv per format flag)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	throughput := flag.String("throughput", "", "measure simulated accesses/sec per experiment and write a JSON report to this file (e.g. BENCH_throughput.json)")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +85,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ldisexp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			}
+		}()
+	}
+	report := throughputReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    o.Parallel,
+		Accesses:   o.Accesses,
+	}
+	if report.Workers == 0 {
+		report.Workers = report.GoMaxProcs
+	}
 	render := func(t *stats.Table) string {
 		switch {
 		case *csv:
@@ -77,12 +137,14 @@ func main() {
 		ext = ".md"
 	}
 	for _, id := range ids {
+		exp.ResetSimAccesses()
 		start := time.Now()
 		tables, err := exp.Run(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ldisexp: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		var out strings.Builder
 		for _, t := range tables {
 			out.WriteString(render(t))
@@ -96,6 +158,31 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *throughput != "" {
+			e := throughputEntry{ID: id, SimAccesses: exp.SimAccesses(), Seconds: elapsed.Seconds()}
+			if e.Seconds > 0 {
+				e.AccessesPerSec = float64(e.SimAccesses) / e.Seconds
+			}
+			report.Results = append(report.Results, e)
+			report.Total.SimAccesses += e.SimAccesses
+			report.Total.Seconds += e.Seconds
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if *throughput != "" {
+		report.Total.ID = "total"
+		if report.Total.Seconds > 0 {
+			report.Total.AccessesPerSec = float64(report.Total.SimAccesses) / report.Total.Seconds
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*throughput, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("throughput report: %s (%.0f accesses/s overall)\n", *throughput, report.Total.AccessesPerSec)
 	}
 }

@@ -1,0 +1,40 @@
+package cache
+
+import (
+	"testing"
+
+	"ldis/internal/mem"
+)
+
+// The simulation hot path — Access hits, and the miss+Install refill
+// cycle — must not allocate: the experiment engine drives hundreds of
+// millions of accesses per run, and per-access garbage dominated the
+// profile before histograms were made eager and the set geometry was
+// precomputed.
+
+func TestAccessHitPathZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8})
+	line := mem.LineAddr(5)
+	c.Install(line, 0, false)
+	if n := testing.AllocsPerRun(1000, func() {
+		if !c.Access(line, 1, true) {
+			t.Fatal("expected hit")
+		}
+	}); n != 0 {
+		t.Errorf("Access hit path allocates %.1f/op", n)
+	}
+}
+
+func TestMissInstallPathZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8})
+	i := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		l := mem.LineAddr(i*64 + 3) // march through tags of one set
+		i++
+		if !c.Access(l, 0, false) {
+			c.Install(l, 0, false)
+		}
+	}); n != 0 {
+		t.Errorf("miss+install path allocates %.1f/op", n)
+	}
+}

@@ -83,6 +83,12 @@ type Cache struct {
 	cfg  Config
 	sets [][]Line // sets[i] ordered MRU-first
 	st   Stats
+
+	// Set-indexing geometry, precomputed at construction so the access
+	// path does not rederive it (Config.Sets divides; LineAddr.Tag
+	// shift-loops) on every access.
+	setMask  uint64
+	tagShift uint
 }
 
 // New builds a cache; it panics on an invalid config (configs are
@@ -91,24 +97,32 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]Line, cfg.Sets())
+	numSets := cfg.Sets()
+	sets := make([][]Line, numSets)
 	for i := range sets {
 		sets[i] = make([]Line, cfg.Ways)
 	}
-	return &Cache{cfg: cfg, sets: sets}
+	c := &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1)}
+	for n := numSets; n > 1; n >>= 1 {
+		c.tagShift++
+	}
+	// Histograms are allocated eagerly so Access/Install never test for
+	// them on the hot path.
+	c.st.WordsUsedAtEvict = stats.NewHistogram(cfg.Name+" words used", mem.WordsPerLine+1)
+	c.st.FPChangePos = stats.NewHistogram(cfg.Name+" fp-change pos", cfg.Ways)
+	return c
 }
+
+// setIndexOf and tagOf are the precomputed equivalents of
+// mem.LineAddr.SetIndex/Tag for this cache's geometry.
+func (c *Cache) setIndexOf(line mem.LineAddr) int { return int(uint64(line) & c.setMask) }
+func (c *Cache) tagOf(line mem.LineAddr) uint64   { return uint64(line) >> c.tagShift }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a pointer to the live statistics.
-func (c *Cache) Stats() *Stats {
-	if c.st.WordsUsedAtEvict == nil {
-		c.st.WordsUsedAtEvict = stats.NewHistogram(c.cfg.Name+" words used", mem.WordsPerLine+1)
-		c.st.FPChangePos = stats.NewHistogram(c.cfg.Name+" fp-change pos", c.cfg.Ways)
-	}
-	return &c.st
-}
+func (c *Cache) Stats() *Stats { return &c.st }
 
 // Victim describes a line evicted by an install.
 type Victim struct {
@@ -120,8 +134,8 @@ type Victim struct {
 // Lookup reports whether the line is present without touching LRU state
 // or stats (used by auxiliary structures and tests).
 func (c *Cache) Lookup(line mem.LineAddr) bool {
-	set := c.sets[line.SetIndex(c.cfg.Sets())]
-	tag := line.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(line)]
+	tag := c.tagOf(line)
 	for i := range set {
 		if set[i].Valid && set[i].Tag == tag {
 			return true
@@ -136,11 +150,10 @@ func (c *Cache) Lookup(line mem.LineAddr) bool {
 // with Install, mirroring how the simulated hierarchy overlaps fills
 // with memory latency.
 func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
-	st := c.Stats()
+	st := &c.st
 	st.Accesses++
-	si := line.SetIndex(c.cfg.Sets())
-	set := c.sets[si]
-	tag := line.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(line)]
+	tag := c.tagOf(line)
 	for pos := range set {
 		if !set[pos].Valid || set[pos].Tag != tag {
 			continue
@@ -175,15 +188,15 @@ func (c *Cache) promote(set []Line, pos int, l Line) {
 // returns the victim, if any. Installing a line that is already present
 // is a programming error and panics.
 func (c *Cache) Install(line mem.LineAddr, word int, write bool) (Victim, bool) {
-	si := line.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(line)
 	set := c.sets[si]
-	tag := line.Tag(c.cfg.Sets())
+	tag := c.tagOf(line)
 	for pos := range set {
 		if set[pos].Valid && set[pos].Tag == tag {
 			panic(fmt.Sprintf("cache %q: installing already-present %v", c.cfg.Name, line))
 		}
 	}
-	st := c.Stats()
+	st := &c.st
 	victimPos := len(set) - 1
 	var victim Victim
 	had := false
@@ -213,11 +226,7 @@ func (c *Cache) Install(line mem.LineAddr, word int, write bool) (Victim, bool) 
 
 // lineFromTag reconstructs a line address from a tag and set index.
 func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
-	shift := 0
-	for n := c.cfg.Sets(); n > 1; n >>= 1 {
-		shift++
-	}
-	return mem.LineAddr(tag<<shift | uint64(setIdx))
+	return mem.LineAddr(tag<<c.tagShift | uint64(setIdx))
 }
 
 // MergeFootprint ORs fp into the line's footprint if present (the LOC
@@ -226,8 +235,8 @@ func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
 // information). Position tracking: if new bits appear, the line's
 // current recency position competes for MaxFPPos.
 func (c *Cache) MergeFootprint(line mem.LineAddr, fp mem.Footprint) {
-	set := c.sets[line.SetIndex(c.cfg.Sets())]
-	tag := line.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(line)]
+	tag := c.tagOf(line)
 	for pos := range set {
 		if set[pos].Valid && set[pos].Tag == tag {
 			if merged := set[pos].Footprint.Or(fp); merged != set[pos].Footprint {
@@ -244,8 +253,8 @@ func (c *Cache) MergeFootprint(line mem.LineAddr, fp mem.Footprint) {
 // SetDirty marks the line dirty if present (used when a dirty L1D line
 // is written back into a clean L2 copy).
 func (c *Cache) SetDirty(line mem.LineAddr) {
-	set := c.sets[line.SetIndex(c.cfg.Sets())]
-	tag := line.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(line)]
+	tag := c.tagOf(line)
 	for pos := range set {
 		if set[pos].Valid && set[pos].Tag == tag {
 			set[pos].Dirty = true
@@ -271,8 +280,8 @@ func (c *Cache) VisitLines(fn func(line mem.LineAddr, fp mem.Footprint)) {
 // or -1 if absent; exposed for tests and the distill cache's auxiliary
 // structures.
 func (c *Cache) RecencyPosition(line mem.LineAddr) int {
-	set := c.sets[line.SetIndex(c.cfg.Sets())]
-	tag := line.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(line)]
+	tag := c.tagOf(line)
 	for pos := range set {
 		if set[pos].Valid && set[pos].Tag == tag {
 			return pos

@@ -1,0 +1,35 @@
+package distill
+
+import (
+	"testing"
+
+	"ldis/internal/mem"
+)
+
+// TestAccessPathZeroAllocs pins the distill cache's steady-state access
+// path — LOC/WOC lookups, LOC installs, distillation into the WOC, WOC
+// evictions — at zero allocations per access. Before the wordstore's
+// two-pass candidate selection and reusable eviction buffer, every
+// distillation allocated candidate and eviction slices, dominating the
+// simulator's profile.
+func TestAccessPathZeroAllocs(t *testing.T) {
+	const sets, ways = 64, 8
+	c := New(Config{
+		Name: "d", SizeBytes: sets * ways * mem.LineSize, Ways: ways,
+		WOCWays: 2, Seed: 1, MedianThreshold: true,
+	})
+	// Warm up so the WOC churns (installs displace resident lines).
+	rng := uint64(12345)
+	next := func() mem.LineAddr {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return mem.LineAddr(rng % (sets * 40))
+	}
+	for i := 0; i < 50_000; i++ {
+		c.Access(next(), int(rng%8), rng%4 == 0)
+	}
+	if n := testing.AllocsPerRun(5000, func() {
+		c.Access(next(), int(rng%8), rng%4 == 0)
+	}); n != 0 {
+		t.Errorf("distill access path allocates %.1f/op", n)
+	}
+}

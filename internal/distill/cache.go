@@ -111,6 +111,11 @@ type Cache struct {
 	st   Stats
 	rng  uint64
 	tick uint64
+
+	// Set-indexing geometry, precomputed at construction so the access
+	// path does not rederive it per access.
+	setMask  uint64
+	tagShift uint
 }
 
 // New builds a distill cache; panics on invalid config.
@@ -119,6 +124,10 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	c := &Cache{cfg: cfg, rng: cfg.Seed | 1}
+	c.setMask = uint64(cfg.Sets() - 1)
+	for n := cfg.Sets(); n > 1; n >>= 1 {
+		c.tagShift++
+	}
 	c.sets = make([]set, cfg.Sets())
 	for i := range c.sets {
 		c.sets[i] = set{
@@ -185,9 +194,14 @@ func (c *Cache) AccessInstruction(la mem.LineAddr, word int, write bool) AccessR
 	return c.access(la, word, write, true)
 }
 
+// setIndexOf and tagOf are the precomputed equivalents of
+// mem.LineAddr.SetIndex/Tag for this cache's geometry.
+func (c *Cache) setIndexOf(la mem.LineAddr) int { return int(uint64(la) & c.setMask) }
+func (c *Cache) tagOf(la mem.LineAddr) uint64   { return uint64(la) >> c.tagShift }
+
 func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResult {
 	c.st.Accesses++
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	s := &c.sets[si]
 	leader := false
 	if c.smp != nil {
@@ -200,7 +214,7 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 			}
 		}
 	}
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 
 	// LOC lookup.
 	for pos := range s.loc {
@@ -243,7 +257,7 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 			if leader {
 				c.smp.RecordPolicyMiss(si)
 			}
-			c.installLOC(s, la, word, write, instr, removed.Dirty)
+			c.installLOC(s, si, tag, word, write, instr, removed.Dirty)
 			return AccessResult{Outcome: HoleMiss, ValidBits: mem.FullFootprint}
 		}
 	}
@@ -253,31 +267,27 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 	if leader {
 		c.smp.RecordPolicyMiss(si)
 	}
-	c.installLOC(s, la, word, write, instr, 0)
+	c.installLOC(s, si, tag, word, write, instr, 0)
 	return AccessResult{Outcome: LineMiss, ValidBits: mem.FullFootprint}
 }
 
 // lineFromTag reconstructs a line address from a tag and set index.
 func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
-	shift := 0
-	for n := c.cfg.Sets(); n > 1; n >>= 1 {
-		shift++
-	}
-	return mem.LineAddr(tag<<shift | uint64(setIdx))
+	return mem.LineAddr(tag<<c.tagShift | uint64(setIdx))
 }
 
 // installLOC fills the line as MRU in the LOC, distilling the LRU
 // victim if the set is full. mergedDirty carries dirty words recovered
 // from a hole-missed WOC copy.
-func (c *Cache) installLOC(s *set, la mem.LineAddr, word int, write, instr bool, mergedDirty mem.Footprint) {
+func (c *Cache) installLOC(s *set, si int, tag uint64, word int, write, instr bool, mergedDirty mem.Footprint) {
 	victimPos := len(s.loc) - 1
 	if v := s.loc[victimPos]; v.valid {
-		c.evictLOC(s, la.SetIndex(c.cfg.Sets()), v)
+		c.evictLOC(s, si, v)
 	}
 	e := locEntry{
 		valid: true,
 		instr: instr,
-		tag:   la.Tag(c.cfg.Sets()),
+		tag:   tag,
 		fp:    mem.FootprintOfWord(word).Or(mergedDirty),
 		dirty: mergedDirty,
 	}
@@ -430,9 +440,9 @@ func (c *Cache) admit(used int) bool {
 // line goes to memory.
 func (c *Cache) WritebackFromL1(la mem.LineAddr, footprint, dirty mem.Footprint) {
 	footprint = footprint.Or(dirty) // written words are used words
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	s := &c.sets[si]
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	for pos := range s.loc {
 		if s.loc[pos].valid && s.loc[pos].tag == tag {
 			e := &s.loc[pos]
@@ -467,9 +477,9 @@ func (c *Cache) WritebackFromL1(la mem.LineAddr, footprint, dirty mem.Footprint)
 // Present reports where the line currently resides ("loc", "woc", or
 // ""); exposed for tests.
 func (c *Cache) Present(la mem.LineAddr) string {
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	s := &c.sets[si]
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	for pos := range s.loc {
 		if s.loc[pos].valid && s.loc[pos].tag == tag {
 			return "loc"
@@ -484,12 +494,12 @@ func (c *Cache) Present(la mem.LineAddr) string {
 // WOCValidBits returns the stored-word mask of a WOC-resident line
 // (zero if not in the WOC).
 func (c *Cache) WOCValidBits(la mem.LineAddr) mem.Footprint {
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	s := &c.sets[si]
 	if s.trad {
 		return 0
 	}
-	if idx := s.woc.Find(la.Tag(c.cfg.Sets())); idx >= 0 {
+	if idx := s.woc.Find(c.tagOf(la)); idx >= 0 {
 		return s.woc.Lines[idx].Words
 	}
 	return 0
@@ -498,6 +508,18 @@ func (c *Cache) WOCValidBits(la mem.LineAddr) mem.Footprint {
 // CheckInvariants validates internal consistency of every set; tests
 // call it after stress runs.
 func (c *Cache) CheckInvariants() error {
+	// One reusable tag list instead of a map per set: a set holds at most
+	// Ways LOC tags plus WOCWays*WordsPerLine WOC tags, so a linear dup
+	// scan is both cheaper and allocation-free across the loop.
+	seen := make([]uint64, 0, c.cfg.Ways+c.cfg.WOCWays*mem.WordsPerLine)
+	contains := func(tag uint64) bool {
+		for _, t := range seen {
+			if t == tag {
+				return true
+			}
+		}
+		return false
+	}
 	for i := range c.sets {
 		s := &c.sets[i]
 		if err := s.woc.CheckInvariants(); err != nil {
@@ -513,24 +535,24 @@ func (c *Cache) CheckInvariants() error {
 		if s.trad && len(s.woc.Lines) != 0 {
 			return fmt.Errorf("set %d: traditional mode with %d WOC lines", i, len(s.woc.Lines))
 		}
-		seen := map[uint64]bool{}
+		seen = seen[:0]
 		for _, e := range s.loc {
 			if !e.valid {
 				continue
 			}
-			if seen[e.tag] {
+			if contains(e.tag) {
 				return fmt.Errorf("set %d: duplicate LOC tag %x", i, e.tag)
 			}
-			seen[e.tag] = true
+			seen = append(seen, e.tag)
 			if e.dirty&^e.fp != 0 {
 				return fmt.Errorf("set %d: LOC dirty outside footprint", i)
 			}
 		}
 		for _, wl := range s.woc.Lines {
-			if seen[wl.Tag] {
+			if contains(wl.Tag) {
 				return fmt.Errorf("set %d: tag %x in both LOC and WOC", i, wl.Tag)
 			}
-			seen[wl.Tag] = true
+			seen = append(seen, wl.Tag)
 		}
 	}
 	return nil

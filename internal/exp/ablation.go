@@ -16,22 +16,21 @@ import (
 // like any paper figure. The corresponding Benchmark* functions in
 // bench_test.go run reduced versions of the same sweeps.
 
-// AblationWOCWays sweeps the LOC/WOC way split.
+// AblationWOCWays sweeps the LOC/WOC way split: five scheduler cells
+// per benchmark (baseline plus four splits).
 func AblationWOCWays(o Options) ([]*stats.Table, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: WOC way count (MPKI, 1MB 8-way total)",
 		"benchmark", "baseline", "1 WOC way", "2 WOC ways", "3 WOC ways", "4 WOC ways")
-	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
-		vals := []float64{}
-		base, _ := baselineMPKI(prof, o)
-		vals = append(vals, base.MPKI())
-		for woc := 1; woc <= 4; woc++ {
-			sys, _ := hierarchy.Distill(ldisMTRC(woc, prof.Seed))
-			vals = append(vals, runWindowed(sys, prof, o).MPKI())
+	rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+		if col == 0 {
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
 		}
-		return vals, nil
+		sys, _ := hierarchy.Distill(ldisMTRC(col, prof.Seed))
+		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -50,17 +49,16 @@ func AblationThreshold(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: distillation threshold K (MPKI, no reverter)",
 		"benchmark", "K=1", "K=2", "K=4", "K=8", "median")
-	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
-		var vals []float64
-		for _, k := range []int{1, 2, 4, 8} {
-			cfg := ldisBase(2, prof.Seed)
-			cfg.StaticThreshold = k
-			sys, _ := hierarchy.Distill(cfg)
-			vals = append(vals, runWindowed(sys, prof, o).MPKI())
+	rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+		var cfg distill.Config
+		if col < 4 {
+			cfg = ldisBase(2, prof.Seed)
+			cfg.StaticThreshold = []int{1, 2, 4, 8}[col]
+		} else {
+			cfg = ldisMT(2, prof.Seed)
 		}
-		sys, _ := hierarchy.Distill(ldisMT(2, prof.Seed))
-		vals = append(vals, runWindowed(sys, prof, o).MPKI())
-		return vals, nil
+		sys, _ := hierarchy.Distill(cfg)
+		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -79,15 +77,20 @@ func AblationVictim(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: distillation vs full-line victim buffer (MPKI)",
 		"benchmark", "baseline", "distill (LDIS-MT-RC)", "victim buffer")
-	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
-		base, _ := baselineMPKI(prof, o)
-		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
-		d := runWindowed(sysD, prof, o).MPKI()
-		vcfg := ldisBase(2, prof.Seed)
-		vcfg.Slots = func(mem.LineAddr, mem.Footprint) int { return mem.WordsPerLine }
-		sysV, _ := hierarchy.Distill(vcfg)
-		v := runWindowed(sysV, prof, o).MPKI()
-		return []float64{base.MPKI(), d, v}, nil
+	rows, err := runGrid(o, 3, func(prof *workload.Profile, col int) (float64, error) {
+		switch col {
+		case 0:
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
+		case 1:
+			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			return runWindowed(sysD, prof, o).MPKI(), nil
+		default:
+			vcfg := ldisBase(2, prof.Seed)
+			vcfg.Slots = func(mem.LineAddr, mem.Footprint) int { return mem.WordsPerLine }
+			sysV, _ := hierarchy.Distill(vcfg)
+			return runWindowed(sysV, prof, o).MPKI(), nil
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -106,26 +109,22 @@ func AblationPrefetch(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: next-line prefetching composed with LDIS (MPKI)",
 		"benchmark", "baseline", "baseline+pf2", "distill", "distill+pf2")
-	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
-		run := func(mk func() hierarchy.L2) float64 {
-			sys := hierarchy.NewSystem(mk())
-			return runWindowed(sys, prof, o).MPKI()
-		}
-		base := run(func() hierarchy.L2 {
-			return hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
-		})
-		basePF := run(func() hierarchy.L2 {
+	rows, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+		var l2 hierarchy.L2
+		switch col {
+		case 0:
+			l2 = hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
+		case 1:
 			inner := hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
-			return prefetch.Wrap(inner, prefetch.Config{Degree: 2})
-		})
-		dist := run(func() hierarchy.L2 {
-			return hierarchy.NewDistillL2(distill.New(ldisMTRC(2, prof.Seed)))
-		})
-		distPF := run(func() hierarchy.L2 {
+			l2 = prefetch.Wrap(inner, prefetch.Config{Degree: 2})
+		case 2:
+			l2 = hierarchy.NewDistillL2(distill.New(ldisMTRC(2, prof.Seed)))
+		default:
 			inner := hierarchy.NewDistillL2(distill.New(ldisMTRC(2, prof.Seed)))
-			return prefetch.Wrap(inner, prefetch.Config{Degree: 2})
-		})
-		return []float64{base, basePF, dist, distPF}, nil
+			l2 = prefetch.Wrap(inner, prefetch.Config{Degree: 2})
+		}
+		sys := hierarchy.NewSystem(l2)
+		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -148,20 +147,19 @@ func AblationLeaderSets(o Options) ([]*stats.Table, error) {
 	leaderCounts := []int{8, 32, 128}
 	t := stats.NewTable("Ablation: reverter leader-set count (MPKI)",
 		"benchmark", "baseline", "8 leaders", "32 leaders", "128 leaders")
-	rows, err := mapBenchmarks(o, func(prof *workload.Profile) ([]float64, error) {
-		base, _ := baselineMPKI(prof, o)
-		vals := []float64{base.MPKI()}
-		for _, n := range leaderCounts {
-			cfg := ldisMTRC(2, prof.Seed)
-			sc := sampler.DefaultConfig(cfg.Sets())
-			sc.LeaderSets = n
-			sc.LowWatermark = 112
-			sc.HighWatermark = 144
-			cfg.SamplerConfig = &sc
-			sys, _ := hierarchy.Distill(cfg)
-			vals = append(vals, runWindowed(sys, prof, o).MPKI())
+	rows, err := runGrid(o, 1+len(leaderCounts), func(prof *workload.Profile, col int) (float64, error) {
+		if col == 0 {
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
 		}
-		return vals, nil
+		cfg := ldisMTRC(2, prof.Seed)
+		sc := sampler.DefaultConfig(cfg.Sets())
+		sc.LeaderSets = leaderCounts[col-1]
+		sc.LowWatermark = 112
+		sc.HighWatermark = 144
+		cfg.SamplerConfig = &sc
+		sys, _ := hierarchy.Distill(cfg)
+		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -207,32 +205,37 @@ func AblationTraffic(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: off-chip traffic in 64B transfers per kilo-instruction",
 		"benchmark", "base fills", "base wbs", "distill fills", "distill wbs", "traffic delta %")
-	type row struct{ bf, bw, df, dw, delta float64 }
-	rows, err := mapBenchmarks(o, func(prof *workload.Profile) (row, error) {
-		sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
-		sysB.Run(prof.Stream(), o.Accesses)
-		kinst := float64(sysB.Instructions) / 1000
-		bf := float64(cb.Stats().Misses) / kinst
-		bw := float64(cb.Stats().Writebacks) / kinst
-
-		sysD, cd := hierarchy.Distill(ldisMTRC(2, prof.Seed))
-		sysD.Run(prof.Stream(), o.Accesses)
-		kinstD := float64(sysD.Instructions) / 1000
-		df := float64(cd.Stats().Misses()) / kinstD
-		dw := float64(cd.Stats().Writebacks) / kinstD
-
-		delta := 0.0
-		if bf+bw > 0 {
-			delta = 100 * ((df + dw) - (bf + bw)) / (bf + bw)
+	// A cell returns {fills, writebacks} per kilo-instruction for its
+	// configuration; the delta is assembled afterwards.
+	rows, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([2]float64, error) {
+		if col == 0 {
+			sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
+			countSimAccesses(sysB.Run(prof.Stream(), o.Accesses))
+			kinst := float64(sysB.Instructions) / 1000
+			return [2]float64{
+				float64(cb.Stats().Misses) / kinst,
+				float64(cb.Stats().Writebacks) / kinst,
+			}, nil
 		}
-		return row{bf, bw, df, dw, delta}, nil
+		sysD, cd := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		countSimAccesses(sysD.Run(prof.Stream(), o.Accesses))
+		kinst := float64(sysD.Instructions) / 1000
+		return [2]float64{
+			float64(cd.Stats().Misses()) / kinst,
+			float64(cd.Stats().Writebacks) / kinst,
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, name := range o.benchmarks() {
-		r := rows[i]
-		t.AddRow(name, r.bf, r.bw, r.df, r.dw, r.delta)
+		bf, bw := rows[i][0][0], rows[i][0][1]
+		df, dw := rows[i][1][0], rows[i][1][1]
+		delta := 0.0
+		if bf+bw > 0 {
+			delta = 100 * ((df + dw) - (bf + bw)) / (bf + bw)
+		}
+		t.AddRow(name, bf, bw, df, dw, delta)
 	}
 	return []*stats.Table{t}, nil
 }

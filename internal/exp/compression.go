@@ -35,7 +35,9 @@ func Fig10(o Options) ([]Fig10Row, error) {
 			chunk = o.Accesses
 		}
 		for s := 0; s < samples; s++ {
-			if sys.Run(st, chunk) == 0 {
+			n := sys.Run(st, chunk)
+			countSimAccesses(n)
+			if n == 0 {
 				break
 			}
 			c.VisitLines(func(la mem.LineAddr, fp mem.Footprint) {
@@ -84,35 +86,50 @@ type Fig11Row struct {
 	LDIS3x, LDIS4x, CMPR4x, FAC4x float64
 }
 
-// Fig11 runs the four configurations of the compression study.
+// Fig11 runs the four configurations of the compression study plus the
+// shared baseline, one scheduler cell each.
 func Fig11(o Options) ([]Fig11Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig11Row, error) {
-		base, _ := baselineMPKI(prof, o)
-		vals := prof.Values()
-		row := Fig11Row{Benchmark: prof.Name}
-
-		// LDIS-3xTags: 2 WOC ways (6+16 = 22 tags/set ~ 3x baseline).
-		sys3, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
-		row.LDIS3x = stats.PctReduction(base.MPKI(), runWindowed(sys3, prof, o).MPKI())
-
-		// LDIS-4xTags: 3 WOC ways (5+24 = 29 tags/set ~ 4x baseline).
-		sys4, _ := hierarchy.Distill(ldisMTRC(3, prof.Seed))
-		row.LDIS4x = stats.PctReduction(base.MPKI(), runWindowed(sys4, prof, o).MPKI())
-
-		// CMPR-4xTags: compressed traditional cache, perfect LRU.
-		cmprCfg := compress.DefaultCMPRConfig()
-		sysC, _ := hierarchy.Compressed(cmprCfg, vals)
-		row.CMPR4x = stats.PctReduction(base.MPKI(), runWindowed(sysC, prof, o).MPKI())
-
-		// FAC-4xTags: distill cache with 3 WOC ways + compression.
-		sysF, _ := hierarchy.FAC(ldisMTRC(3, prof.Seed), vals)
-		row.FAC4x = stats.PctReduction(base.MPKI(), runWindowed(sysF, prof, o).MPKI())
-
-		return row, nil
+	grid, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+		switch col {
+		case 0:
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
+		case 1:
+			// LDIS-3xTags: 2 WOC ways (6+16 = 22 tags/set ~ 3x baseline).
+			sys, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			return runWindowed(sys, prof, o).MPKI(), nil
+		case 2:
+			// LDIS-4xTags: 3 WOC ways (5+24 = 29 tags/set ~ 4x baseline).
+			sys, _ := hierarchy.Distill(ldisMTRC(3, prof.Seed))
+			return runWindowed(sys, prof, o).MPKI(), nil
+		case 3:
+			// CMPR-4xTags: compressed traditional cache, perfect LRU.
+			sys, _ := hierarchy.Compressed(compress.DefaultCMPRConfig(), prof.Values())
+			return runWindowed(sys, prof, o).MPKI(), nil
+		default:
+			// FAC-4xTags: distill cache with 3 WOC ways + compression.
+			sys, _ := hierarchy.FAC(ldisMTRC(3, prof.Seed), prof.Values())
+			return runWindowed(sys, prof, o).MPKI(), nil
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig11Row, len(grid))
+	for i, name := range o.benchmarks() {
+		g := grid[i]
+		rows[i] = Fig11Row{
+			Benchmark: name,
+			LDIS3x:    stats.PctReduction(g[0], g[1]),
+			LDIS4x:    stats.PctReduction(g[0], g[2]),
+			CMPR4x:    stats.PctReduction(g[0], g[3]),
+			FAC4x:     stats.PctReduction(g[0], g[4]),
+		}
+	}
+	return rows, nil
 }
 
 // SummarizeFig11 reduces the rows to the average % reduction of the

@@ -26,9 +26,9 @@ type Options struct {
 	WarmupFrac float64
 	// Benchmarks to run (defaults to the paper's 16).
 	Benchmarks []string
-	// Parallel caps the worker goroutines running benchmarks
-	// concurrently; 0 means GOMAXPROCS. Results are deterministic
-	// regardless of the setting.
+	// Parallel caps the worker goroutines running (benchmark ×
+	// configuration) simulation cells concurrently; 0 means GOMAXPROCS.
+	// Results are deterministic regardless of the setting.
 	Parallel int
 }
 
@@ -54,6 +54,9 @@ func (o *Options) validate() error {
 	}
 	if o.WarmupFrac < 0 || o.WarmupFrac >= 1 {
 		return fmt.Errorf("exp: WarmupFrac %v out of [0,1)", o.WarmupFrac)
+	}
+	if o.Parallel < 0 {
+		return fmt.Errorf("exp: Parallel must be >= 0, got %d", o.Parallel)
 	}
 	for _, b := range o.Benchmarks {
 		if _, err := workload.ByName(b); err != nil {
@@ -108,9 +111,10 @@ func ldisMTRC(wocWays int, seed uint64) distill.Config {
 // the measurement window.
 func runWindowed(sys *hierarchy.System, prof *workload.Profile, o Options) *hierarchy.Window {
 	st := prof.Stream()
-	sys.Run(st, o.warmup())
+	n := sys.Run(st, o.warmup())
 	w := sys.StartWindow()
-	sys.Run(st, o.measure())
+	n += sys.Run(st, o.measure())
+	countSimAccesses(n)
 	return w
 }
 

@@ -18,6 +18,7 @@ func TestOptionsValidate(t *testing.T) {
 		{Accesses: 100, WarmupFrac: 1.0},
 		{Accesses: 100, WarmupFrac: -0.1},
 		{Accesses: 100, Benchmarks: []string{"nope"}},
+		{Accesses: 100, Parallel: -1},
 	}
 	for i, o := range bad {
 		if err := o.validate(); err == nil {

@@ -18,24 +18,37 @@ type Fig9Row struct {
 // Fig9 runs the execution-driven IPC comparison: the baseline machine
 // versus the same machine with a distill cache (which pays one extra
 // tag cycle on every L2 access and two extra cycles on WOC hits).
+// The two machines are independent scheduler cells.
 func Fig9(o Options) ([]Fig9Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig9Row, error) {
-		sysB, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
-		rB := cpu.New(cpu.DefaultConfig()).Run(sysB, prof, prof.Stream(), o.Accesses)
-
+	grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) (float64, error) {
+		if col == 0 {
+			sysB, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
+			r := cpu.New(cpu.DefaultConfig()).Run(sysB, prof, prof.Stream(), o.Accesses)
+			countSimAccesses(o.Accesses)
+			return r.IPC(), nil
+		}
 		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
-		rD := cpu.New(cpu.DistillConfig()).Run(sysD, prof, prof.Stream(), o.Accesses)
-
-		return Fig9Row{
-			Benchmark:          prof.Name,
-			BaseIPC:            rB.IPC(),
-			DistIPC:            rD.IPC(),
-			ImprovementPercent: stats.PctIncrease(rB.IPC(), rD.IPC()),
-		}, nil
+		r := cpu.New(cpu.DistillConfig()).Run(sysD, prof, prof.Stream(), o.Accesses)
+		countSimAccesses(o.Accesses)
+		return r.IPC(), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, len(grid))
+	for i, name := range o.benchmarks() {
+		g := grid[i]
+		rows[i] = Fig9Row{
+			Benchmark:          name,
+			BaseIPC:            g[0],
+			DistIPC:            g[1],
+			ImprovementPercent: stats.PctIncrease(g[0], g[1]),
+		}
+	}
+	return rows, nil
 }
 
 // Fig9GMean returns the geometric mean of the per-benchmark IPC

@@ -19,33 +19,39 @@ type Fig6Row struct {
 }
 
 // Fig6 compares LDIS-Base, LDIS-MT, and LDIS-MT-RC against the 1MB
-// baseline.
+// baseline. Each of the four configurations is its own scheduler cell.
 func Fig6(o Options) ([]Fig6Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig6Row, error) {
-		base, _ := baselineMPKI(prof, o)
-		row := Fig6Row{Benchmark: prof.Name, BaselineMPKI: base.MPKI()}
-		for i, cfg := range []distill.Config{
+	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+		if col == 0 {
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
+		}
+		cfgs := [...]distill.Config{
 			ldisBase(2, prof.Seed),
 			ldisMT(2, prof.Seed),
 			ldisMTRC(2, prof.Seed),
-		} {
-			sys, _ := hierarchy.Distill(cfg)
-			w := runWindowed(sys, prof, o)
-			red := stats.PctReduction(base.MPKI(), w.MPKI())
-			switch i {
-			case 0:
-				row.Base = red
-			case 1:
-				row.MT = red
-			case 2:
-				row.RC = red
-			}
 		}
-		return row, nil
+		sys, _ := hierarchy.Distill(cfgs[col-1])
+		return runWindowed(sys, prof, o).MPKI(), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(grid))
+	for i, name := range o.benchmarks() {
+		g := grid[i]
+		rows[i] = Fig6Row{
+			Benchmark:    name,
+			BaselineMPKI: g[0],
+			Base:         stats.PctReduction(g[0], g[1]),
+			MT:           stats.PctReduction(g[0], g[2]),
+			RC:           stats.PctReduction(g[0], g[3]),
+		}
+	}
+	return rows, nil
 }
 
 // Fig6Summary computes the paper's avg and avgNomcf bars: the reduction
@@ -112,33 +118,50 @@ type Fig7Row struct {
 }
 
 // Fig7 measures the four-outcome breakdown of the default distill
-// cache against the baseline's hit rate.
+// cache against the baseline's hit rate. The baseline and distill runs
+// are independent scheduler cells; a cell returns [baseHit, LOC, WOC,
+// hole, line] with only the slots its configuration produces filled.
 func Fig7(o Options) ([]Fig7Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig7Row, error) {
-		sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
-		runWindowed(sysB, prof, o)
-
-		cfg := ldisMTRC(2, prof.Seed)
-		sysD, cd := hierarchy.Distill(cfg)
+	grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([5]float64, error) {
+		var cell [5]float64
+		if col == 0 {
+			sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
+			runWindowed(sysB, prof, o)
+			cell[0] = cb.Stats().HitRate()
+			return cell, nil
+		}
+		sysD, cd := hierarchy.Distill(ldisMTRC(2, prof.Seed))
 		runWindowed(sysD, prof, o)
-
 		ds := cd.Stats()
 		total := float64(ds.Accesses)
 		if total == 0 {
 			total = 1
 		}
-		return Fig7Row{
-			Benchmark: prof.Name,
-			BaseHit:   cb.Stats().HitRate(),
-			LOCHit:    float64(ds.LOCHits) / total,
-			WOCHit:    float64(ds.WOCHits) / total,
-			HoleMiss:  float64(ds.HoleMisses) / total,
-			LineMiss:  float64(ds.LineMisses) / total,
-		}, nil
+		cell[1] = float64(ds.LOCHits) / total
+		cell[2] = float64(ds.WOCHits) / total
+		cell[3] = float64(ds.HoleMisses) / total
+		cell[4] = float64(ds.LineMisses) / total
+		return cell, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig7Row, len(grid))
+	for i, name := range o.benchmarks() {
+		g := grid[i]
+		rows[i] = Fig7Row{
+			Benchmark: name,
+			BaseHit:   g[0][0],
+			LOCHit:    g[1][1],
+			WOCHit:    g[1][2],
+			HoleMiss:  g[1][3],
+			LineMiss:  g[1][4],
+		}
+	}
+	return rows, nil
 }
 
 func fig7Table(rows []Fig7Row) *stats.Table {
@@ -157,31 +180,41 @@ type Fig8Row struct {
 	Distill, MB15, MB20 float64
 }
 
-// Fig8 runs the capacity analysis.
+// Fig8 runs the capacity analysis: four scheduler cells per benchmark
+// (baseline, distill, and the two bigger traditional caches).
 func Fig8(o Options) ([]Fig8Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig8Row, error) {
-		base, _ := baselineMPKI(prof, o)
-
-		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
-		wd := runWindowed(sysD, prof, o)
-
-		row := Fig8Row{Benchmark: prof.Name, Distill: stats.PctReduction(base.MPKI(), wd.MPKI())}
-		for _, sz := range []float64{1.5, 2.0} {
+	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+		switch col {
+		case 0:
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
+		case 1:
+			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			return runWindowed(sysD, prof, o).MPKI(), nil
+		default:
+			sz := []float64{1.5, 2.0}[col-2]
 			c := cache.New(baselineConfig(fmt.Sprintf("trad-%.1fMB", sz), sz))
 			sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
-			w := runWindowed(sys, prof, o)
-			red := stats.PctReduction(base.MPKI(), w.MPKI())
-			if sz == 1.5 {
-				row.MB15 = red
-			} else {
-				row.MB20 = red
-			}
+			return runWindowed(sys, prof, o).MPKI(), nil
 		}
-		return row, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, len(grid))
+	for i, name := range o.benchmarks() {
+		g := grid[i]
+		rows[i] = Fig8Row{
+			Benchmark: name,
+			Distill:   stats.PctReduction(g[0], g[1]),
+			MB15:      stats.PctReduction(g[0], g[2]),
+			MB20:      stats.PctReduction(g[0], g[3]),
+		}
+	}
+	return rows, nil
 }
 
 func fig8Table(rows []Fig8Row) *stats.Table {
@@ -212,26 +245,30 @@ func Table5(o Options) ([]Table5Row, error) {
 		o.Benchmarks = []string{"equake", "lucas", "mgrid", "applu", "mesa", "crafty", "gap",
 			"gzip", "fma3d", "perlbmk", "eon"}
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Table5Row, error) {
-		row := Table5Row{Benchmark: prof.Name}
-		base, _ := baselineMPKI(prof, o)
-		row.Trad1MB = base.MPKI()
-
-		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
-		row.LDIS1MB = runWindowed(sysD, prof, o).MPKI()
-
-		for _, sz := range []float64{2, 4} {
+	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+		switch col {
+		case 0:
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
+		case 1:
+			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			return runWindowed(sysD, prof, o).MPKI(), nil
+		default:
+			sz := []float64{2, 4}[col-2]
 			c := cache.New(baselineConfig(fmt.Sprintf("trad-%gMB", sz), sz))
 			sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
-			w := runWindowed(sys, prof, o)
-			if sz == 2 {
-				row.Trad2MB = w.MPKI()
-			} else {
-				row.Trad4MB = w.MPKI()
-			}
+			return runWindowed(sys, prof, o).MPKI(), nil
 		}
-		return row, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table5Row, len(grid))
+	for i, name := range o.benchmarks() {
+		g := grid[i]
+		rows[i] = Table5Row{Benchmark: name, Trad1MB: g[0], LDIS1MB: g[1], Trad2MB: g[2], Trad4MB: g[3]}
+	}
+	return rows, nil
 }
 
 func table5Table(rows []Table5Row) *stats.Table {

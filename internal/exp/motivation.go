@@ -120,10 +120,7 @@ func Table2(o Options) ([]Table2Row, error) {
 	}
 	return mapBenchmarks(o, func(prof *workload.Profile) (Table2Row, error) {
 		sys, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
-		st := prof.Stream()
-		sys.Run(st, o.warmup())
-		w := sys.StartWindow()
-		sys.Run(st, o.measure())
+		w := runWindowed(sys, prof, o)
 		comp := 0.0
 		if m := sys.L2.Misses(); m > 0 {
 			// Compulsory fraction over the whole run, as the paper does.
@@ -158,36 +155,46 @@ type Table6Row struct {
 // Table6Sizes are the paper's capacities in MB.
 var Table6Sizes = []float64{0.75, 1.0, 1.25, 1.5, 2.0}
 
-// Table6 measures how word usage changes with cache capacity.
+// Table6 measures how word usage changes with cache capacity: one
+// scheduler cell per (benchmark, cache size).
 func Table6(o Options) ([]Table6Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Table6Row, error) {
-		row := Table6Row{Benchmark: prof.Name, AvgWords: map[string]float64{}}
-		for _, sz := range Table6Sizes {
-			cfg := baselineConfig(fmt.Sprintf("base-%.2fMB", sz), sz)
-			c := cache.New(cfg)
-			sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
-			runWindowed(sys, prof, o)
-			// Prefer eviction-time footprints (the paper's metric); when
-			// the working set fits and evictions are scarce, fall back to
-			// the footprints of resident lines.
-			avg := c.Stats().WordsUsedAtEvict.Mean()
-			if c.Stats().WordsUsedAtEvict.Total() < 1000 {
-				var sum, n float64
-				c.VisitLines(func(_ mem.LineAddr, fp mem.Footprint) {
-					sum += float64(fp.Count())
-					n++
-				})
-				if n > 0 {
-					avg = sum / n
-				}
+	grid, err := runGrid(o, len(Table6Sizes), func(prof *workload.Profile, col int) (float64, error) {
+		sz := Table6Sizes[col]
+		cfg := baselineConfig(fmt.Sprintf("base-%.2fMB", sz), sz)
+		c := cache.New(cfg)
+		sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
+		runWindowed(sys, prof, o)
+		// Prefer eviction-time footprints (the paper's metric); when
+		// the working set fits and evictions are scarce, fall back to
+		// the footprints of resident lines.
+		avg := c.Stats().WordsUsedAtEvict.Mean()
+		if c.Stats().WordsUsedAtEvict.Total() < 1000 {
+			var sum, n float64
+			c.VisitLines(func(_ mem.LineAddr, fp mem.Footprint) {
+				sum += float64(fp.Count())
+				n++
+			})
+			if n > 0 {
+				avg = sum / n
 			}
-			row.AvgWords[sizeLabel(sz)] = avg
 		}
-		return row, nil
+		return avg, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table6Row, len(grid))
+	for i, name := range o.benchmarks() {
+		row := Table6Row{Benchmark: name, AvgWords: map[string]float64{}}
+		for col, sz := range Table6Sizes {
+			row.AvgWords[sizeLabel(sz)] = grid[i][col]
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 func sizeLabel(sz float64) string { return fmt.Sprintf("%.2fMB", sz) }

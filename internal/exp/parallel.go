@@ -1,57 +1,61 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
+	"sync/atomic"
 
+	"ldis/internal/par"
 	"ldis/internal/workload"
 )
 
-// mapBenchmarks runs fn once per benchmark in o, in parallel up to
-// o.Parallel workers (GOMAXPROCS when zero), and returns the results in
-// benchmark order. Every simulator a worker touches is private to that
-// worker, so no locking is needed beyond the fan-out itself; results
-// stay deterministic because each (benchmark, config) simulation is
-// seeded independently of scheduling.
-func mapBenchmarks[T any](o Options, fn func(prof *workload.Profile) (T, error)) ([]T, error) {
+// The experiment engine fans out over (benchmark × configuration)
+// cells: every cell is one full simulation — its own caches, its own
+// deterministic stream — so a 16-benchmark, 6-configuration figure
+// exposes 96 independent units of work to the scheduler instead of 16.
+// Cells are pure functions of (benchmark, column), which keeps the
+// assembled tables byte-identical at any worker count.
+
+// runGrid runs one simulation cell per (benchmark, column) pair, up to
+// o.Parallel workers (GOMAXPROCS when zero), and returns the results
+// as [benchmark][column]. fn must derive all randomness from the
+// profile's seed so results are independent of scheduling.
+func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int) (T, error)) ([][]T, error) {
 	names := o.benchmarks()
-	out := make([]T, len(names))
-	errs := make([]error, len(names))
-
-	workers := o.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(names) {
-		workers = len(names)
-	}
-
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				prof, err := workload.ByName(names[i])
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				out[i], errs[i] = fn(prof)
-			}
-		}()
-	}
-	for i := range names {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-
-	for _, err := range errs {
+	return par.Grid(o.Parallel, len(names), cols, func(row, col int) (T, error) {
+		prof, err := workload.ByName(names[row])
 		if err != nil {
-			return nil, err
+			var zero T
+			return zero, err
 		}
+		return fn(prof, col)
+	})
+}
+
+// mapBenchmarks runs fn once per benchmark: a one-column grid, kept
+// for experiments whose unit of work is the whole benchmark (e.g. the
+// Figure 10 content sampling).
+func mapBenchmarks[T any](o Options, fn func(prof *workload.Profile) (T, error)) ([]T, error) {
+	grid, err := runGrid(o, 1, func(prof *workload.Profile, _ int) (T, error) {
+		return fn(prof)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(grid))
+	for i := range grid {
+		out[i] = grid[i][0]
 	}
 	return out, nil
 }
+
+// simAccesses counts processor-side accesses driven through simulated
+// systems, across all workers, since the last reset. cmd/ldisexp's
+// -throughput mode divides it by wall time for an accesses/sec figure.
+var simAccesses atomic.Uint64
+
+func countSimAccesses(n int) { simAccesses.Add(uint64(n)) }
+
+// SimAccesses returns the cumulative simulated-access count.
+func SimAccesses() uint64 { return simAccesses.Load() }
+
+// ResetSimAccesses zeroes the counter (call before a measured run).
+func ResetSimAccesses() { simAccesses.Store(0) }

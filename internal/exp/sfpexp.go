@@ -16,18 +16,20 @@ type Fig13Row struct {
 }
 
 // Fig13 runs SFP with 16k-entry (64kB) and 64k-entry (256kB) predictors
-// — both reverter-wrapped, as in the paper — against LDIS-MT-RC.
+// — both reverter-wrapped, as in the paper — against LDIS-MT-RC. Each
+// configuration (plus the baseline) is its own scheduler cell.
 func Fig13(o Options) ([]Fig13Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig13Row, error) {
-		base, _ := baselineMPKI(prof, o)
-		row := Fig13Row{Benchmark: prof.Name}
-
-		for i, entries := range []int{16 << 10, 64 << 10} {
+	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+		switch col {
+		case 0:
+			base, _ := baselineMPKI(prof, o)
+			return base.MPKI(), nil
+		case 1, 2:
 			cfg := sfp.DefaultConfig()
-			cfg.PredictorEntries = entries
+			cfg.PredictorEntries = []int{16 << 10, 64 << 10}[col-1]
 			cfg.Seed = prof.Seed
 			// Same short-trace reverter band as ldisMTRC (see exp.go).
 			sc := sampler.DefaultConfig(cfg.Sets())
@@ -35,18 +37,26 @@ func Fig13(o Options) ([]Fig13Row, error) {
 			sc.HighWatermark = 144
 			cfg.SamplerConfig = &sc
 			sys, _ := hierarchy.SFP(cfg)
-			red := stats.PctReduction(base.MPKI(), runWindowed(sys, prof, o).MPKI())
-			if i == 0 {
-				row.SFP64kB = red
-			} else {
-				row.SFP256kB = red
-			}
+			return runWindowed(sys, prof, o).MPKI(), nil
+		default:
+			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			return runWindowed(sysD, prof, o).MPKI(), nil
 		}
-
-		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
-		row.LDIS = stats.PctReduction(base.MPKI(), runWindowed(sysD, prof, o).MPKI())
-		return row, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig13Row, len(grid))
+	for i, name := range o.benchmarks() {
+		g := grid[i]
+		rows[i] = Fig13Row{
+			Benchmark: name,
+			SFP64kB:   stats.PctReduction(g[0], g[1]),
+			SFP256kB:  stats.PctReduction(g[0], g[2]),
+			LDIS:      stats.PctReduction(g[0], g[3]),
+		}
+	}
+	return rows, nil
 }
 
 func fig13Table(rows []Fig13Row) *stats.Table {

@@ -35,13 +35,20 @@ func (f Footprint) Words() []int {
 	if f == 0 {
 		return nil
 	}
-	ws := make([]int, 0, f.Count())
+	return f.AppendWords(make([]int, 0, f.Count()))
+}
+
+// AppendWords appends the indices of the used words, in ascending
+// order, to buf and returns the extended slice. Passing a scratch
+// buffer with capacity WordsPerLine makes the call allocation-free;
+// simulation hot paths use this instead of Words.
+func (f Footprint) AppendWords(buf []int) []int {
 	for w := 0; w < WordsPerLine; w++ {
 		if f.Has(w) {
-			ws = append(ws, w)
+			buf = append(buf, w)
 		}
 	}
-	return ws
+	return buf
 }
 
 // String renders the footprint as a bit pattern, word 0 first, e.g.

@@ -1,0 +1,105 @@
+// Package par is the simulator's deterministic fan-out substrate: a
+// bounded-worker task runner over index spaces. The experiment engine
+// schedules one task per (benchmark × configuration) simulation, so a
+// figure over 16 benchmarks and 6 configurations exposes 96 units of
+// parallel work instead of 16. Results are returned in task-index
+// order and every task is a pure function of its index, so the output
+// is byte-identical at any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(0), fn(1), ..., fn(n-1) on up to workers goroutines
+// (GOMAXPROCS when workers <= 0) and returns the results in index
+// order. After any task fails, no further tasks are handed out; the
+// error with the smallest task index is returned, so the reported
+// failure does not depend on scheduling.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+
+	if workers == 1 {
+		// Run inline: same semantics, no goroutine overhead, and stack
+		// traces from panicking simulations stay trivial to read.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var failed atomic.Bool
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if failed.Load() {
+					continue
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Grid runs fn over an rows×cols task matrix — one task per cell, all
+// cells independent — and returns the results indexed [row][col]. The
+// flattening is row-major, so neighbouring configurations of the same
+// benchmark land on different workers as readily as different
+// benchmarks do.
+func Grid[T any](workers, rows, cols int, fn func(row, col int) (T, error)) ([][]T, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, nil
+	}
+	flat, err := Map(workers, rows*cols, func(i int) (T, error) {
+		return fn(i/cols, i%cols)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, rows)
+	for r := range out {
+		out[r] = flat[r*cols : (r+1)*cols : (r+1)*cols]
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, errors.New("never") })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 50, func(i int) (int, error) {
+			if i == 7 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+// TestMapSmallestIndexError: when several tasks fail, the reported
+// error is the one with the smallest index regardless of scheduling.
+func TestMapSmallestIndexError(t *testing.T) {
+	_, err := Map(8, 40, func(i int) (int, error) {
+		if i%3 == 1 {
+			return 0, fmt.Errorf("task %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "task 1" {
+		t.Fatalf("err = %v, want task 1", err)
+	}
+}
+
+// TestMapEarlyCancel: after the first failure the runner must stop
+// handing out tasks instead of draining the whole queue.
+func TestMapEarlyCancel(t *testing.T) {
+	var executed atomic.Int64
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		executed.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail fast")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// A handful of in-flight tasks may still run; the queue must not.
+	if n := executed.Load(); n > 100 {
+		t.Errorf("%d tasks executed after early failure", n)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	got, err := Grid(3, 4, 5, func(r, c int) (int, error) { return r*10 + c, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for r := range got {
+		if len(got[r]) != 5 {
+			t.Fatalf("row %d has %d cols", r, len(got[r]))
+		}
+		for c, v := range got[r] {
+			if v != r*10+c {
+				t.Errorf("got[%d][%d] = %d", r, c, v)
+			}
+		}
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	if got, err := Grid(2, 0, 3, func(int, int) (int, error) { return 0, nil }); err != nil || got != nil {
+		t.Fatalf("empty grid: %v, %v", got, err)
+	}
+}

@@ -78,11 +78,12 @@ type atdEntry struct {
 
 // Sampler tracks the leader-set ATD and the PSEL decision.
 type Sampler struct {
-	cfg     Config
-	stride  int
-	psel    *stats.SatCounter
-	enabled bool
-	atd     [][]atdEntry // one LRU tag list per leader set, MRU-first
+	cfg      Config
+	stride   int
+	tagShift uint // precomputed log2(NumSets) for the ATD tag extraction
+	psel     *stats.SatCounter
+	enabled  bool
+	atd      [][]atdEntry // one LRU tag list per leader set, MRU-first
 
 	// Counters for observability.
 	PolicyMisses uint64 // leader-set misses under the experimental policy
@@ -99,13 +100,17 @@ func New(cfg Config) *Sampler {
 	for i := range atd {
 		atd[i] = make([]atdEntry, cfg.ATDWays)
 	}
-	return &Sampler{
+	s := &Sampler{
 		cfg:     cfg,
 		stride:  cfg.NumSets / cfg.LeaderSets,
 		psel:    stats.NewSatCounter(uint32(1)<<cfg.PSELBits - 1),
 		enabled: true, // the experimental policy starts enabled
 		atd:     atd,
 	}
+	for n := cfg.NumSets; n > 1; n >>= 1 {
+		s.tagShift++
+	}
+	return s
 }
 
 // IsLeader reports whether setIdx is a leader set. Leaders are evenly
@@ -137,7 +142,7 @@ func (s *Sampler) ObserveATD(setIdx int, line mem.LineAddr) {
 		return
 	}
 	set := s.atd[s.leaderIndex(setIdx)]
-	tag := line.Tag(s.cfg.NumSets)
+	tag := uint64(line) >> s.tagShift
 	for pos := range set {
 		if set[pos].valid && set[pos].tag == tag {
 			e := set[pos]

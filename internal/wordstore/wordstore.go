@@ -33,11 +33,20 @@ type Line struct {
 type Set struct {
 	Lines []Line
 	occ   []mem.Footprint // per-way occupancy bitmap over the 8 slots
+	// evictBuf backs the slices returned by Install/InstallLRU/Clear.
+	// Callers consume the returned lines before the next mutation, so
+	// reusing one buffer keeps the install path allocation-free.
+	evictBuf []Line
 }
 
 // NewSet returns an empty set with the given number of data ways.
+// Lines is pre-sized to the hard capacity (one single-slot line per
+// word entry) so steady-state installs never grow it.
 func NewSet(ways int) Set {
-	return Set{occ: make([]mem.Footprint, ways)}
+	return Set{
+		Lines: make([]Line, 0, ways*mem.WordsPerLine),
+		occ:   make([]mem.Footprint, ways),
+	}
 }
 
 // Ways returns the number of data ways.
@@ -63,14 +72,15 @@ func (s *Set) RemoveAt(i int) Line {
 }
 
 // Clear removes every line, returning the removed lines so the caller
-// can account for dirty writebacks.
+// can account for dirty writebacks. The returned slice is only valid
+// until the next Install/InstallLRU/Clear on this set.
 func (s *Set) Clear() []Line {
-	out := append([]Line(nil), s.Lines...)
+	s.evictBuf = append(s.evictBuf[:0], s.Lines...)
 	s.Lines = s.Lines[:0]
 	for i := range s.occ {
 		s.occ[i] = 0
 	}
-	return out
+	return s.evictBuf
 }
 
 // RegionMask returns the occupancy bits for slots [start, start+slots).
@@ -83,25 +93,54 @@ type candidate struct {
 	way, start int
 }
 
-// candidates enumerates the eligible aligned regions for a line of the
-// given slot count: regions whose first slot is invalid or carries a
-// head-bit (paper Section 5.3). Fully free regions come back in the
-// first slice; they never cost an eviction.
-func (s *Set) candidates(slots int) (free, occupied []candidate) {
+// regionState classifies the aligned region (way, start): free means
+// no slot is in use; eligible means it may be reclaimed — its first
+// slot is invalid or carries a head-bit (paper Section 5.3).
+func (s *Set) regionState(way, start, slots int) (free, eligible bool) {
+	if s.occ[way]&RegionMask(start, slots) == 0 {
+		return true, false
+	}
+	firstFree := s.occ[way]&RegionMask(start, 1) == 0
+	return false, firstFree || s.isHead(way, start)
+}
+
+// countCandidates counts the free and eligible-occupied aligned regions
+// for a line of the given slot count, in way-major/start-minor order —
+// the enumeration Install's random pick indexes into.
+func (s *Set) countCandidates(slots int) (nfree, nocc int) {
 	for way := range s.occ {
 		for start := 0; start+slots <= mem.WordsPerLine; start += slots {
-			mask := RegionMask(start, slots)
-			if s.occ[way]&mask == 0 {
-				free = append(free, candidate{way, start})
-				continue
-			}
-			firstFree := s.occ[way]&RegionMask(start, 1) == 0
-			if firstFree || s.isHead(way, start) {
-				occupied = append(occupied, candidate{way, start})
+			free, eligible := s.regionState(way, start, slots)
+			switch {
+			case free:
+				nfree++
+			case eligible:
+				nocc++
 			}
 		}
 	}
-	return free, occupied
+	return nfree, nocc
+}
+
+// nthCandidate returns the k-th free (or, with wantFree false, k-th
+// eligible-occupied) region in the same enumeration order as
+// countCandidates. The two-pass count-then-pick keeps replacement
+// decisions identical to materializing the candidate lists while doing
+// no allocation.
+func (s *Set) nthCandidate(slots int, wantFree bool, k int) candidate {
+	for way := range s.occ {
+		for start := 0; start+slots <= mem.WordsPerLine; start += slots {
+			free, eligible := s.regionState(way, start, slots)
+			if free != wantFree || (!free && !eligible) {
+				continue
+			}
+			if k == 0 {
+				return candidate{way, start}
+			}
+			k--
+		}
+	}
+	panic("wordstore: candidate index out of range")
 }
 
 // Install places nl (whose Slots field must be a power of two <= 8)
@@ -109,20 +148,19 @@ func (s *Set) candidates(slots int) (free, occupied []candidate) {
 // region is picked uniformly at random — via the caller-supplied rnd
 // value — among the eligible aligned candidates (paper Section 5.3);
 // fully free regions are preferred because they never cost an eviction.
-// It returns the evicted lines.
+// It returns the evicted lines, valid until the next mutation.
 func (s *Set) Install(nl Line, rnd uint64) []Line {
 	s.checkInstall(nl)
-	free, occupied := s.candidates(nl.Slots)
-	pool := free
-	if len(pool) == 0 {
-		pool = occupied
+	nfree, nocc := s.countCandidates(nl.Slots)
+	if nfree > 0 {
+		return s.place(nl, s.nthCandidate(nl.Slots, true, int(rnd%uint64(nfree))))
 	}
-	if len(pool) == 0 {
+	if nocc == 0 {
 		// Cannot happen: region (way, 0) is always eligible — slot 0 is
 		// either free or the head of the line covering it; defend anyway.
 		panic("wordstore: no replacement candidate")
 	}
-	return s.place(nl, pool[rnd%uint64(len(pool))])
+	return s.place(nl, s.nthCandidate(nl.Slots, false, int(rnd%uint64(nocc))))
 }
 
 // InstallLRU places nl like Install but, when no region is free, evicts
@@ -131,29 +169,36 @@ func (s *Set) Install(nl Line, rnd uint64) []Line {
 // says random replacement approximates).
 func (s *Set) InstallLRU(nl Line) []Line {
 	s.checkInstall(nl)
-	free, occupied := s.candidates(nl.Slots)
-	if len(free) > 0 {
-		return s.place(nl, free[0])
-	}
-	if len(occupied) == 0 {
-		panic("wordstore: no replacement candidate")
-	}
-	best := occupied[0]
+	var best candidate
+	haveBest := false
 	bestAge := ^uint64(0)
-	for _, c := range occupied {
-		// Age of a region = the max LastUse of the lines it would evict.
-		var youngest uint64
-		for i := range s.Lines {
-			l := &s.Lines[i]
-			if l.Way == c.way && l.Start >= c.start && l.Start < c.start+nl.Slots {
-				if l.LastUse > youngest {
-					youngest = l.LastUse
+	for way := range s.occ {
+		for start := 0; start+nl.Slots <= mem.WordsPerLine; start += nl.Slots {
+			free, eligible := s.regionState(way, start, nl.Slots)
+			if free {
+				// First free region in enumeration order, as before.
+				return s.place(nl, candidate{way, start})
+			}
+			if !eligible {
+				continue
+			}
+			// Age of a region = the max LastUse of the lines it would evict.
+			var youngest uint64
+			for i := range s.Lines {
+				l := &s.Lines[i]
+				if l.Way == way && l.Start >= start && l.Start < start+nl.Slots {
+					if l.LastUse > youngest {
+						youngest = l.LastUse
+					}
 				}
 			}
+			if youngest < bestAge {
+				best, bestAge, haveBest = candidate{way, start}, youngest, true
+			}
 		}
-		if youngest < bestAge {
-			best, bestAge = c, youngest
-		}
+	}
+	if !haveBest {
+		panic("wordstore: no replacement candidate")
 	}
 	return s.place(nl, best)
 }
@@ -170,8 +215,9 @@ func (s *Set) checkInstall(nl Line) {
 // place evicts every line starting inside the chosen region (alignment
 // guarantees such lines are fully contained or fully cover it; the
 // paper's head-bit rule evicts them whole either way) and installs nl.
+// The returned slice aliases the set's reusable eviction buffer.
 func (s *Set) place(nl Line, c candidate) []Line {
-	var evicted []Line
+	evicted := s.evictBuf[:0]
 	for i := 0; i < len(s.Lines); {
 		l := s.Lines[i]
 		if l.Way == c.way && l.Start >= c.start && l.Start < c.start+nl.Slots {
@@ -180,6 +226,7 @@ func (s *Set) place(nl Line, c candidate) []Line {
 		}
 		i++
 	}
+	s.evictBuf = evicted
 	if s.occ[c.way]&RegionMask(c.start, nl.Slots) != 0 {
 		panic("wordstore: region still occupied after eviction")
 	}

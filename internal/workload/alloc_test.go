@@ -1,0 +1,29 @@
+package workload
+
+import "testing"
+
+// TestStreamNextZeroAllocs pins workload generation at zero allocations
+// per access: the burst-window scratch buffers in burstState and the
+// shared word lists of the two-phase visitor replaced the per-visit
+// slices that previously made Next() the second-largest garbage source
+// in the simulator.
+func TestStreamNextZeroAllocs(t *testing.T) {
+	for _, name := range []string{"mcf", "swim", "art"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := p.Stream()
+		// Warm the stream past first-visit setup.
+		for i := 0; i < 10_000; i++ {
+			if _, ok := st.Next(); !ok {
+				t.Fatal("stream dried up")
+			}
+		}
+		if n := testing.AllocsPerRun(10_000, func() {
+			st.Next()
+		}); n != 0 {
+			t.Errorf("%s: stream Next allocates %.2f/op", name, n)
+		}
+	}
+}

@@ -156,7 +156,7 @@ func (s *profileStream) Next() (mem.Access, bool) {
 		s.idx = 0
 		if len(s.pending.words) == 0 {
 			// Defensive: a visit must touch at least one word.
-			s.pending.words = []int{0}
+			s.pending.words = firstWordOnly
 		}
 	}
 	w := s.pending.words[s.idx]

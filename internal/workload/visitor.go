@@ -41,11 +41,15 @@ type burstState struct {
 	// storage: the rotation is derived from a global counter so repeated
 	// visits see different windows.
 	visitCount uint64
+	// Scratch buffers reused across visits; callers consume the returned
+	// slice before the next call, so the visit hot path never allocates.
+	maskBuf [mem.WordsPerLine]int
+	winBuf  [mem.WordsPerLine]int
 }
 
 func (b *burstState) wordsOf(line mem.LineAddr) []int {
 	mask := maskFor(b.seed, line, b.dist, b.style)
-	ws := mask.Words()
+	ws := mask.AppendWords(b.maskBuf[:0])
 	b.visitCount++
 	if b.burst <= 0 || b.burst >= len(ws) {
 		return ws
@@ -53,7 +57,7 @@ func (b *burstState) wordsOf(line mem.LineAddr) []int {
 	// Rotate a window of size burst through the mask, advancing with
 	// each visit so successive visits to a line touch fresh words.
 	start := int((b.visitCount ^ splitmix64(uint64(line))) % uint64(len(ws)))
-	out := make([]int, 0, b.burst)
+	out := b.winBuf[:0]
 	for i := 0; i < b.burst; i++ {
 		out = append(out, ws[(start+i)%len(ws)])
 	}
@@ -228,6 +232,13 @@ type twoPhaseVisitor struct {
 	phase bool // alternate first-touch / full-touch visits
 }
 
+// Shared read-only word lists for the two-phase visitor's two visit
+// shapes; consumers never mutate visit.words.
+var (
+	firstWordOnly = []int{0}
+	fullLineWords = []int{0, 1, 2, 3, 4, 5, 6, 7}
+)
+
 func (v *twoPhaseVisitor) next() visit {
 	pcs := v.spec.PCs
 	if pcs < 1 {
@@ -238,7 +249,7 @@ func (v *twoPhaseVisitor) next() visit {
 		v.phase = true
 		line := v.base + mem.LineAddr(v.pos%v.spec.Lines)
 		pc := mem.Addr(0x600000)
-		return visit{line: line, words: []int{0}, pc: pc}
+		return visit{line: line, words: firstWordOnly, pc: pc}
 	}
 	// Full touch of the line a gap behind.
 	v.phase = false
@@ -254,12 +265,8 @@ func (v *twoPhaseVisitor) next() visit {
 		lineIdx += v.spec.Lines // wrap during warm-up
 	}
 	line := v.base + mem.LineAddr(lineIdx%v.spec.Lines)
-	words := make([]int, mem.WordsPerLine)
-	for i := range words {
-		words[i] = i
-	}
 	pc := mem.Addr(0x600100) + mem.Addr(splitmix64(uint64(line))%uint64(pcs))*4
-	return visit{line: line, words: words, pc: pc}
+	return visit{line: line, words: fullLineWords, pc: pc}
 }
 
 // ---------------------------------------------------------------------
