@@ -1,0 +1,207 @@
+// Ldislint is the simulator's static-analysis gate: a multichecker
+// over the analyzers in internal/analysis (noalloc, detrange,
+// nowallclock, gridpure) that enforces the determinism and
+// zero-allocation invariants the experiment engine depends on.
+//
+// Two modes:
+//
+//	ldislint [packages]       standalone whole-module run (default
+//	                          ./...); analyzes every module package in
+//	                          dependency order so cross-package noalloc
+//	                          facts are available. This is what `make
+//	                          lint` runs and it is the authoritative
+//	                          gate.
+//
+//	go vet -vettool=$(command -v ldislint) ./...
+//	                          vet driver mode. The go command invokes
+//	                          ldislint once per package with a JSON
+//	                          config file (the unitchecker protocol);
+//	                          each package is checked in isolation, so
+//	                          cross-package noalloc verification is
+//	                          skipped in this mode.
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ldis/internal/analysis"
+	"ldis/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes vettools before use: `-V=full` must print
+	// a version line carrying a build ID (it keys vet's result cache on
+	// it; a content hash of the executable serves), and `-flags` must
+	// describe the supported flags.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
+			return 1
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
+			return 1
+		}
+		id := sha256.Sum256(data)
+		fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(os.Args[0]), id[:16])
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0])
+	}
+
+	fs := flag.NewFlagSet("ldislint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ldislint [packages]\n\nAnalyzers:\n")
+		for _, a := range suite.All {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
+		return 1
+	}
+	diags := analysis.Run(suite.All, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the JSON configuration the go command hands a vettool
+// for each package (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package as directed by a vet config file.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ldislint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the facts output file to exist even
+	// though this suite's cross-package facts only flow in standalone
+	// mode.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ldislint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags := analysis.RunSingle(suite.All, pkg)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

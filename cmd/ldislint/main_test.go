@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStandaloneClean runs the in-process driver against a package
+// known to be lint-clean.
+func TestStandaloneClean(t *testing.T) {
+	if code := run([]string{"ldis/internal/mem"}); code != 0 {
+		t.Fatalf("ldislint ldis/internal/mem exited %d, want 0", code)
+	}
+}
+
+// TestVettoolProtocol builds the binary and drives it through the go
+// command's vettool handshake (-V=full probe, per-package .cfg
+// invocations) against a clean package. This is the protocol `go vet
+// -vettool=$(command -v ldislint)` relies on.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "ldislint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ldislint: %v\n%s", err, out)
+	}
+
+	probe := exec.Command(bin, "-V=full")
+	out, err := probe.Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "buildID=") {
+		t.Fatalf("-V=full output %q lacks the buildID the go command parses", out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "ldis/internal/mem")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,153 @@
+// Package analysis is a self-contained, stdlib-only miniature of
+// golang.org/x/tools/go/analysis, hosting the ldislint analyzer suite.
+//
+// The simulator's two load-bearing properties — byte-identical
+// experiment tables at any -parallel worker count, and zero-allocation
+// access/workload hot paths — were previously guarded only by a
+// handful of runtime tests sampling a few entry points. The analyzers
+// in the subpackages (noalloc, detrange, nowallclock, gridpure) turn
+// those properties into compile-time invariants enforced across the
+// whole tree by `make lint` and `go vet -vettool`.
+//
+// The framework mirrors the x/tools API shape (Analyzer, Pass,
+// Diagnostic, object facts) so the analyzers could be ported to the
+// real go/analysis with mechanical changes, but it depends only on
+// go/ast, go/types, and the go command — the build environment is
+// fully offline.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported problem.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Directives holds the parsed //ldis: directives of the package's
+	// files, used both for annotation lookup (e.g. //ldis:noalloc on a
+	// function) and for line-level suppression (//ldis:nondet-ok,
+	// //ldis:alloc-ok).
+	Directives *Directives
+
+	// ModuleFacts reports whether facts exported by module dependencies
+	// are available. True under the standalone driver (which analyzes
+	// the whole module in dependency order); false under `go vet
+	// -vettool`, where each package is checked in isolation and
+	// cross-package reasoning must degrade gracefully.
+	ModuleFacts bool
+
+	facts  *FactStore
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact records a named fact about a function (or other object)
+// for use by passes over importing packages. Facts are keyed by the
+// object's stable string key, not object identity, because importing
+// packages see the object through export data.
+func (p *Pass) ExportFact(obj types.Object, name string, value any) {
+	if p.facts != nil {
+		p.facts.set(ObjectKey(obj), name, value)
+	}
+}
+
+// ImportFact retrieves a fact exported by this or a previously
+// analyzed package. ok is false if the fact is unknown (including
+// always under the unitchecker driver, where ModuleFacts is false).
+func (p *Pass) ImportFact(obj types.Object, name string) (any, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.get(ObjectKey(obj), name)
+}
+
+// ObjectKey returns a stable cross-package key for obj: the package
+// path plus the qualified object name (with receiver type for
+// methods), e.g. "ldis/internal/mem.Footprint.AppendWords".
+func ObjectKey(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return pkg + "." + recvTypeName(recv.Type()) + "." + fn.Name()
+		}
+	}
+	return pkg + "." + obj.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// A FactStore accumulates object facts across the packages of one
+// driver run.
+type FactStore struct {
+	m map[string]map[string]any
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]map[string]any)}
+}
+
+func (s *FactStore) set(key, name string, value any) {
+	byName := s.m[key]
+	if byName == nil {
+		byName = make(map[string]any)
+		s.m[key] = byName
+	}
+	byName[name] = value
+}
+
+func (s *FactStore) get(key, name string) (any, bool) {
+	v, ok := s.m[key][name]
+	return v, ok
+}

@@ -1,0 +1,97 @@
+// Package atest is an analysistest-style golden harness for the
+// ldislint analyzers: fixture packages under an analyzer's testdata
+// directory annotate the lines they expect to be flagged with
+//
+//	code() // want "regexp"
+//
+// comments, and the harness fails the test on any mismatch in either
+// direction — a missing diagnostic or an unexpected one. Fixtures are
+// real, compilable packages (they are loaded through the same `go
+// list -export` pipeline as production lint runs), so a fixture that
+// drifts out of sync with the language fails loudly.
+package atest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"ldis/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture package at dir (a path relative to the
+// calling test, e.g. "testdata/src/a"), applies the analyzer, and
+// compares the diagnostics against the fixture's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", []string{"./" + dir})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: pat,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	diags := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	var unexpected []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, msg := range unexpected {
+		t.Error(msg)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis/atest"
+	"ldis/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	atest.Run(t, detrange.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,50 @@
+// Package a is the detrange golden fixture.
+package a
+
+import "sort"
+
+// Flagged iterates a map directly: the iteration order could reach the
+// caller.
+func Flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned pattern: collect (annotated), sort,
+// then iterate the slice.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//ldis:nondet-ok key collection only; the slice is sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Slices ranges over ordered containers; never flagged.
+func Slices(xs []int, s string) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	for _, r := range s {
+		total += int(r)
+	}
+	for i := range 4 {
+		total += i
+	}
+	return total
+}
+
+// Bare has a suppression without a justification: the suppression is
+// void and both the directive and the range are reported.
+func Bare(m map[string]int) {
+	//ldis:nondet-ok // want `//ldis:nondet-ok requires a justification`
+	for range m { // want `range over map`
+		_ = m
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The ldislint directive grammar. Directives are ordinary line
+// comments beginning with "//ldis:" (no space, mirroring //go:).
+//
+//	//ldis:noalloc
+//	    On a function's doc comment: the function and everything it
+//	    transitively calls within the module must not allocate.
+//	//ldis:alloc-ok <justification>
+//	    On (or immediately above) a flagged line: suppresses noalloc
+//	    diagnostics for that line. The justification is mandatory.
+//	//ldis:nondet-ok <justification>
+//	    On (or immediately above) a flagged line: suppresses detrange,
+//	    nowallclock, and gridpure diagnostics for that line. The
+//	    justification is mandatory.
+const (
+	DirNoalloc   = "noalloc"
+	DirAllocOK   = "alloc-ok"
+	DirNondetOK  = "nondet-ok"
+	directivePfx = "//ldis:"
+)
+
+// A Directive is one parsed //ldis: comment.
+type Directive struct {
+	Name   string // e.g. "noalloc", "alloc-ok"
+	Reason string // trailing justification text, may be empty
+	Pos    token.Pos
+}
+
+// Directives indexes the //ldis: comments of a package by file line.
+type Directives struct {
+	fset *token.FileSet
+	// byLine maps file+line to the directives written on that line.
+	byLine map[lineKey][]Directive
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ParseDirectives scans every comment of files for //ldis: directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[lineKey][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePfx)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(text, " ")
+				// A justification never contains "//": anything after one
+				// is commentary about the directive (the golden-test
+				// fixtures rely on this to pair a bare directive with a
+				// // want expectation on the same line).
+				reason, _, _ = strings.Cut(reason, "//")
+				pos := fset.Position(c.Pos())
+				d.byLine[lineKey{pos.Filename, pos.Line}] = append(
+					d.byLine[lineKey{pos.Filename, pos.Line}],
+					Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()},
+				)
+			}
+		}
+	}
+	return d
+}
+
+// At returns the directive of the given name attached to pos's line —
+// written either on the line itself or on the line directly above it
+// (the conventional spot for a suppression comment).
+func (d *Directives) At(pos token.Pos, name string) (Directive, bool) {
+	p := d.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, dir := range d.byLine[lineKey{p.Filename, line}] {
+			if dir.Name == name {
+				return dir, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// Suppressed reports whether a diagnostic at pos is silenced by the
+// given suppression directive. A suppression without a justification
+// does not suppress — the analyzers flag it separately via
+// CheckJustifications.
+func (d *Directives) Suppressed(pos token.Pos, name string) bool {
+	dir, ok := d.At(pos, name)
+	return ok && dir.Reason != ""
+}
+
+// FuncHas reports whether fn's doc comment carries the named
+// directive (e.g. //ldis:noalloc).
+func (d *Directives) FuncHas(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, directivePfx)
+		if !ok {
+			continue
+		}
+		got, _, _ := strings.Cut(text, " ")
+		if got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckJustifications reports every suppression directive of the given
+// name that lacks a justification. Analyzers call this so that a bare
+// "//ldis:nondet-ok" cannot silently disable a check.
+func (d *Directives) CheckJustifications(pass *Pass, name string) {
+	for _, dirs := range d.byLine {
+		for _, dir := range dirs {
+			if dir.Name == name && dir.Reason == "" {
+				pass.Reportf(dir.Pos, "//ldis:%s requires a justification (\"//ldis:%s <why>\")", name, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package gridpure_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis/atest"
+	"ldis/internal/analysis/gridpure"
+)
+
+func TestGridpure(t *testing.T) {
+	atest.Run(t, gridpure.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,72 @@
+// Package a is the gridpure golden fixture: cell functions handed to
+// par.Map/par.Grid must be pure functions of their index.
+package a
+
+import "ldis/internal/par"
+
+// BadAccumulator folds into a captured scalar: the result depends on
+// scheduling order.
+func BadAccumulator(n int) int {
+	total := 0
+	_, _ = par.Map(0, n, func(i int) (int, error) {
+		total += i // want `writes captured variable "total"`
+		return i, nil
+	})
+	return total
+}
+
+// BadMapWrite writes a captured map: a data race and order-dependent.
+func BadMapWrite(n int) map[int]int {
+	m := map[int]int{}
+	_, _ = par.Map(0, n, func(i int) (int, error) {
+		m[i] = i // want `writes a map element of captured variable "m"`
+		return i, nil
+	})
+	return m
+}
+
+type state struct{ n int }
+
+// BadFieldWrite mutates a captured struct through a pointer.
+func BadFieldWrite(s *state, rows, cols int) {
+	_, _ = par.Grid(0, rows, cols, func(r, c int) (int, error) {
+		s.n = r * c // want `writes a field of captured variable "s"`
+		return 0, nil
+	})
+}
+
+var counter int
+
+// BadGlobal bumps package state from a cell.
+func BadGlobal(n int) {
+	_, _ = par.Map(0, n, func(i int) (int, error) {
+		counter++ // want `writes captured variable "counter"`
+		return i, nil
+	})
+}
+
+// Good shows the sanctioned shapes: cells read captured configuration,
+// write only their own locals, and publish through the scheduler's
+// index-ordered results (or distinct elements of a captured slice).
+func Good(n, scale int) ([]int, error) {
+	extra := make([]int, n)
+	res, err := par.Map(0, n, func(i int) (int, error) {
+		local := i * scale
+		local++
+		extra[i] = local // distinct slice element per cell: allowed
+		return local, nil
+	})
+	_ = res
+	return extra, err
+}
+
+// Suppressed documents why the captured write is acceptable.
+func Suppressed(n int) int {
+	last := 0
+	_, _ = par.Map(1, n, func(i int) (int, error) {
+		//ldis:nondet-ok fixture: exercises the suppression path
+		last = i
+		return i, nil
+	})
+	return last
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Standard   bool // part of the Go standard library
+	DepOnly    bool // reached only as a dependency, not named by a pattern
+	GoFiles    []string
+	Imports    []string
+
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load lists patterns with the go command and type-checks every
+// in-module package (targets and module dependencies alike) from
+// source, resolving imports through compiled export data. The result
+// is in dependency order — a package appears after everything it
+// imports — so fact-producing analyzers can run bottom-up. Standard
+// library packages are resolved from export data only and are not
+// returned.
+//
+// The loader is fully offline: `go list -export` compiles with the
+// local toolchain and never consults the network.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPackage)
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		byPath[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+
+	fset := token.NewFileSet()
+	exportFor := func(path string) (io.ReadCloser, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", exportFor)
+
+	// Dependency-order the in-module packages (go list emits deps
+	// before dependents already, but make it explicit and stable).
+	var modulePaths []string
+	for _, path := range order {
+		if !byPath[path].Standard {
+			modulePaths = append(modulePaths, path)
+		}
+	}
+	sorted := topoSort(modulePaths, func(path string) []string {
+		var deps []string
+		for _, dep := range byPath[path].Imports {
+			if p, ok := byPath[dep]; ok && !p.Standard {
+				deps = append(deps, dep)
+			}
+		}
+		return deps
+	})
+
+	var pkgs []*Package
+	for _, path := range sorted {
+		lp := byPath[path]
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, typeErr)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Standard:   lp.Standard,
+		DepOnly:    lp.DepOnly,
+		GoFiles:    lp.GoFiles,
+		Imports:    lp.Imports,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// topoSort orders paths so that dependencies precede dependents;
+// within that constraint the order is deterministic (lexicographic
+// tie-break), matching the suite's own determinism rules.
+func topoSort(paths []string, depsOf func(string) []string) []string {
+	in := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		in[p] = true
+	}
+	sort.Strings(paths)
+	var out []string
+	state := make(map[string]int) // 0 new, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(p string) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		deps := depsOf(p)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if in[d] {
+				visit(d)
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return out
+}

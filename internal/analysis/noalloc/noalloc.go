@@ -1,0 +1,635 @@
+// Package noalloc verifies that functions annotated //ldis:noalloc —
+// and everything they transitively call within the module — contain
+// no allocating constructs.
+//
+// PR 1 made the access and workload hot paths zero-allocation and
+// guards them with testing.AllocsPerRun at a handful of entry points.
+// This analyzer turns the property into a whole-module invariant: the
+// flagged constructs are make/new, allocating composite literals,
+// append into storage the caller did not provide, string
+// concatenation and string<->byte conversions, closure literals,
+// interface boxing of non-pointer-shaped values, variadic argument
+// slices, map writes, goroutine launches, and calls that cannot be
+// proven allocation-free (dynamic calls, unverifiable callees).
+//
+// The analysis is a conservative static approximation, so two escape
+// hatches exist: constructs on a panic path (arguments to panic) are
+// exempt — allocation while crashing is free — and a line may carry
+// `//ldis:alloc-ok <why>` for sanctioned amortized allocation (for
+// example a reusable eviction buffer that grows to a bounded high
+// water mark).
+//
+// Verification is bottom-up: the analyzer computes a "clean" summary
+// for every function of every module package and exports it as a
+// fact, so a //ldis:noalloc function may call into other packages
+// whenever the callees verify clean. Under `go vet -vettool`, which
+// checks one package at a time without module facts, cross-package
+// calls are skipped; `make lint` (the standalone driver) is the
+// authoritative whole-module gate.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ldis/internal/analysis"
+)
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //ldis:noalloc (and their in-module transitive callees) must not allocate",
+	Run:  run,
+}
+
+// factClean is the exported per-function fact: true when the function
+// body and its verified callees are allocation-free.
+const factClean = "clean"
+
+// cleanStdPkgs are standard-library packages whose exported functions
+// are known allocation-free (pure bit/arithmetic kernels).
+var cleanStdPkgs = map[string]bool{
+	"math/bits": true,
+	"math":      true,
+}
+
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+type funcData struct {
+	decl     *ast.FuncDecl
+	obj      *types.Func
+	findings []finding
+	calls    []callSite
+	// clean summary memoization: 0 unvisited, 1 in progress, 2 done.
+	state int
+	clean bool
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	funcs map[*types.Func]*funcData
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Directives.CheckJustifications(pass, analysis.DirAllocOK)
+	c := &checker{pass: pass, funcs: make(map[*types.Func]*funcData)}
+
+	// Pass 1: collect every function declaration with a body.
+	var order []*funcData
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			data := &funcData{decl: fd, obj: obj}
+			c.funcs[obj] = data
+			order = append(order, data)
+		}
+	}
+
+	// Pass 2: scan bodies for allocating constructs and static calls.
+	for _, data := range order {
+		c.scanBody(data)
+	}
+
+	// Pass 3: compute and export the clean summary for every function,
+	// so importing packages can verify their cross-package calls.
+	for _, data := range order {
+		clean := c.isClean(data.obj)
+		pass.ExportFact(data.obj, factClean, clean)
+	}
+
+	// Pass 4: report, walking transitively from each annotated root.
+	reported := make(map[*types.Func]bool)
+	for _, data := range order {
+		if pass.Directives.FuncHas(data.decl, analysis.DirNoalloc) {
+			c.report(data, data, reported)
+		}
+	}
+	return nil
+}
+
+// report emits the findings of fn (and, recursively, of its in-package
+// callees) in the context of the //ldis:noalloc root.
+func (c *checker) report(root, fn *funcData, reported map[*types.Func]bool) {
+	if reported[fn.obj] {
+		return
+	}
+	reported[fn.obj] = true
+	suffix := ""
+	if fn != root {
+		suffix = fmt.Sprintf(" (in %s, reachable from //ldis:noalloc %s)", fn.obj.Name(), root.obj.Name())
+	}
+	for _, f := range fn.findings {
+		c.pass.Reportf(f.pos, "%s%s", f.msg, suffix)
+	}
+	for _, call := range fn.calls {
+		callee := call.callee
+		if data, ok := c.funcs[callee]; ok {
+			c.report(root, data, reported)
+			continue
+		}
+		if c.callVerified(callee) {
+			continue
+		}
+		if !c.pass.ModuleFacts && !samePackage(c.pass.Pkg, callee) {
+			// Unitchecker regime: no cross-package facts; the
+			// standalone driver is the authoritative gate.
+			continue
+		}
+		if c.pass.Directives.Suppressed(call.pos, analysis.DirAllocOK) {
+			continue
+		}
+		c.pass.Reportf(call.pos, "call to %s cannot be verified allocation-free%s", qualifiedName(callee), suffix)
+	}
+}
+
+func samePackage(pkg *types.Package, fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkg.Path()
+}
+
+// callVerified reports whether a callee without a local body is known
+// allocation-free: via exported facts (module packages analyzed
+// earlier in dependency order) or the standard-library allowlist.
+func (c *checker) callVerified(callee *types.Func) bool {
+	if callee.Pkg() != nil && cleanStdPkgs[callee.Pkg().Path()] {
+		return true
+	}
+	if v, ok := c.pass.ImportFact(callee, factClean); ok {
+		clean, _ := v.(bool)
+		return clean
+	}
+	return false
+}
+
+// isClean computes the bottom-up allocation-freedom summary of fn.
+// Cycles are resolved optimistically: a recursive function is clean
+// if no function on the cycle contains an allocating construct.
+func (c *checker) isClean(fn *types.Func) bool {
+	data, ok := c.funcs[fn]
+	if !ok {
+		return c.callVerified(fn)
+	}
+	switch data.state {
+	case 1:
+		return true // optimistic on cycles
+	case 2:
+		return data.clean
+	}
+	data.state = 1
+	clean := len(data.findings) == 0
+	for _, call := range data.calls {
+		if !clean {
+			break
+		}
+		if sub, ok := c.funcs[call.callee]; ok {
+			clean = c.isClean(sub.obj)
+		} else if !c.callVerified(call.callee) {
+			// A call-site suppression keeps the function usable from
+			// noalloc contexts even though the callee is unverified.
+			clean = c.pass.Directives.Suppressed(call.pos, analysis.DirAllocOK)
+		}
+	}
+	data.state = 2
+	data.clean = clean
+	return clean
+}
+
+// ---------------------------------------------------------------------
+// Body scanning
+// ---------------------------------------------------------------------
+
+type posRange struct{ lo, hi token.Pos }
+
+func (c *checker) scanBody(data *funcData) {
+	info := c.pass.TypesInfo
+
+	// Panic arguments are exempt: allocation while crashing is free.
+	var panicRanges []posRange
+	ast.Inspect(data.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				for _, arg := range call.Args {
+					panicRanges = append(panicRanges, posRange{arg.Pos(), arg.End()})
+				}
+			}
+		}
+		return true
+	})
+	onPanicPath := func(pos token.Pos) bool {
+		for _, r := range panicRanges {
+			if pos >= r.lo && pos <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(pos token.Pos, format string, args ...any) {
+		if onPanicPath(pos) || c.pass.Directives.Suppressed(pos, analysis.DirAllocOK) {
+			return
+		}
+		data.findings = append(data.findings, finding{pos, fmt.Sprintf(format, args...)})
+	}
+
+	appendOK := newAppendTracker(c.pass, data.decl)
+
+	ast.Inspect(data.decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			add(e.Pos(), "closure literal allocates")
+			return false // the closure body runs in its own context
+
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					add(e.Pos(), "slice literal allocates")
+				case *types.Map:
+					add(e.Pos(), "map literal allocates")
+				}
+			}
+
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					add(e.Pos(), "address of composite literal may escape to the heap")
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if tv, ok := info.Types[e]; ok && tv.Value == nil && isString(tv.Type) {
+					add(e.Pos(), "string concatenation allocates")
+				}
+			}
+
+		case *ast.GoStmt:
+			add(e.Pos(), "go statement allocates a goroutine")
+
+		case *ast.AssignStmt:
+			if e.Tok == token.DEFINE {
+				break
+			}
+			for i, lhs := range e.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if tv, ok := info.Types[idx.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							add(lhs.Pos(), "map assignment may allocate")
+						}
+					}
+				}
+				if i < len(e.Rhs) {
+					c.checkBoxing(data, add, info.TypeOf(lhs), e.Rhs[i])
+				}
+			}
+
+		case *ast.ValueSpec:
+			if e.Type != nil {
+				t := info.TypeOf(e.Type)
+				for _, v := range e.Values {
+					c.checkBoxing(data, add, t, v)
+				}
+			}
+
+		case *ast.ReturnStmt:
+			sig := data.obj.Type().(*types.Signature)
+			if len(e.Results) == sig.Results().Len() {
+				for i, res := range e.Results {
+					c.checkBoxing(data, add, sig.Results().At(i).Type(), res)
+				}
+			}
+
+		case *ast.CallExpr:
+			c.scanCall(data, add, appendOK, e, onPanicPath)
+		}
+		return true
+	})
+}
+
+func (c *checker) scanCall(data *funcData, add func(token.Pos, string, ...any), appendOK *appendTracker, call *ast.CallExpr, onPanicPath func(token.Pos) bool) {
+	info := c.pass.TypesInfo
+
+	// Type conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		switch {
+		case isString(dst) && !isString(src.Underlying()):
+			add(call.Pos(), "conversion to string allocates")
+		case isByteOrRuneSlice(dst) && isString(src.Underlying()):
+			add(call.Pos(), "conversion of string to %s allocates", dst)
+		case types.IsInterface(dst.Underlying()) && !pointerShaped(src):
+			add(call.Pos(), "conversion of %s to interface allocates", src)
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !appendOK.callerProvided(call.Args[0]) {
+					add(call.Pos(), "append may grow %s, which is not caller-provided or function-owned storage", types.ExprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+
+	callee := staticCallee(info, call)
+	if callee == nil {
+		// Dynamic: a func value or an interface method.
+		if !onPanicPath(call.Pos()) {
+			add(call.Pos(), "dynamic call of %s cannot be verified allocation-free", types.ExprString(call.Fun))
+		}
+		return
+	}
+
+	// Variadic calls materialize their argument slice.
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Variadic() &&
+		call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		add(call.Pos(), "variadic call to %s allocates its argument slice", qualifiedName(callee))
+	} else {
+		// Interface boxing of arguments at non-variadic positions.
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			n := sig.Params().Len()
+			for i, arg := range call.Args {
+				if i >= n {
+					break
+				}
+				pt := sig.Params().At(i).Type()
+				if sig.Variadic() && i == n-1 {
+					break
+				}
+				c.checkBoxing(data, add, pt, arg)
+			}
+		}
+	}
+
+	if !onPanicPath(call.Pos()) {
+		data.calls = append(data.calls, callSite{call.Pos(), callee})
+	}
+}
+
+func (c *checker) checkBoxing(data *funcData, add func(token.Pos, string, ...any), dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	// A generic type parameter's underlying type is an interface, but
+	// instantiation does not box.
+	if _, isTP := dst.(*types.TypeParam); isTP {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isTuple := tv.Type.(*types.Tuple); isTuple {
+		return
+	}
+	if tv.IsNil() || pointerShaped(tv.Type) {
+		return
+	}
+	add(src.Pos(), "implicit conversion of %s to interface allocates", tv.Type)
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocation: pointers, interfaces, channels, maps, funcs,
+// unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv().Underlying()) {
+				return nil // interface dispatch is dynamic
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return staticCallee(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return staticCallee(info, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+func qualifiedName(fn *types.Func) string {
+	key := analysis.ObjectKey(fn)
+	// Trim the module prefix for readability; diagnostics stay stable.
+	return strings.TrimPrefix(key, "ldis/")
+}
+
+// ---------------------------------------------------------------------
+// append base tracking
+// ---------------------------------------------------------------------
+
+// appendTracker decides whether the base of an append is
+// caller-provided or function-owned storage — a parameter, the
+// receiver, a field or element reached from one, a local fixed-size
+// array, or a local slice derived from any of those. Appending into
+// such storage is the sanctioned zero-allocation pattern (scratch
+// buffers with capacity for the worst case, or reusable buffers with
+// a bounded high-water mark); appending into anything else can force
+// a fresh heap-allocated backing array on every call.
+type appendTracker struct {
+	pass   *analysis.Pass
+	params map[*types.Var]bool
+	// assigns maps each local variable to the right-hand sides
+	// assigned to it anywhere in the function.
+	assigns map[*types.Var][]ast.Expr
+	// zeroInit marks locals declared without an initializer: their nil
+	// zero value is not caller-provided storage, so a later
+	// self-append (x = append(x, ...)) allocates.
+	zeroInit map[*types.Var]bool
+	memo     map[*types.Var]int // 0 new, 1 visiting, 2 ok, 3 bad
+}
+
+func newAppendTracker(pass *analysis.Pass, decl *ast.FuncDecl) *appendTracker {
+	t := &appendTracker{
+		pass:     pass,
+		params:   make(map[*types.Var]bool),
+		assigns:  make(map[*types.Var][]ast.Expr),
+		zeroInit: make(map[*types.Var]bool),
+		memo:     make(map[*types.Var]int),
+	}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					t.params[v] = true
+				}
+			}
+		}
+	}
+	collect(decl.Recv)
+	collect(decl.Type.Params)
+	collect(decl.Type.Results) // named results belong to the caller's frame
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if v := t.varOf(id); v != nil {
+							t.assigns[v] = append(t.assigns[v], s.Rhs[i])
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if i < len(s.Values) {
+					t.assigns[v] = append(t.assigns[v], s.Values[i])
+				} else if len(s.Values) == 0 {
+					t.zeroInit[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return t
+}
+
+func (t *appendTracker) varOf(id *ast.Ident) *types.Var {
+	if v, ok := t.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := t.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func (t *appendTracker) callerProvided(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := t.varOf(x)
+		if v == nil {
+			return false
+		}
+		return t.varOK(v)
+	case *ast.SliceExpr:
+		return t.callerProvided(x.X)
+	case *ast.SelectorExpr:
+		return t.callerProvided(x.X)
+	case *ast.IndexExpr:
+		return t.callerProvided(x.X)
+	case *ast.StarExpr:
+		return t.callerProvided(x.X)
+	case *ast.CallExpr:
+		// append(append(base, ...), ...) chains.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := t.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(x.Args) > 0 {
+				return t.callerProvided(x.Args[0])
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func (t *appendTracker) varOK(v *types.Var) bool {
+	if t.params[v] {
+		return true
+	}
+	// A local fixed-size array is stack storage with a hard capacity.
+	if _, isArray := v.Type().Underlying().(*types.Array); isArray {
+		return true
+	}
+	if t.zeroInit[v] {
+		return false
+	}
+	switch t.memo[v] {
+	case 1:
+		return true // optimistic on x = append(x, ...) self-cycles
+	case 2:
+		return true
+	case 3:
+		return false
+	}
+	rhss, ok := t.assigns[v]
+	if !ok || len(rhss) == 0 {
+		t.memo[v] = 3
+		return false
+	}
+	t.memo[v] = 1
+	ok = true
+	for _, rhs := range rhss {
+		if !t.callerProvided(rhs) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		t.memo[v] = 2
+	} else {
+		t.memo[v] = 3
+	}
+	return ok
+}
+

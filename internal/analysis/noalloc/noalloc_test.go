@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis/atest"
+	"ldis/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	atest.Run(t, noalloc.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,111 @@
+// Package a is the noalloc golden fixture: every construct the
+// analyzer must flag, alongside the sanctioned zero-allocation
+// patterns it must accept.
+package a
+
+import (
+	"fmt"
+	"math/bits"
+
+	b "ldis/internal/analysis/noalloc/testdata/src/b"
+)
+
+var sink any
+
+//ldis:noalloc
+func Flagged(n int, buf []int) []int {
+	m := make([]int, n) // want `make allocates`
+	_ = m
+	p := new(int) // want `new allocates`
+	_ = p
+	lit := []int{1, 2} // want `slice literal allocates`
+	_ = lit
+	ml := map[int]int{} // want `map literal allocates`
+	_ = ml
+	var grow []int
+	grow = append(grow, n) // want `append may grow grow`
+	_ = grow
+	sink = n       // want `implicit conversion of int to interface allocates`
+	f := func() {} // want `closure literal allocates`
+	_ = f
+	go spin()      // want `go statement allocates a goroutine`
+	fmt.Println(n) // want `variadic call to fmt.Println allocates its argument slice` `call to fmt.Println cannot be verified allocation-free`
+	return buf
+}
+
+func spin() {}
+
+//ldis:noalloc
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//ldis:noalloc
+func Bytes(s string) []byte {
+	return []byte(s) // want `conversion of string to \[\]byte allocates`
+}
+
+//ldis:noalloc
+func Root() int {
+	return helper(3)
+}
+
+// helper is unannotated but reachable from the //ldis:noalloc Root,
+// so its body is checked transitively.
+func helper(n int) int {
+	tmp := make([]int, n) // want `make allocates \(in helper, reachable from //ldis:noalloc Root\)`
+	return len(tmp)
+}
+
+//ldis:noalloc
+func Dynamic(fn func() int) int {
+	return fn() // want `dynamic call of fn cannot be verified allocation-free`
+}
+
+//ldis:noalloc
+func CrossPackage(x, y int) int {
+	v := b.Clean(x, y) // verified via the exported fact: no diagnostic
+	v += len(b.Dirty(x)) // want `call to internal/analysis/noalloc/testdata/src/b\.Dirty cannot be verified allocation-free`
+	return v
+}
+
+type scratch struct {
+	buf [8]int
+	ev  []int
+}
+
+// Clean exercises every sanctioned pattern: appends into
+// caller-provided or function-owned storage, pure std kernels, value
+// composite literals, and panic-path allocation.
+//
+//ldis:noalloc
+func (s *scratch) Clean(dst []int, v int) []int {
+	dst = append(dst, v)
+	tmp := s.buf[:0]
+	tmp = append(tmp, v)
+	w := s.ev[:0]
+	w = append(w, v)
+	s.ev = w
+	var local [4]int
+	l := local[:0]
+	l = append(l, bits.OnesCount64(uint64(v)))
+	_ = l
+	type pair struct{ a, b int }
+	pr := pair{v, v} // value composite literal: stack storage
+	if pr.a < 0 {
+		panic(fmt.Sprintf("negative %d", pr.a)) // panic path is exempt
+	}
+	return dst
+}
+
+//ldis:noalloc
+func Suppressed(n int) {
+	//ldis:alloc-ok fixture: sanctioned amortized growth
+	buf := make([]int, n)
+	_ = buf
+}
+
+func Unjustified() int {
+	//ldis:alloc-ok // want `//ldis:alloc-ok requires a justification`
+	return 0
+}

@@ -1,0 +1,18 @@
+// Package b provides cross-package callees for the noalloc fixture:
+// one function that verifies allocation-free, one that does not. The
+// driver analyzes this package first (dependency order) and exports
+// per-function cleanliness facts that package a's checks consume.
+package b
+
+// Clean is verified allocation-free.
+func Clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Dirty allocates.
+func Dirty(n int) []int {
+	return make([]int, n)
+}

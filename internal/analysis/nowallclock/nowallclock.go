@@ -1,0 +1,87 @@
+// Package nowallclock bans wall-clock time and ambient randomness in
+// the simulation packages.
+//
+// Every simulation under internal/ must be a pure function of its
+// configuration and seed: the paper's reverter and MT-filter results
+// are only meaningful if a run can be reproduced bit-for-bit. That
+// rules out time.Now/time.Since (wall-clock dependence) and the
+// global math/rand generators (process-wide mutable state, seeded
+// from the clock) anywhere in the simulator. Seeded per-benchmark
+// generators — xorshift/splitmix state threaded through structs, or a
+// *rand.Rand constructed from an explicit seed — are the only
+// sanctioned randomness. Wall-clock use stays legal in cmd/ (the
+// profiling and report-stamping layer), which is outside internal/.
+package nowallclock
+
+import (
+	"go/types"
+	"strings"
+
+	"ldis/internal/analysis"
+)
+
+// Analyzer is the nowallclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc:  "ban time.Now/time.Since and global math/rand state in simulation packages (internal/...)",
+	Run:  run,
+}
+
+// bannedTimeFuncs are the wall-clock entry points; anything derived
+// from them (time.Since calls time.Now) is non-reproducible.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func inScope(path string) bool {
+	return strings.HasPrefix(path, "ldis/internal/") ||
+		strings.Contains(path, "/nowallclock/testdata/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	// The analyzers package itself is exempt: it is tooling, not
+	// simulation, and shells out to the go command.
+	if strings.HasPrefix(pass.Pkg.Path(), "ldis/internal/analysis") &&
+		!strings.Contains(pass.Pkg.Path(), "/testdata/") {
+		return nil
+	}
+	pass.Directives.CheckJustifications(pass, analysis.DirNondetOK)
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		// Package-level functions only: methods on a seeded *rand.Rand
+		// instance are the sanctioned form of randomness.
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		var msg string
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				msg = "wall-clock time." + fn.Name() + " in simulation package; simulations must be pure functions of configuration and seed (cmd/ is the place for timing)"
+			}
+		case "math/rand", "math/rand/v2":
+			// Constructors (New, NewSource, NewPCG, ...) build the
+			// sanctioned explicitly-seeded generators; only the global
+			// top-level functions share process-wide state.
+			if !strings.HasPrefix(fn.Name(), "New") {
+				msg = "global " + fn.Pkg().Path() + "." + fn.Name() + " in simulation package; use a seeded per-benchmark generator (rand.New or the xorshift state already threaded through the simulators)"
+			}
+		}
+		if msg == "" {
+			continue
+		}
+		if pass.Directives.Suppressed(id.Pos(), analysis.DirNondetOK) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "%s", msg)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis/atest"
+	"ldis/internal/analysis/nowallclock"
+)
+
+func TestNowallclock(t *testing.T) {
+	atest.Run(t, nowallclock.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,36 @@
+// Package a is the nowallclock golden fixture.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged uses wall-clock time and the global generator.
+func Flagged() int64 {
+	t := time.Now() // want `wall-clock time.Now`
+	d := time.Since(t) // want `wall-clock time.Since`
+	return int64(d) + int64(rand.Intn(10)) // want `global math/rand.Intn`
+}
+
+// AsValue passes a banned function as a value; still flagged.
+func AsValue() func() time.Time {
+	return time.Now // want `wall-clock time.Now`
+}
+
+// Seeded is the sanctioned pattern: an explicitly seeded generator.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Durations only does arithmetic on time values; no clock reads.
+func Durations(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+// Suppressed documents why the clock read is harmless.
+func Suppressed() time.Time {
+	//ldis:nondet-ok fixture: exercises the suppression path
+	return time.Now()
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import "sort"
+
+// Run applies every analyzer to every loaded package, in the loader's
+// dependency order so that facts flow bottom-up, and returns the
+// diagnostics for the target (non-DepOnly) packages sorted by
+// position. Packages loaded only as dependencies are still analyzed —
+// their facts feed dependent packages — but their diagnostics are
+// dropped, matching `go vet`'s per-target reporting.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	facts := NewFactStore()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		target := !pkg.DepOnly
+		dirs := ParseDirectives(pkg.Fset, pkg.Syntax)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Syntax,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.Info,
+				Directives:  dirs,
+				ModuleFacts: true,
+				facts:       facts,
+				report: func(d Diagnostic) {
+					if target {
+						diags = append(diags, d)
+					}
+				},
+			}
+			// Analyzer errors are programming errors in the analyzer
+			// itself; surface them as diagnostics rather than aborting
+			// the whole run.
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Message:  "internal error: " + err.Error(),
+				})
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunSingle applies the analyzers to one package with no cross-package
+// facts — the unitchecker (`go vet -vettool`) regime.
+func RunSingle(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	dirs := ParseDirectives(pkg.Fset, pkg.Syntax)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Syntax,
+			Pkg:         pkg.Types,
+			TypesInfo:   pkg.Info,
+			Directives:  dirs,
+			ModuleFacts: false,
+			facts:       NewFactStore(),
+			report:      func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name,
+				Message:  "internal error: " + err.Error(),
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,28 @@
+package suite_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis"
+	"ldis/internal/analysis/suite"
+)
+
+// TestTreeIsLintClean runs the full analyzer suite over the module,
+// exactly as `make lint` does. The tree being lint-clean is a merge
+// invariant: the determinism and zero-allocation guarantees the
+// experiment engine documents are only as good as this gate.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	pkgs, err := analysis.Load("../../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, d := range analysis.Run(suite.All, pkgs) {
+		t.Errorf("%s", d)
+	}
+}

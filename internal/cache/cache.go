@@ -149,6 +149,8 @@ func (c *Cache) Lookup(line mem.LineAddr) bool {
 // the stats. On a miss nothing is installed — callers model the fill
 // with Install, mirroring how the simulated hierarchy overlaps fills
 // with memory latency.
+//
+//ldis:noalloc
 func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
 	st := &c.st
 	st.Accesses++
@@ -187,6 +189,8 @@ func (c *Cache) promote(set []Line, pos int, l Line) {
 // footprint bit set, evicting the LRU entry if the set is full. It
 // returns the victim, if any. Installing a line that is already present
 // is a programming error and panics.
+//
+//ldis:noalloc
 func (c *Cache) Install(line mem.LineAddr, word int, write bool) (Victim, bool) {
 	si := c.setIndexOf(line)
 	set := c.sets[si]

@@ -182,6 +182,8 @@ func (c *Cache) nextRand() uint64 {
 // including the fill on a miss (the timing of the memory fetch is
 // modelled separately by the CPU simulator). The returned ValidBits
 // tell the L1D which words of the line it receives.
+//
+//ldis:noalloc
 func (c *Cache) Access(la mem.LineAddr, word int, write bool) AccessResult {
 	return c.access(la, word, write, false)
 }
@@ -190,6 +192,8 @@ func (c *Cache) Access(la mem.LineAddr, word int, write bool) AccessResult {
 // lines live in the LOC like any line but are never distilled into the
 // WOC on eviction — the paper performs LDIS only for data lines
 // (Section 4).
+//
+//ldis:noalloc
 func (c *Cache) AccessInstruction(la mem.LineAddr, word int, write bool) AccessResult {
 	return c.access(la, word, write, true)
 }
@@ -339,6 +343,7 @@ func (c *Cache) evictLOC(s *set, si int, v locEntry) {
 	}
 	slots := mem.Pow2WordsFor(used)
 	if c.cfg.Slots != nil {
+		//ldis:alloc-ok Slots is an ablation extension hook; configs that install one own its allocation behaviour
 		slots = c.cfg.Slots(c.lineFromTag(v.tag, si), v.fp)
 	}
 	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots})
@@ -414,6 +419,7 @@ func (c *Cache) evictLOCNarrow(s *set, si int, v locEntry) {
 	}
 	slots := mem.Pow2WordsFor(used)
 	if c.cfg.Slots != nil {
+		//ldis:alloc-ok Slots is an ablation extension hook; configs that install one own its allocation behaviour
 		slots = c.cfg.Slots(c.lineFromTag(v.tag, si), v.fp)
 	}
 	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots})

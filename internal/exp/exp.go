@@ -146,6 +146,7 @@ func registerExp(id, about string, run Runner) {
 // IDs lists the registered experiment ids in sorted order.
 func IDs() []string {
 	ids := make([]string, 0, len(experiments))
+	//ldis:nondet-ok key collection only; the slice is sorted immediately below
 	for id := range experiments {
 		ids = append(ids, id)
 	}

@@ -42,6 +42,8 @@ func (f Footprint) Words() []int {
 // order, to buf and returns the extended slice. Passing a scratch
 // buffer with capacity WordsPerLine makes the call allocation-free;
 // simulation hot paths use this instead of Words.
+//
+//ldis:noalloc
 func (f Footprint) AppendWords(buf []int) []int {
 	for w := 0; w < WordsPerLine; w++ {
 		if f.Has(w) {

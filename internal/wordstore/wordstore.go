@@ -149,6 +149,8 @@ func (s *Set) nthCandidate(slots int, wantFree bool, k int) candidate {
 // value — among the eligible aligned candidates (paper Section 5.3);
 // fully free regions are preferred because they never cost an eviction.
 // It returns the evicted lines, valid until the next mutation.
+//
+//ldis:noalloc
 func (s *Set) Install(nl Line, rnd uint64) []Line {
 	s.checkInstall(nl)
 	nfree, nocc := s.countCandidates(nl.Slots)
@@ -167,6 +169,8 @@ func (s *Set) Install(nl Line, rnd uint64) []Line {
 // the candidate region whose youngest resident line is oldest (a
 // variable-size LRU approximation — the policy the paper's footnote 4
 // says random replacement approximates).
+//
+//ldis:noalloc
 func (s *Set) InstallLRU(nl Line) []Line {
 	s.checkInstall(nl)
 	var best candidate

@@ -140,6 +140,11 @@ type profileStream struct {
 	codePos   int
 }
 
+// Next emits the stream's next access. This is the workload side of
+// the simulation hot path: one call per simulated access, so it must
+// stay allocation-free.
+//
+//ldis:noalloc
 func (s *profileStream) Next() (mem.Access, bool) {
 	if s.ifetchAcc >= 1 {
 		s.ifetchAcc--
@@ -152,6 +157,7 @@ func (s *profileStream) Next() (mem.Access, bool) {
 		return mem.Access{Addr: a, PC: a, Kind: mem.IFetch}, true
 	}
 	if s.idx >= len(s.pending.words) {
+		//ldis:alloc-ok interface dispatch; every next implementation carries its own //ldis:noalloc annotation below
 		s.pending = s.visitor.next()
 		s.idx = 0
 		if len(s.pending.words) == 0 {

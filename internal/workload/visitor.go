@@ -113,6 +113,7 @@ func (v *tierVisitor) nextU64() uint64 {
 	return v.rng
 }
 
+//ldis:noalloc
 func (v *tierVisitor) next() visit {
 	u := float64(v.nextU64()>>11) / (1 << 53)
 	tier := v.spec.Tiers[len(v.spec.Tiers)-1]
@@ -179,6 +180,7 @@ type scanVisitor struct {
 	bs     burstState
 }
 
+//ldis:noalloc
 func (v *scanVisitor) next() visit {
 	line := v.base + mem.LineAddr(v.pos)
 	v.pos += v.stride
@@ -239,6 +241,7 @@ var (
 	fullLineWords = []int{0, 1, 2, 3, 4, 5, 6, 7}
 )
 
+//ldis:noalloc
 func (v *twoPhaseVisitor) next() visit {
 	pcs := v.spec.PCs
 	if pcs < 1 {
@@ -315,6 +318,7 @@ type mixVisitor struct {
 	seed  uint64
 }
 
+//ldis:noalloc
 func (v *mixVisitor) next() visit {
 	v.seed = splitmix64(v.seed)
 	u := float64(v.seed>>11) / (1 << 53)
@@ -322,9 +326,11 @@ func (v *mixVisitor) next() visit {
 	for i, f := range v.fracs {
 		acc += f
 		if u < acc {
+			//ldis:alloc-ok interface dispatch; every visitor's next carries its own //ldis:noalloc annotation
 			return v.subs[i].next()
 		}
 	}
+	//ldis:alloc-ok interface dispatch; every visitor's next carries its own //ldis:noalloc annotation
 	return v.subs[len(v.subs)-1].next()
 }
 
