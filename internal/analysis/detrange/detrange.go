@@ -5,7 +5,8 @@
 // -parallel worker count — dies the moment map iteration order can
 // reach an output row, a table cell, or a result-assembly index. In
 // the packages that assemble output (internal/exp, internal/stats,
-// internal/par), a `for ... range m` over a map is therefore banned
+// internal/par) and the benchmark registry that feeds row order
+// (internal/workload), a `for ... range m` over a map is therefore banned
 // outright: either iterate a sorted key slice, or annotate the site
 // with `//ldis:nondet-ok <why>` proving the order cannot reach any
 // output (for example, a key collection that is sorted immediately
@@ -25,12 +26,13 @@ var Packages = []string{
 	"ldis/internal/exp",
 	"ldis/internal/stats",
 	"ldis/internal/par",
+	"ldis/internal/workload",
 }
 
 // Analyzer is the detrange analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
-	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par) unless annotated //ldis:nondet-ok",
+	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload) unless annotated //ldis:nondet-ok",
 	Run:  run,
 }
 

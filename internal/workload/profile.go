@@ -212,6 +212,7 @@ func ByName(name string) (*Profile, error) {
 // Names lists all registered profiles in sorted order.
 func Names() []string {
 	names := make([]string, 0, len(registry))
+	//ldis:nondet-ok key collection only; the slice is sorted immediately below
 	for n := range registry {
 		names = append(names, n)
 	}
