@@ -1,14 +1,20 @@
 # ldis — build, verification, and benchmark targets.
 #
-# `make check` is the tier-1 gate: build, vet, tests.
+# `make check` is the tier-1 gate: build, vet, lint, tests.
+# `make lint` runs the project's own analyzer suite (cmd/ldislint):
+# noalloc, detrange, nowallclock, gridpure — the determinism and
+# zero-allocation invariants enforced at compile time.
 # `make race` runs the test suite under the race detector (the
 # experiment engine fans (benchmark × configuration) cells out across
 # worker goroutines, so the suite doubles as a scheduler race test).
 # `make bench-smoke` regenerates BENCH_throughput.json with a short run.
+# `make fuzz-smoke` runs the trace-codec fuzzer briefly over the
+# committed seed corpus.
 
 GO ?= go
 
-.PHONY: all build vet test check race bench bench-smoke profile clean
+.PHONY: all build vet lint lint-install test check race bench bench-smoke \
+	fuzz-smoke govulncheck profile clean
 
 all: check
 
@@ -18,13 +24,39 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project analyzer suite, standalone driver. This is the authoritative
+# lint gate: unlike vet mode it verifies //ldis:noalloc call chains
+# across package boundaries (see DESIGN.md).
+lint:
+	$(GO) run ./cmd/ldislint ./...
+
+# Install ldislint into GOBIN so `go vet -vettool=$$(command -v
+# ldislint) ./...` works from any checkout.
+lint-install:
+	$(GO) install ./cmd/ldislint
+
 test:
 	$(GO) test ./...
 
-check: build vet test
+check: build vet lint test
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzz run of the trace codec over the committed seed corpus
+# (internal/trace/testdata/fuzz). Sized for CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/trace
+
+# Advisory vulnerability scan: runs only if govulncheck is installed
+# (it is not vendored; `go install golang.org/x/vuln/cmd/govulncheck@latest`
+# needs network access). Never fails the build.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || true; \
+	else \
+		echo "govulncheck not installed; skipping (advisory only)"; \
+	fi
 
 # Full benchmark suite (per-figure, hot-path, and scheduler fan-out).
 bench:
