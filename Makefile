@@ -10,11 +10,14 @@
 # `make bench-smoke` regenerates BENCH_throughput.json with a short run.
 # `make fuzz-smoke` runs the trace-codec fuzzer briefly over the
 # committed seed corpus.
+# `make chaos` runs the fault-injection suite: seeded panics, corrupt
+# traces, and kill-mid-sweep checkpoints driven through the full
+# engine (see DESIGN.md §8).
 
 GO ?= go
 
 .PHONY: all build vet lint lint-install test check race bench bench-smoke \
-	fuzz-smoke govulncheck profile clean
+	chaos fuzz-smoke govulncheck profile clean
 
 all: check
 
@@ -42,6 +45,13 @@ check: build vet lint test
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection (chaos) suite: the resilience tests across the
+# scheduler, checkpoint, trace-decode, and fault-injector layers, run
+# under the race detector so injected panics can't hide a data race.
+chaos:
+	$(GO) test -race -run 'Chaos|Checkpoint|Panic|Policy|Fault|Corrupt|Lenient' \
+		./internal/exp ./internal/par ./internal/trace ./internal/faultinject
 
 # Short fuzz run of the trace codec over the committed seed corpus
 # (internal/trace/testdata/fuzz). Sized for CI.

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"ldis"
+	"ldis/internal/mem"
 	"ldis/internal/trace"
 	"ldis/internal/workload"
 )
@@ -21,6 +22,7 @@ import (
 func main() {
 	benchmark := flag.String("benchmark", "mcf", "synthetic benchmark name")
 	traceFile := flag.String("trace", "", "replay a binary trace file (from tracegen) instead of a synthetic benchmark")
+	lenient := flag.Bool("lenient", false, "with -trace: replay the valid prefix of a corrupt trace instead of refusing it")
 	cacheKind := flag.String("cache", "distill", "cache organization: baseline | distill | cmpr | fac | sfp | trad")
 	accesses := flag.Int("accesses", 1_000_000, "number of memory accesses to simulate")
 	sizeMB := flag.Int("size-mb", 1, "cache size in MB (trad only)")
@@ -49,7 +51,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "distillsim:", err)
 			os.Exit(1)
 		}
-		accs, err := trace.Read(f)
+		var accs []mem.Access
+		if *lenient {
+			var cerr *trace.CorruptError
+			accs, cerr = trace.ReadLenient(f)
+			if cerr != nil {
+				fmt.Fprintf(os.Stderr, "distillsim: warning: %v; replaying %d-access valid prefix\n", cerr, len(accs))
+			}
+		} else {
+			accs, err = trace.Read(f)
+		}
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "distillsim:", err)

@@ -49,6 +49,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit tables as CSV")
 	parallel := flag.Int("parallel", 0, "worker goroutines for (benchmark × configuration) cells (0 = GOMAXPROCS)")
 	outDir := flag.String("out", "", "also write each experiment's tables to <dir>/<id>.txt (or .md/.csv per format flag)")
+	resume := flag.Bool("resume", false, "checkpoint completed cells to <out>/"+exp.CheckpointFile+" and replay them on restart (requires -out)")
+	keepGoing := flag.Bool("keep-going", false, "run every cell to completion; report failed cells in a table and exit nonzero instead of aborting at the first failure")
+	retries := flag.Int("retries", 0, "extra attempts per failing cell before its failure counts")
+	faultSeed := flag.Uint64("fault-seed", 0, "chaos testing: deterministically panic a seeded subset of cells (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	throughput := flag.String("throughput", "", "measure simulated accesses/sec per experiment and write a JSON report to this file (e.g. BENCH_throughput.json)")
@@ -75,8 +79,14 @@ func main() {
 	o.Accesses = *accesses
 	o.WarmupFrac = *warmup
 	o.Parallel = *parallel
+	o.Retries = *retries
+	o.FaultSeed = *faultSeed
 	if *benchmarks != "" {
 		o.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *keepGoing {
+		o.KeepGoing = true
+		o.Failures = exp.NewFailureLog()
 	}
 
 	if *outDir != "" {
@@ -84,6 +94,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ldisexp:", err)
 			os.Exit(1)
 		}
+	}
+	var ck *exp.Checkpoint
+	if *resume {
+		if *outDir == "" {
+			fmt.Fprintln(os.Stderr, "ldisexp: -resume requires -out (the checkpoint lives in the output directory)")
+			os.Exit(2)
+		}
+		path := filepath.Join(*outDir, exp.CheckpointFile)
+		var err error
+		if ck, err = exp.OpenCheckpoint(path, o); err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+		defer ck.Close()
+		if n := ck.Loaded(); n > 0 {
+			fmt.Printf("[resuming: %d completed cells in %s]\n", n, path)
+		}
+		o.Checkpoint = ck
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -142,6 +170,10 @@ func main() {
 		tables, err := exp.Run(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ldisexp: %s: %v\n", id, err)
+			if ck != nil {
+				ck.Close()
+				fmt.Fprintf(os.Stderr, "ldisexp: %d completed cells checkpointed; rerun with -resume to continue\n", ck.Recorded()+ck.Loaded())
+			}
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
@@ -184,5 +216,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("throughput report: %s (%.0f accesses/s overall)\n", *throughput, report.Total.AccessesPerSec)
+	}
+	if ck != nil {
+		fmt.Printf("[checkpoint: %d cells replayed, %d newly recorded]\n", ck.Replayed(), ck.Recorded())
+	}
+	if o.Failures != nil && o.Failures.Len() > 0 {
+		// The failure table is deterministic: same cells, same order,
+		// at any worker count.
+		fmt.Fprint(os.Stderr, o.Failures.Table().String())
+		fmt.Fprintf(os.Stderr, "ldisexp: %d cells failed; healthy benchmarks rendered above\n", o.Failures.Len())
+		if ck != nil {
+			ck.Close()
+		}
+		os.Exit(1)
 	}
 }

@@ -5,8 +5,10 @@
 // -parallel worker count — dies the moment map iteration order can
 // reach an output row, a table cell, or a result-assembly index. In
 // the packages that assemble output (internal/exp, internal/stats,
-// internal/par) and the benchmark registry that feeds row order
-// (internal/workload), a `for ... range m` over a map is therefore banned
+// internal/par), the benchmark registry that feeds row order
+// (internal/workload), and the chaos-suite fault injectors whose
+// decisions must reproduce bit-for-bit (internal/faultinject), a
+// `for ... range m` over a map is therefore banned
 // outright: either iterate a sorted key slice, or annotate the site
 // with `//ldis:nondet-ok <why>` proving the order cannot reach any
 // output (for example, a key collection that is sorted immediately
@@ -27,12 +29,13 @@ var Packages = []string{
 	"ldis/internal/stats",
 	"ldis/internal/par",
 	"ldis/internal/workload",
+	"ldis/internal/faultinject",
 }
 
 // Analyzer is the detrange analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
-	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload) unless annotated //ldis:nondet-ok",
+	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject) unless annotated //ldis:nondet-ok",
 	Run:  run,
 }
 

@@ -1,8 +1,8 @@
 // Package gridpure checks that cell functions handed to the par
 // scheduler are pure functions of their index.
 //
-// par.Map and par.Grid promise results that are byte-identical at any
-// worker count. That guarantee holds because every cell is a pure
+// par.Map and par.Grid (and their MapPolicy/GridPolicy variants)
+// promise results that are byte-identical at any worker count. That guarantee holds because every cell is a pure
 // function of its task index and results are written only into the
 // scheduler's own index-ordered slots. A cell closure that writes to
 // a variable captured from the enclosing scope (an accumulator, a
@@ -28,7 +28,7 @@ import (
 // Analyzer is the gridpure analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "gridpure",
-	Doc:  "cell functions passed to par.Map/par.Grid must not write captured variables (except distinct slice elements)",
+	Doc:  "cell functions passed to par.Map/Grid/MapPolicy/GridPolicy must not write captured variables (except distinct slice elements)",
 	Run:  run,
 }
 
@@ -48,11 +48,13 @@ func run(pass *analysis.Pass) error {
 			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != parPkg {
 				return true
 			}
-			if name := callee.Name(); name != "Map" && name != "Grid" {
+			switch callee.Name() {
+			case "Map", "Grid", "MapPolicy", "GridPolicy":
+			default:
 				return true
 			}
-			// The cell function is the final parameter of both Map and
-			// Grid.
+			// The cell function is the final parameter of every
+			// scheduler entry point.
 			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
 			if !ok {
 				return true

@@ -45,6 +45,25 @@ func BadGlobal(n int) {
 	})
 }
 
+// BadPolicyAccumulator: the policy-driven entry points carry the same
+// purity contract as the plain ones.
+func BadPolicyAccumulator(n int) int {
+	total := 0
+	_, _ = par.MapPolicy(par.Policy{}, 0, n, func(i int) (int, error) {
+		total += i // want `writes captured variable "total"`
+		return i, nil
+	})
+	return total
+}
+
+// BadGridPolicyWrite mutates a captured struct from a GridPolicy cell.
+func BadGridPolicyWrite(s *state, rows, cols int) {
+	_, _ = par.GridPolicy(par.Policy{FailFast: true}, 0, rows, cols, func(r, c int) (int, error) {
+		s.n = r * c // want `writes a field of captured variable "s"`
+		return 0, nil
+	})
+}
+
 // Good shows the sanctioned shapes: cells read captured configuration,
 // write only their own locals, and publish through the scheduler's
 // index-ordered results (or distinct elements of a captured slice).

@@ -24,7 +24,7 @@ func AblationWOCWays(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: WOC way count (MPKI, 1MB 8-way total)",
 		"benchmark", "baseline", "1 WOC way", "2 WOC ways", "3 WOC ways", "4 WOC ways")
-	rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
 		if col == 0 {
 			base, _ := baselineMPKI(prof, o)
 			return base.MPKI(), nil
@@ -35,7 +35,7 @@ func AblationWOCWays(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4])
 	}
 	return []*stats.Table{t}, nil
@@ -49,7 +49,7 @@ func AblationThreshold(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: distillation threshold K (MPKI, no reverter)",
 		"benchmark", "K=1", "K=2", "K=4", "K=8", "median")
-	rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
 		var cfg distill.Config
 		if col < 4 {
 			cfg = ldisBase(2, prof.Seed)
@@ -63,7 +63,7 @@ func AblationThreshold(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4])
 	}
 	return []*stats.Table{t}, nil
@@ -77,7 +77,7 @@ func AblationVictim(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: distillation vs full-line victim buffer (MPKI)",
 		"benchmark", "baseline", "distill (LDIS-MT-RC)", "victim buffer")
-	rows, err := runGrid(o, 3, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 3, func(prof *workload.Profile, col int) (float64, error) {
 		switch col {
 		case 0:
 			base, _ := baselineMPKI(prof, o)
@@ -95,7 +95,7 @@ func AblationVictim(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2])
 	}
 	return []*stats.Table{t}, nil
@@ -109,7 +109,7 @@ func AblationPrefetch(o Options) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: next-line prefetching composed with LDIS (MPKI)",
 		"benchmark", "baseline", "baseline+pf2", "distill", "distill+pf2")
-	rows, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
 		var l2 hierarchy.L2
 		switch col {
 		case 0:
@@ -129,7 +129,7 @@ func AblationPrefetch(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3])
 	}
 	return []*stats.Table{t}, nil
@@ -147,7 +147,7 @@ func AblationLeaderSets(o Options) ([]*stats.Table, error) {
 	leaderCounts := []int{8, 32, 128}
 	t := stats.NewTable("Ablation: reverter leader-set count (MPKI)",
 		"benchmark", "baseline", "8 leaders", "32 leaders", "128 leaders")
-	rows, err := runGrid(o, 1+len(leaderCounts), func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 1+len(leaderCounts), func(prof *workload.Profile, col int) (float64, error) {
 		if col == 0 {
 			base, _ := baselineMPKI(prof, o)
 			return base.MPKI(), nil
@@ -164,7 +164,7 @@ func AblationLeaderSets(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		t.AddRow(name, rows[i][0], rows[i][1], rows[i][2], rows[i][3])
 	}
 	return []*stats.Table{t}, nil
@@ -207,7 +207,7 @@ func AblationTraffic(o Options) ([]*stats.Table, error) {
 		"benchmark", "base fills", "base wbs", "distill fills", "distill wbs", "traffic delta %")
 	// A cell returns {fills, writebacks} per kilo-instruction for its
 	// configuration; the delta is assembled afterwards.
-	rows, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([2]float64, error) {
+	names, rows, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([2]float64, error) {
 		if col == 0 {
 			sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
 			countSimAccesses(sysB.Run(prof.Stream(), o.Accesses))
@@ -228,7 +228,7 @@ func AblationTraffic(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		bf, bw := rows[i][0][0], rows[i][0][1]
 		df, dw := rows[i][1][0], rows[i][1][1]
 		delta := 0.0

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ldis/internal/faultinject"
+)
+
+// The chaos suite (`make chaos` runs it via -run 'Chaos|Checkpoint')
+// drives seeded faults through the full experiment engine and checks
+// the three resilience guarantees: healthy rows render byte-identical
+// to a fault-free run, the failure report is deterministic at any
+// worker count, and retries absorb exactly the transient faults.
+//
+// Seed 1 is chosen so the table6 grid over {ammp, mcf, swim, health}
+// has a known mix: swim/2 faults transiently, health/3 permanently,
+// ammp and mcf are untouched. chaosSeedMix pins that down so a drift
+// in the injector's hash would fail loudly here rather than silently
+// weakening the assertions below.
+const chaosSeed = 1
+
+var chaosBenches = []string{"ammp", "mcf", "swim", "health"}
+
+func chaosOptions() Options {
+	return Options{Accesses: 20_000, WarmupFrac: 0.25,
+		Benchmarks: chaosBenches, Parallel: 4,
+		KeepGoing: true, FaultSeed: chaosSeed, Failures: NewFailureLog()}
+}
+
+func TestChaosSeedMix(t *testing.T) {
+	inj := faultinject.NewDefault(chaosSeed)
+	for _, tc := range []struct {
+		site              string
+		faulty, transient bool
+	}{
+		{"table6/swim/2", true, true},
+		{"table6/health/3", true, false},
+		{"table6/ammp/0", false, false},
+		{"table6/mcf/4", false, false},
+	} {
+		f, tr := inj.Site(tc.site)
+		if f != tc.faulty || tr != tc.transient {
+			t.Errorf("Site(%s) = (%v,%v), want (%v,%v)", tc.site, f, tr, tc.faulty, tc.transient)
+		}
+	}
+	// The full expected fault set for the chaos grid.
+	var faults []string
+	for _, b := range chaosBenches {
+		for c := 0; c < len(Table6Sizes); c++ {
+			if f, _ := inj.Site(fmt.Sprintf("table6/%s/%d", b, c)); f {
+				faults = append(faults, fmt.Sprintf("%s/%d", b, c))
+			}
+		}
+	}
+	if got := strings.Join(faults, " "); got != "swim/2 health/3" {
+		t.Errorf("fault set = %q, want \"swim/2 health/3\"", got)
+	}
+}
+
+// TestChaosHealthyRowsByteIdentical: under keep-going with injected
+// panics, the surviving benchmarks render exactly as a fault-free run
+// restricted to those benchmarks would.
+func TestChaosHealthyRowsByteIdentical(t *testing.T) {
+	o := chaosOptions()
+	tables, err := Run("table6", o)
+	if err != nil {
+		t.Fatalf("keep-going run should not fail: %v", err)
+	}
+	got := ""
+	for _, tb := range tables {
+		got += tb.String() + "\n" + tb.CSV() + "\n"
+	}
+
+	// swim and health each have a faulted cell; ammp and mcf survive.
+	clean := Options{Accesses: o.Accesses, WarmupFrac: o.WarmupFrac,
+		Benchmarks: []string{"ammp", "mcf"}, Parallel: o.Parallel}
+	want := renderAll(t, "table6", clean)
+	if got != want {
+		t.Errorf("healthy rows differ from fault-free run:\n--- chaos ---\n%s\n--- clean ---\n%s", got, want)
+	}
+}
+
+// TestChaosFailureTableDeterministic: the rendered failure report is
+// byte-identical across worker counts and runs.
+func TestChaosFailureTableDeterministic(t *testing.T) {
+	render := func(parallel int) string {
+		o := chaosOptions()
+		o.Parallel = parallel
+		if _, err := Run("table6", o); err != nil {
+			t.Fatalf("Parallel=%d: %v", parallel, err)
+		}
+		return o.Failures.Table().String()
+	}
+	seq := render(1)
+	if par := render(4); par != seq {
+		t.Errorf("failure table differs across worker counts:\n--- P=1 ---\n%s\n--- P=4 ---\n%s", seq, par)
+	}
+	for _, cell := range []string{"swim", "health", "panic", "injected panic at table6/swim/2"} {
+		if !strings.Contains(seq, cell) {
+			t.Errorf("failure table missing %q:\n%s", cell, seq)
+		}
+	}
+	if strings.Contains(seq, "ammp") || strings.Contains(seq, "mcf") {
+		t.Errorf("healthy benchmarks leaked into the failure table:\n%s", seq)
+	}
+}
+
+// TestChaosRetriesAbsorbTransients: with one retry, the transient
+// swim/2 fault recovers and only the permanent health/3 fault remains.
+func TestChaosRetriesAbsorbTransients(t *testing.T) {
+	o := chaosOptions()
+	o.Retries = 1
+	tables, err := Run("table6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := o.Failures.Cells()
+	if len(fails) != 1 {
+		t.Fatalf("failures with retries = %d (%v), want 1", len(fails), fails)
+	}
+	f := fails[0]
+	if f.Benchmark != "health" || f.Col != 3 || f.Kind != "panic" || f.Attempts != 2 {
+		t.Errorf("surviving failure = %+v, want health/3 panic after 2 attempts", f)
+	}
+	// swim recovered, so three benchmarks render — identical to a
+	// fault-free run over those three.
+	got := ""
+	for _, tb := range tables {
+		got += tb.String() + "\n" + tb.CSV() + "\n"
+	}
+	clean := Options{Accesses: o.Accesses, WarmupFrac: o.WarmupFrac,
+		Benchmarks: []string{"ammp", "mcf", "swim"}, Parallel: o.Parallel}
+	if want := renderAll(t, "table6", clean); got != want {
+		t.Errorf("retried rows differ from fault-free run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestChaosFailFastSurfacesCell: without keep-going, the injected
+// panic aborts the sweep with the cell's coordinates in the error.
+func TestChaosFailFastSurfacesCell(t *testing.T) {
+	o := chaosOptions()
+	o.KeepGoing = false
+	o.Failures = nil
+	_, err := Run("table6", o)
+	if err == nil {
+		t.Fatal("fail-fast chaos run should error")
+	}
+	if !strings.Contains(err.Error(), "cell table6/") ||
+		!strings.Contains(err.Error(), "injected panic") {
+		t.Errorf("fail-fast error lacks cell coordinates: %v", err)
+	}
+}
+
+// TestChaosFailureBudget: the budget abandons the sweep after the
+// configured number of failures, marking unrun cells as skipped.
+func TestChaosFailureBudget(t *testing.T) {
+	o := chaosOptions()
+	o.Parallel = 1
+	o.FailBudget = 1
+	if _, err := Run("table6", o); err != nil {
+		t.Fatal(err)
+	}
+	var executed, skipped int
+	for _, f := range o.Failures.Cells() {
+		if f.Kind == "skipped" {
+			skipped++
+		} else {
+			executed++
+		}
+	}
+	if executed != 1 {
+		t.Errorf("executed failures = %d, want 1 (budget)", executed)
+	}
+	if skipped == 0 {
+		t.Error("budget exhaustion should mark remaining cells skipped")
+	}
+}

@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Grid checkpointing: every completed (benchmark × configuration) cell
+// is appended to a versioned, CRC-guarded record log, so a sweep
+// killed at any point — including mid-write — can be resumed by
+// replaying the completed cells and re-running only the remainder.
+// Because each cell is a pure function of (benchmark, column, options),
+// a resumed sweep renders byte-identical tables to an uninterrupted
+// one.
+//
+// File format (<out>/checkpoint.ldisck), all little-endian:
+//
+//	header: magic "LDCK" | version u16 | reserved u16 | fingerprint u64
+//	record: payload-length u32 | crc32(payload) u32 | payload
+//	payload: gob{Exp, Bench string; Col int; Data []byte}
+//
+// The fingerprint pins the options that produced the cells (accesses,
+// warmup fraction, benchmark set); opening a checkpoint with different
+// options is refused rather than silently mixing incompatible results.
+// The file contains simulated results only — no wall-clock timestamps
+// — so checkpointed runs stay deterministic.
+const (
+	ckMagic      = "LDCK"
+	ckVersion    = 1
+	ckHeaderSize = 4 + 2 + 2 + 8
+	// ckMaxPayload bounds one record; a longer length prefix marks a
+	// corrupt tail.
+	ckMaxPayload = 1 << 24
+
+	// CheckpointFile is the file name the CLI uses inside its -out
+	// directory.
+	CheckpointFile = "checkpoint.ldisck"
+)
+
+// ckRecord is the gob payload of one checkpoint record.
+type ckRecord struct {
+	Exp   string
+	Bench string
+	Col   int
+	Data  []byte
+}
+
+// Checkpoint is an append-only store of completed grid cells backed by
+// a single file. It is safe for concurrent use by scheduler workers.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	done map[string][]byte
+
+	loaded   int
+	replayed int
+	recorded int
+}
+
+func ckKey(exp, bench string, col int) string {
+	return exp + "\x00" + bench + "\x00" + fmt.Sprint(col)
+}
+
+// Fingerprint returns the checkpoint compatibility fingerprint of the
+// options: a hash over every field that changes simulated results.
+// Scheduling and resilience knobs (Parallel, KeepGoing, Retries, ...)
+// are deliberately excluded — they do not change what a cell computes.
+func (o Options) Fingerprint() uint64 {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accesses=%d|warmup=%g|benchmarks=%s",
+		o.Accesses, o.WarmupFrac, strings.Join(o.benchmarks(), ","))
+	h := uint64(14695981039346656037)
+	for i := 0; i < b.Len(); i++ {
+		h ^= uint64(b.String()[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint at path for the
+// given options. An existing file is validated against the options
+// fingerprint and scanned; a corrupt or partially-written tail — the
+// signature of a run killed mid-append — is discarded and truncated
+// away, keeping the valid record prefix. The caller must Close the
+// returned checkpoint.
+func OpenCheckpoint(path string, o Options) (*Checkpoint, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: opening checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, path: path, done: make(map[string][]byte)}
+	fp := o.Fingerprint()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size == 0 {
+		var hdr [ckHeaderSize]byte
+		copy(hdr[:4], ckMagic)
+		binary.LittleEndian.PutUint16(hdr[4:6], ckVersion)
+		binary.LittleEndian.PutUint64(hdr[8:16], fp)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exp: writing checkpoint header: %w", err)
+		}
+		return c, nil
+	}
+	if err := c.load(fp); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// load validates the header, reads the valid record prefix, and
+// truncates any corrupt tail so appends resume from a clean boundary.
+func (c *Checkpoint) load(fingerprint uint64) error {
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [ckHeaderSize]byte
+	if _, err := io.ReadFull(c.f, hdr[:]); err != nil {
+		return fmt.Errorf("exp: checkpoint %s: truncated header: %v", c.path, err)
+	}
+	if string(hdr[:4]) != ckMagic {
+		return fmt.Errorf("exp: checkpoint %s: bad magic %q", c.path, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != ckVersion {
+		return fmt.Errorf("exp: checkpoint %s: unsupported version %d", c.path, v)
+	}
+	if fp := binary.LittleEndian.Uint64(hdr[8:16]); fp != fingerprint {
+		return fmt.Errorf("exp: checkpoint %s was written with different options (fingerprint %016x, want %016x); rerun without -resume or delete it", c.path, fp, fingerprint)
+	}
+	valid := int64(ckHeaderSize)
+	r := newByteCounter(c.f)
+	for {
+		var pre [8]byte
+		if _, err := io.ReadFull(r, pre[:]); err != nil {
+			break // clean EOF or torn length prefix: stop at last valid record
+		}
+		n := binary.LittleEndian.Uint32(pre[0:4])
+		sum := binary.LittleEndian.Uint32(pre[4:8])
+		if n == 0 || n > ckMaxPayload {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec ckRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			break
+		}
+		c.done[ckKey(rec.Exp, rec.Bench, rec.Col)] = rec.Data
+		c.loaded++
+		valid = int64(ckHeaderSize) + r.n
+	}
+	if err := c.f.Truncate(valid); err != nil {
+		return fmt.Errorf("exp: repairing checkpoint tail: %w", err)
+	}
+	if _, err := c.f.Seek(valid, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// byteCounter counts bytes consumed from an io.Reader.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// lookup returns the recorded payload for a cell, if present, and
+// counts the replay.
+func (c *Checkpoint) lookup(exp, bench string, col int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.done[ckKey(exp, bench, col)]
+	if ok {
+		c.replayed++
+	}
+	return data, ok
+}
+
+// record appends one completed cell. The record is written with a
+// single Write call so a kill can at worst tear the final record —
+// exactly the case load repairs.
+func (c *Checkpoint) record(exp, bench string, col int, data []byte) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ckRecord{Exp: exp, Bench: bench, Col: col, Data: data}); err != nil {
+		return fmt.Errorf("exp: encoding checkpoint record: %w", err)
+	}
+	if payload.Len() > ckMaxPayload {
+		return fmt.Errorf("exp: checkpoint record for %s/%s/%d too large (%d bytes)", exp, bench, col, payload.Len())
+	}
+	buf := make([]byte, 8+payload.Len())
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(buf[8:], payload.Bytes())
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(buf); err != nil {
+		return fmt.Errorf("exp: appending checkpoint record: %w", err)
+	}
+	c.done[ckKey(exp, bench, col)] = data
+	c.recorded++
+	return nil
+}
+
+// Loaded reports how many completed cells the checkpoint held when
+// opened.
+func (c *Checkpoint) Loaded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loaded
+}
+
+// Replayed reports how many cells have been served from the
+// checkpoint instead of re-simulated since it was opened.
+func (c *Checkpoint) Replayed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replayed
+}
+
+// Recorded reports how many newly completed cells have been appended
+// since the checkpoint was opened.
+func (c *Checkpoint) Recorded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recorded
+}
+
+// Cells returns the sorted keys of all completed cells — a debugging
+// and test aid.
+func (c *Checkpoint) Cells() []string {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.done))
+	//ldis:nondet-ok key collection only; the slice is sorted immediately below
+	for k := range c.done {
+		keys = append(keys, strings.ReplaceAll(k, "\x00", "/"))
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Close flushes and closes the backing file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+// encodeCell serializes one cell result for checkpointing.
+func encodeCell[T any](v T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeCell deserializes a checkpointed cell result.
+func decodeCell[T any](data []byte, v *T) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

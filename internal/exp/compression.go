@@ -25,7 +25,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		return nil, err
 	}
 	const samples = 5
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig10Row, error) {
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Fig10Row, error) {
 		vals := prof.Values()
 		sys, c := hierarchy.Baseline("base-1MB", 1<<20, 8)
 		st := prof.Stream()
@@ -65,6 +65,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		}
 		return row, nil
 	})
+	return rows, err
 }
 
 func fig10Table(rows []Fig10Row) []*stats.Table {
@@ -92,7 +93,7 @@ func Fig11(o Options) ([]Fig11Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	grid, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
 		switch col {
 		case 0:
 			base, _ := baselineMPKI(prof, o)
@@ -119,7 +120,7 @@ func Fig11(o Options) ([]Fig11Row, error) {
 		return nil, err
 	}
 	rows := make([]Fig11Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		g := grid[i]
 		rows[i] = Fig11Row{
 			Benchmark: name,

@@ -8,6 +8,7 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"ldis/internal/cache"
 	"ldis/internal/distill"
@@ -30,6 +31,36 @@ type Options struct {
 	// configuration) simulation cells concurrently; 0 means GOMAXPROCS.
 	// Results are deterministic regardless of the setting.
 	Parallel int
+
+	// KeepGoing runs every cell to completion instead of aborting the
+	// sweep at the first failure. Failed cells are recorded in
+	// Failures; benchmarks with a failed cell are pruned from the
+	// results so healthy rows render exactly as in a fault-free run.
+	KeepGoing bool
+	// Retries gives each failing cell this many extra attempts before
+	// its failure counts. Cells are pure functions of their inputs,
+	// so retries only matter against injected or external transient
+	// faults.
+	Retries int
+	// FailBudget, when positive and KeepGoing is set, abandons the
+	// sweep once this many cells have failed; 0 means no limit.
+	FailBudget int
+	// Failures collects per-cell failures in keep-going mode. Left
+	// nil, validate installs a fresh log; callers that want to read
+	// the failures afterwards supply their own.
+	Failures *FailureLog
+	// Checkpoint, when non-nil, replays already-completed cells from
+	// the checkpoint file and appends each newly completed cell to
+	// it, making the sweep resumable after a crash or kill.
+	Checkpoint *Checkpoint
+	// FaultSeed, when nonzero, deterministically panics a seeded
+	// subset of cells via internal/faultinject — the chaos-testing
+	// hook. 0 disables injection.
+	FaultSeed uint64
+
+	// expID is the registry id of the experiment being run, set by
+	// Run; it keys checkpoint records and failure rows.
+	expID string
 }
 
 // DefaultOptions returns a configuration good for interactive use.
@@ -57,6 +88,15 @@ func (o *Options) validate() error {
 	}
 	if o.Parallel < 0 {
 		return fmt.Errorf("exp: Parallel must be >= 0, got %d", o.Parallel)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("exp: Retries must be >= 0, got %d", o.Retries)
+	}
+	if o.FailBudget < 0 {
+		return fmt.Errorf("exp: FailBudget must be >= 0, got %d", o.FailBudget)
+	}
+	if o.KeepGoing && o.Failures == nil {
+		o.Failures = NewFailureLog()
 	}
 	for _, b := range o.Benchmarks {
 		if _, err := workload.ByName(b); err != nil {
@@ -170,7 +210,8 @@ func Run(id string, o Options) ([]*stats.Table, error) {
 	}
 	e, ok := experiments[id]
 	if !ok {
-		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+		return nil, fmt.Errorf("exp: unknown experiment %q; valid ids: %s", id, strings.Join(IDs(), ", "))
 	}
+	o.expID = id
 	return e.Run(o)
 }

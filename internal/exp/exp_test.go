@@ -87,8 +87,15 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("nope", DefaultOptions()); err == nil {
-		t.Error("unknown id should error")
+	_, err := Run("nope", DefaultOptions())
+	if err == nil {
+		t.Fatal("unknown id should error")
+	}
+	// The error lists every valid id so a typo is self-correcting.
+	for _, id := range IDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("unknown-id error %q does not mention valid id %q", err, id)
+		}
 	}
 	if _, err := Run("fig1", Options{}); err == nil {
 		t.Error("invalid options should error")

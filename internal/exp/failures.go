@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"ldis/internal/par"
+	"ldis/internal/stats"
+	"sync"
+)
+
+// FailureLog collects per-cell failures across a keep-going sweep. It
+// is safe for concurrent use by scheduler workers; Cells returns the
+// failures in the canonical deterministic order, so a rendered failure
+// report is byte-identical regardless of worker count or completion
+// order.
+type FailureLog struct {
+	mu    sync.Mutex
+	cells []stats.CellFailure
+}
+
+// NewFailureLog returns an empty log.
+func NewFailureLog() *FailureLog { return &FailureLog{} }
+
+// add records one failed cell, classifying the error. The reason is
+// the deterministic message only — panic stacks stay out of the log so
+// reports reproduce bit-for-bit.
+func (l *FailureLog) add(experiment, benchmark string, col int, err error) {
+	f := stats.CellFailure{
+		Experiment: experiment,
+		Benchmark:  benchmark,
+		Col:        col,
+		Attempts:   1,
+		Kind:       "error",
+		Reason:     err.Error(),
+	}
+	var te *par.TaskError
+	if errors.As(err, &te) {
+		f.Attempts = te.Attempts
+		switch {
+		case te.Attempts == 0:
+			f.Kind = "skipped"
+			f.Reason = "not run (fail-fast or failure budget exhausted)"
+		case te.Panic != nil:
+			f.Kind = "panic"
+			f.Reason = fmt.Sprint(te.Panic)
+		default:
+			f.Reason = te.Err.Error()
+		}
+	}
+	l.mu.Lock()
+	l.cells = append(l.cells, f)
+	l.mu.Unlock()
+}
+
+// Len reports how many cell failures have been recorded.
+func (l *FailureLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.cells)
+}
+
+// Cells returns a sorted copy of the recorded failures.
+func (l *FailureLog) Cells() []stats.CellFailure {
+	l.mu.Lock()
+	out := make([]stats.CellFailure, len(l.cells))
+	copy(out, l.cells)
+	l.mu.Unlock()
+	stats.SortCellFailures(out)
+	return out
+}
+
+// Table renders the failures as the canonical per-cell failure table.
+func (l *FailureLog) Table() *stats.Table {
+	return stats.FailureTable(l.Cells())
+}

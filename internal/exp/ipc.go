@@ -23,7 +23,7 @@ func Fig9(o Options) ([]Fig9Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) (float64, error) {
 		if col == 0 {
 			sysB, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
 			r := cpu.New(cpu.DefaultConfig()).Run(sysB, prof, prof.Stream(), o.Accesses)
@@ -39,7 +39,7 @@ func Fig9(o Options) ([]Fig9Row, error) {
 		return nil, err
 	}
 	rows := make([]Fig9Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		g := grid[i]
 		rows[i] = Fig9Row{
 			Benchmark:          name,

@@ -24,7 +24,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
 		if col == 0 {
 			base, _ := baselineMPKI(prof, o)
 			return base.MPKI(), nil
@@ -41,7 +41,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 		return nil, err
 	}
 	rows := make([]Fig6Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		g := grid[i]
 		rows[i] = Fig6Row{
 			Benchmark:    name,
@@ -125,7 +125,7 @@ func Fig7(o Options) ([]Fig7Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([5]float64, error) {
+	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([5]float64, error) {
 		var cell [5]float64
 		if col == 0 {
 			sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
@@ -150,7 +150,7 @@ func Fig7(o Options) ([]Fig7Row, error) {
 		return nil, err
 	}
 	rows := make([]Fig7Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		g := grid[i]
 		rows[i] = Fig7Row{
 			Benchmark: name,
@@ -186,7 +186,7 @@ func Fig8(o Options) ([]Fig8Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
 		switch col {
 		case 0:
 			base, _ := baselineMPKI(prof, o)
@@ -205,7 +205,7 @@ func Fig8(o Options) ([]Fig8Row, error) {
 		return nil, err
 	}
 	rows := make([]Fig8Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		g := grid[i]
 		rows[i] = Fig8Row{
 			Benchmark: name,
@@ -245,7 +245,7 @@ func Table5(o Options) ([]Table5Row, error) {
 		o.Benchmarks = []string{"equake", "lucas", "mgrid", "applu", "mesa", "crafty", "gap",
 			"gzip", "fma3d", "perlbmk", "eon"}
 	}
-	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
 		switch col {
 		case 0:
 			base, _ := baselineMPKI(prof, o)
@@ -264,7 +264,7 @@ func Table5(o Options) ([]Table5Row, error) {
 		return nil, err
 	}
 	rows := make([]Table5Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		g := grid[i]
 		rows[i] = Table5Row{Benchmark: name, Trad1MB: g[0], LDIS1MB: g[1], Trad2MB: g[2], Trad4MB: g[3]}
 	}

@@ -25,7 +25,7 @@ func Fig1(o Options) ([]Fig1Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig1Row, error) {
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Fig1Row, error) {
 		_, c := baselineMPKI(prof, o)
 		h := c.Stats().WordsUsedAtEvict
 		row := Fig1Row{Benchmark: prof.Name, Mean: h.Mean()}
@@ -34,6 +34,7 @@ func Fig1(o Options) ([]Fig1Row, error) {
 		}
 		return row, nil
 	})
+	return rows, err
 }
 
 func fig1Table(rows []Fig1Row) *stats.Table {
@@ -71,7 +72,7 @@ func Fig2(o Options) ([]Fig2Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Fig2Row, error) {
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Fig2Row, error) {
 		_, c := baselineMPKI(prof, o)
 		h := c.Stats().FPChangePos
 		row := Fig2Row{Benchmark: prof.Name}
@@ -80,6 +81,7 @@ func Fig2(o Options) ([]Fig2Row, error) {
 		}
 		return row, nil
 	})
+	return rows, err
 }
 
 func fig2Table(rows []Fig2Row) *stats.Table {
@@ -118,7 +120,7 @@ func Table2(o Options) ([]Table2Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return mapBenchmarks(o, func(prof *workload.Profile) (Table2Row, error) {
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Table2Row, error) {
 		sys, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
 		w := runWindowed(sys, prof, o)
 		comp := 0.0
@@ -133,6 +135,7 @@ func Table2(o Options) ([]Table2Row, error) {
 			PaperMPKI:     prof.PaperMPKI,
 		}, nil
 	})
+	return rows, err
 }
 
 func table2Table(rows []Table2Row) *stats.Table {
@@ -161,7 +164,7 @@ func Table6(o Options) ([]Table6Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	grid, err := runGrid(o, len(Table6Sizes), func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, len(Table6Sizes), func(prof *workload.Profile, col int) (float64, error) {
 		sz := Table6Sizes[col]
 		cfg := baselineConfig(fmt.Sprintf("base-%.2fMB", sz), sz)
 		c := cache.New(cfg)
@@ -187,7 +190,7 @@ func Table6(o Options) ([]Table6Row, error) {
 		return nil, err
 	}
 	rows := make([]Table6Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		row := Table6Row{Benchmark: name, AvgWords: map[string]float64{}}
 		for col, sz := range Table6Sizes {
 			row.AvgWords[sizeLabel(sz)] = grid[i][col]

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"fmt"
 	"sync/atomic"
 
+	"ldis/internal/faultinject"
 	"ldis/internal/par"
 	"ldis/internal/workload"
 )
@@ -13,38 +15,136 @@ import (
 // exposes 96 independent units of work to the scheduler instead of 16.
 // Cells are pure functions of (benchmark, column), which keeps the
 // assembled tables byte-identical at any worker count.
+//
+// The fan-out is also where the engine's resilience features hook in,
+// from innermost to outermost wrapper around the cell function:
+//
+//   - fault injection (Options.FaultSeed): a deterministic, seeded
+//     injector panics selected cells — the chaos-suite's way of
+//     proving the layers above isolate failures;
+//   - checkpointing (Options.Checkpoint): completed cells are
+//     appended to the checkpoint file and replayed on resume instead
+//     of re-simulated;
+//   - panic isolation and policy (internal/par): a panicking cell
+//     becomes a *par.TaskError; fail-fast aborts the sweep on the
+//     smallest-index failure, keep-going runs every cell and reports
+//     all failures deterministically.
+
+// cellSep joins experiment, benchmark, and column into the cell site
+// keys used by fault injection and error messages.
+const cellSep = "/"
 
 // runGrid runs one simulation cell per (benchmark, column) pair, up to
-// o.Parallel workers (GOMAXPROCS when zero), and returns the results
-// as [benchmark][column]. fn must derive all randomness from the
-// profile's seed so results are independent of scheduling.
-func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int) (T, error)) ([][]T, error) {
+// o.Parallel workers (GOMAXPROCS when zero). It returns the surviving
+// benchmark names and their result rows, aligned index-for-index: in
+// the default fail-fast mode that is every requested benchmark or an
+// error, while under Options.KeepGoing benchmarks with a failed cell
+// are pruned from the results (and logged to Options.Failures) so the
+// healthy rows still render exactly as in a fault-free run. fn must
+// derive all randomness from the profile's seed so results are
+// independent of scheduling.
+func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int) (T, error)) ([]string, [][]T, error) {
 	names := o.benchmarks()
-	return par.Grid(o.Parallel, len(names), cols, func(row, col int) (T, error) {
+	cell := fn
+	if o.FaultSeed != 0 {
+		inj := faultinject.NewDefault(o.FaultSeed)
+		inner := cell
+		cell = func(prof *workload.Profile, col int) (T, error) {
+			inj.MaybePanic(o.expID + cellSep + prof.Name + cellSep + fmt.Sprint(col))
+			return inner(prof, col)
+		}
+	}
+	if o.Checkpoint != nil {
+		inner := cell
+		cell = func(prof *workload.Profile, col int) (T, error) {
+			if data, ok := o.Checkpoint.lookup(o.expID, prof.Name, col); ok {
+				var v T
+				if err := decodeCell(data, &v); err == nil {
+					return v, nil
+				}
+				// Undecodable but CRC-valid record (e.g. a row type
+				// changed shape): fall through and re-simulate.
+			}
+			v, err := inner(prof, col)
+			if err != nil {
+				return v, err
+			}
+			data, err := encodeCell(v)
+			if err != nil {
+				return v, err
+			}
+			return v, o.Checkpoint.record(o.expID, prof.Name, col, data)
+		}
+	}
+
+	p := par.Policy{Retries: o.Retries, FailFast: !o.KeepGoing, Budget: o.FailBudget}
+	grid, errs := par.GridPolicy(p, o.Parallel, len(names), cols, func(row, col int) (T, error) {
 		prof, err := workload.ByName(names[row])
 		if err != nil {
 			var zero T
 			return zero, err
 		}
-		return fn(prof, col)
+		return cell(prof, col)
 	})
+	if errs == nil {
+		return names, grid, nil
+	}
+	if !o.KeepGoing {
+		// Deterministic smallest-index failure, annotated with its
+		// cell coordinates.
+		prefix := ""
+		if o.expID != "" {
+			prefix = o.expID + cellSep
+		}
+		for r := range errs {
+			for c, err := range errs[r] {
+				te, ok := err.(*par.TaskError)
+				if !ok || te == nil || te.Attempts == 0 {
+					continue
+				}
+				if te.Panic == nil && te.Err != nil {
+					return nil, nil, fmt.Errorf("cell %s%s%s%d: %w", prefix, names[r], cellSep, c, te.Err)
+				}
+				return nil, nil, fmt.Errorf("cell %s%s%s%d: %w", prefix, names[r], cellSep, c, te)
+			}
+		}
+		return nil, nil, fmt.Errorf("exp: scheduler reported failure without an error")
+	}
+	// Keep-going: log every failed cell, keep only fully-healthy rows.
+	keepNames := make([]string, 0, len(names))
+	keep := make([][]T, 0, len(grid))
+	for r, name := range names {
+		healthy := true
+		for c, err := range errs[r] {
+			if err != nil {
+				healthy = false
+				o.Failures.add(o.expID, name, c, err)
+			}
+		}
+		if healthy {
+			keepNames = append(keepNames, name)
+			keep = append(keep, grid[r])
+		}
+	}
+	return keepNames, keep, nil
 }
 
 // mapBenchmarks runs fn once per benchmark: a one-column grid, kept
 // for experiments whose unit of work is the whole benchmark (e.g. the
-// Figure 10 content sampling).
-func mapBenchmarks[T any](o Options, fn func(prof *workload.Profile) (T, error)) ([]T, error) {
-	grid, err := runGrid(o, 1, func(prof *workload.Profile, _ int) (T, error) {
+// Figure 10 content sampling). Like runGrid it returns the surviving
+// benchmark names alongside the results.
+func mapBenchmarks[T any](o Options, fn func(prof *workload.Profile) (T, error)) ([]string, []T, error) {
+	names, grid, err := runGrid(o, 1, func(prof *workload.Profile, _ int) (T, error) {
 		return fn(prof)
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]T, len(grid))
 	for i := range grid {
 		out[i] = grid[i][0]
 	}
-	return out, nil
+	return names, out, nil
 }
 
 // simAccesses counts processor-side accesses driven through simulated

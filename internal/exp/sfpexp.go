@@ -22,7 +22,7 @@ func Fig13(o Options) ([]Fig13Row, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
 		switch col {
 		case 0:
 			base, _ := baselineMPKI(prof, o)
@@ -47,7 +47,7 @@ func Fig13(o Options) ([]Fig13Row, error) {
 		return nil, err
 	}
 	rows := make([]Fig13Row, len(grid))
-	for i, name := range o.benchmarks() {
+	for i, name := range names {
 		g := grid[i]
 		rows[i] = Fig13Row{
 			Benchmark: name,

@@ -1,0 +1,258 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"ldis/internal/mem"
+	"ldis/internal/trace"
+)
+
+// TestInjectorDeterministic: two injectors with the same seed make
+// identical decisions regardless of the order sites are consulted in.
+func TestInjectorDeterministic(t *testing.T) {
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fig6/bench%d/%d", i, i%4)
+	}
+	a := NewDefault(42)
+	b := NewDefault(42)
+	// Consult b in reverse order: per-site state must not leak across
+	// sites.
+	got := make(map[string]bool, len(keys))
+	for i := len(keys) - 1; i >= 0; i-- {
+		got[keys[i]] = b.Fault(keys[i])
+	}
+	for _, k := range keys {
+		if a.Fault(k) != got[k] {
+			t.Fatalf("site %s: decision depends on consultation order", k)
+		}
+	}
+	// A different seed must produce a different fault set.
+	c := NewDefault(43)
+	same := true
+	for _, k := range keys {
+		fa, _ := a.Site(k)
+		fc, _ := c.Site(k)
+		if fa != fc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 selected identical fault sets across 50 sites")
+	}
+}
+
+// TestInjectorRate: the selected fault fraction tracks the configured
+// rate.
+func TestInjectorRate(t *testing.T) {
+	j := New(7, 0.25, 0)
+	faults := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if f, _ := j.Site(fmt.Sprintf("site-%d", i)); f {
+			faults++
+		}
+	}
+	if got := float64(faults) / n; got < 0.2 || got > 0.3 {
+		t.Errorf("fault rate %.3f, want ~0.25", got)
+	}
+	none := New(7, 0, 0)
+	if f, _ := none.Site("anything"); f {
+		t.Error("rate 0 injector selected a fault")
+	}
+	all := New(7, 1.01, 0)
+	if f, _ := all.Site("anything"); !f {
+		t.Error("rate >1 injector missed a fault")
+	}
+}
+
+// TestInjectorTransientRecovers: a transient site fails its first
+// attempt and passes every later one; persistent sites fail forever.
+func TestInjectorTransientRecovers(t *testing.T) {
+	j := New(99, 1.0, 1.0) // every site faults, every fault transient
+	if !j.Fault("cell") {
+		t.Fatal("transient site passed its first attempt")
+	}
+	for i := 0; i < 3; i++ {
+		if j.Fault("cell") {
+			t.Fatal("transient site failed a retry")
+		}
+	}
+	p := New(99, 1.0, 0) // persistent
+	for i := 0; i < 3; i++ {
+		if !p.Fault("cell") {
+			t.Fatal("persistent site recovered")
+		}
+	}
+}
+
+// TestMaybePanic: the panic carries the site key and fires only for
+// selected sites.
+func TestMaybePanic(t *testing.T) {
+	j := New(1, 1.0, 0)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(fmt.Sprint(r), "fig6/mcf/2") {
+				t.Errorf("panic = %v", r)
+			}
+		}()
+		j.MaybePanic("fig6/mcf/2")
+		t.Error("MaybePanic did not panic at rate 1")
+	}()
+	quiet := New(1, 0, 0)
+	quiet.MaybePanic("fig6/mcf/2") // must not panic
+}
+
+// TestCorruptReaderDeterministicAcrossChunking: the flipped bytes
+// depend on absolute offset, not on read sizes.
+func TestCorruptReaderDeterministicAcrossChunking(t *testing.T) {
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	whole, err := io.ReadAll(NewCorruptReader(bytes.NewReader(src), 5, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked := make([]byte, 0, len(src))
+	cr := NewCorruptReader(bytes.NewReader(src), 5, 0.1)
+	buf := make([]byte, 7) // awkward chunk size
+	for {
+		n, err := cr.Read(buf)
+		chunked = append(chunked, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(whole, chunked) {
+		t.Fatal("corruption pattern depends on read chunking")
+	}
+	flipped := 0
+	for i := range src {
+		if whole[i] != src[i] {
+			flipped++
+		}
+	}
+	if flipped == 0 || flipped > len(src)/5 {
+		t.Errorf("flipped %d of %d bytes at rate 0.1", flipped, len(src))
+	}
+}
+
+// TestCorruptReaderAgainstDecoder: a bit-flipped trace must decode to
+// a positioned CorruptError in strict mode and a valid prefix in
+// lenient mode — never a panic, never silent garbage acceptance for a
+// corrupted kind byte.
+func TestCorruptReaderAgainstDecoder(t *testing.T) {
+	accs := make([]mem.Access, 200)
+	for i := range accs {
+		accs[i] = mem.Access{Addr: mem.Addr(i * 64), PC: 0x400000, Kind: mem.Load, Instret: 1}
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, accs); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		data, err := io.ReadAll(NewCorruptReader(bytes.NewReader(buf.Bytes()), seed, 0.02))
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict, serr := trace.Read(bytes.NewReader(data))
+		prefix, lerr := trace.ReadLenient(bytes.NewReader(data))
+		if serr == nil {
+			// Corruption may have missed every validated field; then
+			// both modes agree.
+			if lerr != nil {
+				t.Errorf("seed %d: strict ok but lenient err %v", seed, lerr)
+			}
+			continue
+		}
+		if len(strict) != 0 {
+			t.Errorf("seed %d: strict returned %d records with error", seed, len(strict))
+		}
+		var ce *trace.CorruptError
+		if !errors.As(serr, &ce) {
+			t.Fatalf("seed %d: strict err %v is not a CorruptError", seed, serr)
+		}
+		if ce.Record >= 0 && int64(len(prefix)) != ce.Record {
+			t.Errorf("seed %d: lenient prefix %d != corrupt record %d", seed, len(prefix), ce.Record)
+		}
+	}
+}
+
+// TestFaultyStreamTruncate ends the stream at the seed-chosen
+// position.
+func TestFaultyStreamTruncate(t *testing.T) {
+	accs := make([]mem.Access, 100)
+	fs := NewFaultyStream(trace.NewSliceStream(accs), TruncateStream, 3, 50)
+	got := int64(len(trace.Collect(fs, 0)))
+	if got != fs.FaultPos() {
+		t.Errorf("truncated after %d accesses, want %d", got, fs.FaultPos())
+	}
+	// Same seed, same position.
+	fs2 := NewFaultyStream(trace.NewSliceStream(accs), TruncateStream, 3, 50)
+	if fs2.FaultPos() != fs.FaultPos() {
+		t.Error("fault position not deterministic")
+	}
+}
+
+// TestFaultyStreamPanic panics deterministically at the fault
+// position.
+func TestFaultyStreamPanic(t *testing.T) {
+	accs := make([]mem.Access, 100)
+	fs := NewFaultyStream(trace.NewSliceStream(accs), PanicStream, 9, 20)
+	seen := int64(0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("stream never panicked")
+		} else if seen != fs.FaultPos() {
+			t.Errorf("panicked after %d accesses, want %d", seen, fs.FaultPos())
+		}
+	}()
+	for {
+		if _, ok := fs.Next(); !ok {
+			break
+		}
+		seen++
+	}
+}
+
+// TestFaultyStreamCorruptAddr flips addresses only from the fault
+// position on, and identically for identical seeds.
+func TestFaultyStreamCorruptAddr(t *testing.T) {
+	mk := func() []mem.Access {
+		accs := make([]mem.Access, 40)
+		for i := range accs {
+			accs[i] = mem.Access{Addr: mem.Addr(i * 64)}
+		}
+		return accs
+	}
+	orig := mk()
+	a := trace.Collect(NewFaultyStream(trace.NewSliceStream(mk()), CorruptAddrStream, 11, 20), 0)
+	b := trace.Collect(NewFaultyStream(trace.NewSliceStream(mk()), CorruptAddrStream, 11, 20), 0)
+	fp := NewFaultyStream(trace.NewSliceStream(nil), CorruptAddrStream, 11, 20).FaultPos()
+	if len(a) != len(orig) {
+		t.Fatalf("corrupt stream yielded %d accesses", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d differs between identical seeds", i)
+		}
+		clean := a[i].Addr == orig[i].Addr
+		if int64(i) < fp && !clean {
+			t.Errorf("access %d corrupted before fault position %d", i, fp)
+		}
+		if int64(i) >= fp && clean {
+			t.Errorf("access %d not corrupted at/after fault position %d", i, fp)
+		}
+	}
+}

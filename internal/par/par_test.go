@@ -105,3 +105,165 @@ func TestGridEmpty(t *testing.T) {
 		t.Fatalf("empty grid: %v, %v", got, err)
 	}
 }
+
+// TestMapPanicIsolated: a panicking task must not crash the process;
+// it surfaces as a *TaskError carrying the panic value and stack.
+func TestMapPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 20, func(i int) (int, error) {
+			if i == 3 {
+				panic("cell exploded")
+			}
+			return i, nil
+		})
+		var te *TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: err = %v, want *TaskError", workers, err)
+		}
+		if te.Index != 3 || te.Panic != "cell exploded" || te.Attempts != 1 {
+			t.Errorf("workers=%d: TaskError = %+v", workers, te)
+		}
+		if len(te.Stack) == 0 {
+			t.Errorf("workers=%d: panic stack not captured", workers)
+		}
+	}
+}
+
+// TestMapPolicyRunToCompletion: with FailFast off every task runs and
+// every result-or-error comes back in index order.
+func TestMapPolicyRunToCompletion(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, errs := MapPolicy(Policy{}, workers, 30, func(i int) (int, error) {
+			switch {
+			case i%5 == 2:
+				return 0, fmt.Errorf("err %d", i)
+			case i%7 == 3:
+				panic(fmt.Sprintf("panic %d", i))
+			}
+			return i * 2, nil
+		})
+		if errs == nil {
+			t.Fatalf("workers=%d: expected errors", workers)
+		}
+		for i := 0; i < 30; i++ {
+			switch {
+			case i%5 == 2:
+				var te *TaskError
+				if !errors.As(errs[i], &te) || te.Panic != nil || te.Err.Error() != fmt.Sprintf("err %d", i) {
+					t.Errorf("workers=%d: errs[%d] = %v", workers, i, errs[i])
+				}
+			case i%7 == 3:
+				var te *TaskError
+				if !errors.As(errs[i], &te) || te.Panic == nil {
+					t.Errorf("workers=%d: errs[%d] = %v, want panic", workers, i, errs[i])
+				}
+			default:
+				if errs[i] != nil || out[i] != i*2 {
+					t.Errorf("workers=%d: task %d: out=%d errs=%v", workers, i, out[i], errs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMapPolicyNoFailures: errs is nil when everything succeeds.
+func TestMapPolicyNoFailures(t *testing.T) {
+	out, errs := MapPolicy(Policy{}, 4, 10, func(i int) (int, error) { return i, nil })
+	if errs != nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	if len(out) != 10 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestMapPolicyRetries: a fault that clears after the first attempt is
+// absorbed by Retries and never surfaces.
+func TestMapPolicyRetries(t *testing.T) {
+	var firstTries [12]atomic.Int32
+	out, errs := MapPolicy(Policy{Retries: 1}, 3, 12, func(i int) (int, error) {
+		if i%4 == 1 && firstTries[i].Add(1) == 1 {
+			return 0, errors.New("transient")
+		}
+		return i, nil
+	})
+	if errs != nil {
+		t.Fatalf("transient errors not retried away: %v", errs)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestMapPolicyRetriesExhausted reports the attempt count.
+func TestMapPolicyRetriesExhausted(t *testing.T) {
+	_, errs := MapPolicy(Policy{Retries: 2}, 1, 3, func(i int) (int, error) {
+		if i == 1 {
+			panic("always")
+		}
+		return i, nil
+	})
+	var te *TaskError
+	if !errors.As(errs[1], &te) || te.Attempts != 3 {
+		t.Fatalf("errs[1] = %v, want 3 attempts", errs[1])
+	}
+}
+
+// TestMapPolicyBudget: after Budget failures no further tasks start;
+// the untouched tail is marked skipped (Attempts == 0).
+func TestMapPolicyBudget(t *testing.T) {
+	var executed atomic.Int64
+	_, errs := MapPolicy(Policy{Budget: 2}, 1, 1000, func(i int) (int, error) {
+		executed.Add(1)
+		if i < 2 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if n := executed.Load(); n != 2 { // tasks 0 and 1 fail, exhausting the budget
+		t.Errorf("executed %d tasks, want 2", n)
+	}
+	var te *TaskError
+	if !errors.As(errs[999], &te) || te.Attempts != 0 {
+		t.Errorf("tail task not marked skipped: %v", errs[999])
+	}
+}
+
+// TestGridPolicyShape: results and errors come back [row][col] with
+// failures in deterministic cells.
+func TestGridPolicyShape(t *testing.T) {
+	out, errs := GridPolicy(Policy{}, 4, 3, 4, func(r, c int) (int, error) {
+		if r == 1 && c == 2 {
+			return 0, errors.New("cell boom")
+		}
+		return r*100 + c, nil
+	})
+	if len(out) != 3 || len(errs) != 3 {
+		t.Fatalf("shape: %d rows, %d err rows", len(out), len(errs))
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if r == 1 && c == 2 {
+				if errs[r][c] == nil {
+					t.Error("failed cell has no error")
+				}
+				continue
+			}
+			if errs[r][c] != nil || out[r][c] != r*100+c {
+				t.Errorf("cell [%d][%d]: out=%d errs=%v", r, c, out[r][c], errs[r][c])
+			}
+		}
+	}
+}
+
+// TestTaskErrorUnwrap: errors.Is reaches the task's own error through
+// the TaskError wrapper.
+func TestTaskErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, errs := MapPolicy(Policy{}, 1, 1, func(int) (int, error) { return 0, sentinel })
+	if !errors.Is(errs[0], sentinel) {
+		t.Errorf("errs[0] = %v does not unwrap to sentinel", errs[0])
+	}
+}

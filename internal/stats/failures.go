@@ -1,0 +1,55 @@
+package stats
+
+import "sort"
+
+// CellFailure describes one failed (benchmark × configuration) cell of
+// an experiment sweep: which unit of work failed, how many attempts it
+// was given, and a deterministic reason string (panic value or error
+// message — never a stack trace or timestamp, so the rendered table is
+// byte-identical across reruns).
+type CellFailure struct {
+	// Experiment is the registry id of the experiment the cell
+	// belongs to.
+	Experiment string
+	// Benchmark names the cell's row.
+	Benchmark string
+	// Col is the cell's configuration column index.
+	Col int
+	// Attempts is how many times the cell ran before being given up
+	// on; 0 means it was never started (fail-fast or budget cutoff).
+	Attempts int
+	// Kind classifies the failure: "panic", "error", or "skipped".
+	Kind string
+	// Reason is the deterministic failure message.
+	Reason string
+}
+
+// SortCellFailures orders failures by (experiment, benchmark, column):
+// the canonical deterministic order every failure report uses.
+func SortCellFailures(fails []CellFailure) {
+	sort.Slice(fails, func(i, j int) bool {
+		a, b := fails[i], fails[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		return a.Col < b.Col
+	})
+}
+
+// FailureTable renders the per-cell failure report. The input is
+// sorted (a copy is taken; the caller's slice is untouched), so the
+// table is deterministic regardless of completion order.
+func FailureTable(fails []CellFailure) *Table {
+	sorted := make([]CellFailure, len(fails))
+	copy(sorted, fails)
+	SortCellFailures(sorted)
+	t := NewTable("Failed cells",
+		"experiment", "benchmark", "col", "attempts", "kind", "reason")
+	for _, f := range sorted {
+		t.AddRow(f.Experiment, f.Benchmark, f.Col, f.Attempts, f.Kind, f.Reason)
+	}
+	return t
+}

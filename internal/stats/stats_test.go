@@ -278,3 +278,43 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", got, want)
 	}
 }
+
+// TestFailureTableDeterministic: the failure table sorts its rows by
+// (experiment, benchmark, col) so reports are byte-identical no matter
+// which order cells failed in.
+func TestFailureTableDeterministic(t *testing.T) {
+	fails := []CellFailure{
+		{Experiment: "fig8", Benchmark: "mcf", Col: 1, Attempts: 2, Kind: "panic", Reason: "injected"},
+		{Experiment: "fig6", Benchmark: "swim", Col: 3, Attempts: 1, Kind: "error", Reason: "boom"},
+		{Experiment: "fig6", Benchmark: "ammp", Col: 2, Attempts: 0, Kind: "skipped", Reason: "budget exhausted"},
+		{Experiment: "fig6", Benchmark: "ammp", Col: 0, Attempts: 1, Kind: "error", Reason: "boom"},
+	}
+	shuffled := []CellFailure{fails[2], fails[0], fails[3], fails[1]}
+	a, b := FailureTable(fails).String(), FailureTable(shuffled).String()
+	if a != b {
+		t.Errorf("failure table depends on input order:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	// title + header + rule + 4 rows
+	if len(lines) != 7 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), a)
+	}
+	wantOrder := [][2]string{{"fig6", "ammp"}, {"fig6", "ammp"}, {"fig6", "swim"}, {"fig8", "mcf"}}
+	for i, want := range wantOrder {
+		fields := strings.Fields(lines[3+i])
+		if len(fields) < 2 || fields[0] != want[0] || fields[1] != want[1] {
+			t.Errorf("row %d = %q, want %v first", i, lines[3+i], want)
+		}
+	}
+	// The input slice must not be reordered in place.
+	if fails[0].Experiment != "fig8" {
+		t.Error("FailureTable mutated its input")
+	}
+}
+
+// TestFailureTableEmpty renders headers only.
+func TestFailureTableEmpty(t *testing.T) {
+	if FailureTable(nil).NumRows() != 0 {
+		t.Error("empty failure table has rows")
+	}
+}

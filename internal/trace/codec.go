@@ -23,10 +23,58 @@ const (
 	recordSize   = 8 + 8 + 1 + 3 + 4
 	maxTraceLen  = 1 << 32 // sanity bound when reading
 	kindMaxValid = uint8(mem.IFetch)
+
+	// maxPrealloc caps the records preallocated from the header's
+	// count field: a corrupt or hostile header must not translate
+	// into a multi-gigabyte allocation before the first record is
+	// even read. The slice grows normally past this.
+	maxPrealloc = 1 << 16
 )
 
 // ErrBadTrace is wrapped by all decode errors.
 var ErrBadTrace = errors.New("trace: malformed trace")
+
+// CorruptError is the typed error every decode failure resolves to: it
+// pins the corruption to a byte offset and record index so a truncated
+// or bit-flipped trace can be reported (and, in lenient mode, skipped)
+// precisely. It wraps ErrBadTrace, so errors.Is(err, ErrBadTrace)
+// continues to hold.
+type CorruptError struct {
+	// Offset is the byte offset of the start of the corrupt region
+	// (the record's first byte, or 0 for a corrupt header).
+	Offset int64
+	// Record is the index of the offending record, -1 when the header
+	// itself is corrupt.
+	Record int64
+	// Reason describes the corruption.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Record < 0 {
+		return fmt.Sprintf("trace: malformed trace: header at offset %d: %s", e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("trace: malformed trace: record %d at offset %d: %s", e.Record, e.Offset, e.Reason)
+}
+
+// Unwrap ties CorruptError into the ErrBadTrace error chain.
+func (e *CorruptError) Unwrap() error { return ErrBadTrace }
+
+// corruptHeader builds a header-level CorruptError.
+func corruptHeader(off int64, format string, args ...any) *CorruptError {
+	return &CorruptError{Offset: off, Record: -1, Reason: fmt.Sprintf(format, args...)}
+}
+
+// corruptRecord builds a record-level CorruptError; the offset is the
+// record's first byte.
+func corruptRecord(i uint64, format string, args ...any) *CorruptError {
+	return &CorruptError{
+		Offset: int64(headerSize) + int64(i)*recordSize,
+		Record: int64(i),
+		Reason: fmt.Sprintf(format, args...),
+	}
+}
 
 // Write encodes accs to w in the binary trace format.
 func Write(w io.Writer, accs []mem.Access) error {
@@ -52,32 +100,63 @@ func Write(w io.Writer, accs []mem.Access) error {
 	return bw.Flush()
 }
 
-// Read decodes a full trace from r.
+// Read decodes a full trace from r in strict mode: the first corrupt
+// byte fails the whole decode. The returned error is a *CorruptError
+// carrying the byte offset and record index of the corruption.
 func Read(r io.Reader) ([]mem.Access, error) {
+	accs, err := decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return accs, nil
+}
+
+// ReadLenient decodes as much of a trace as is intact: it returns the
+// valid record prefix together with a *CorruptError describing the
+// first corruption (nil when the trace decodes cleanly). A corrupt
+// header yields an empty prefix — there is no trustworthy data before
+// it.
+func ReadLenient(r io.Reader) ([]mem.Access, *CorruptError) {
+	accs, err := decode(r)
+	if err == nil {
+		return accs, nil
+	}
+	// decode only ever fails with a *CorruptError.
+	return accs, err.(*CorruptError)
+}
+
+// decode reads the header and as many valid records as it can. On
+// corruption it returns the valid prefix plus a *CorruptError; strict
+// and lenient callers differ only in whether they keep the prefix.
+func decode(r io.Reader) ([]mem.Access, error) {
 	br := bufio.NewReader(r)
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrBadTrace, err)
+		return nil, corruptHeader(0, "reading header: %v", err)
 	}
 	if string(hdr[:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+		return nil, corruptHeader(0, "bad magic %q", hdr[:4])
 	}
 	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != formatVer {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+		return nil, corruptHeader(4, "unsupported version %d", v)
 	}
 	count := binary.LittleEndian.Uint64(hdr[8:16])
 	if count > maxTraceLen {
-		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, count)
+		return nil, corruptHeader(8, "implausible record count %d", count)
 	}
-	accs := make([]mem.Access, 0, count)
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	accs := make([]mem.Access, 0, prealloc)
 	var rec [recordSize]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrBadTrace, i, err)
+			return accs, corruptRecord(i, "truncated (%d of %d records present): %v", i, count, err)
 		}
 		kind := rec[16]
 		if kind > kindMaxValid {
-			return nil, fmt.Errorf("%w: record %d has invalid kind %d", ErrBadTrace, i, kind)
+			return accs, corruptRecord(i, "invalid kind %d", kind)
 		}
 		accs = append(accs, mem.Access{
 			Addr:    mem.Addr(binary.LittleEndian.Uint64(rec[0:8])),
