@@ -8,8 +8,11 @@
 # experiment engine fans (benchmark × configuration) cells out across
 # worker goroutines, so the suite doubles as a scheduler race test).
 # `make bench-smoke` regenerates BENCH_throughput.json with a short run.
-# `make fuzz-smoke` runs the trace-codec fuzzer briefly over the
-# committed seed corpus.
+# `make fuzz-smoke` runs the trace-codec and checkpoint-scan fuzzers
+# briefly over their committed seed corpora.
+# `make mrc-smoke` validates the miss-ratio-curve engine: SHARDS-vs-
+# exact tolerance on every benchmark, curve-vs-simulation spot checks,
+# and a short end-to-end ldisexp mrc run.
 # `make chaos` runs the fault-injection suite: seeded panics, corrupt
 # traces, and kill-mid-sweep checkpoints driven through the full
 # engine (see DESIGN.md §8).
@@ -17,7 +20,7 @@
 GO ?= go
 
 .PHONY: all build vet lint lint-install test check race bench bench-smoke \
-	chaos fuzz-smoke govulncheck profile clean
+	chaos fuzz-smoke mrc-smoke govulncheck profile clean
 
 all: check
 
@@ -53,10 +56,21 @@ chaos:
 	$(GO) test -race -run 'Chaos|Checkpoint|Panic|Policy|Fault|Corrupt|Lenient' \
 		./internal/exp ./internal/par ./internal/trace ./internal/faultinject
 
-# Short fuzz run of the trace codec over the committed seed corpus
-# (internal/trace/testdata/fuzz). Sized for CI.
+# Short fuzz runs over the committed seed corpora: the trace codec
+# (internal/trace/testdata/fuzz) and the checkpoint record scanner
+# (internal/exp/testdata/fuzz). Sized for CI.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointScan -fuzztime 10s ./internal/exp
+
+# Miss-ratio-curve validation: the acceptance gate for internal/mrc.
+# The tests assert the SHARDS curve within 0.02 absolute error of the
+# exact Mattson curve on every registered benchmark and spot-check the
+# exact curve against full cache simulation; the CLI run exercises the
+# experiment end to end (curves for two benchmarks, both columns).
+mrc-smoke:
+	$(GO) test -run 'TestMRCShardsTolerance|TestMRCMatchesSimulation' -count=1 ./internal/exp
+	$(GO) run ./cmd/ldisexp -accesses 120000 -benchmarks sixtrack,health mrc > /dev/null
 
 # Advisory vulnerability scan: runs only if govulncheck is installed
 # (it is not vendored; `go install golang.org/x/vuln/cmd/govulncheck@latest`

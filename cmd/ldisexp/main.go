@@ -1,6 +1,7 @@
 // Command ldisexp regenerates the paper's tables and figures from the
 // synthetic benchmark suite. Run with one or more experiment ids
-// (fig1, fig2, fig6..fig11, fig13, table1..table6, overheads) or "all".
+// (fig1, fig2, fig6..fig11, fig13, table1..table6, overheads, mrc,
+// ablation-*) or "all".
 //
 //	ldisexp -accesses 2000000 fig6 fig7
 //	ldisexp all
@@ -56,7 +57,16 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	throughput := flag.String("throughput", "", "measure simulated accesses/sec per experiment and write a JSON report to this file (e.g. BENCH_throughput.json)")
+	mrcRate := flag.Float64("mrc-rate", 0, "mrc experiment: SHARDS spatial sampling rate in (0,1) for the sampled column (0 = default 0.1)")
+	mrcMaxSamples := flag.Int("mrc-max-samples", 0, "mrc experiment: SHARDS fixed-size bound on concurrently tracked lines (0 = default 16384)")
+	mrcResolution := flag.Int("mrc-resolution", 0, "mrc experiment: curve capacity step in bytes (0 = default 64KB)")
+	mrcMax := flag.Int("mrc-max", 0, "mrc experiment: largest curve capacity in bytes (0 = default 4MB)")
 	flag.Parse()
+
+	if *markdown && *csv {
+		fmt.Fprintln(os.Stderr, "ldisexp: -markdown and -csv are mutually exclusive; pick one output format")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -81,6 +91,10 @@ func main() {
 	o.Parallel = *parallel
 	o.Retries = *retries
 	o.FaultSeed = *faultSeed
+	o.MRCSampleRate = *mrcRate
+	o.MRCMaxSamples = *mrcMaxSamples
+	o.MRCResolution = *mrcResolution
+	o.MRCMaxBytes = *mrcMax
 	if *benchmarks != "" {
 		o.Benchmarks = strings.Split(*benchmarks, ",")
 	}

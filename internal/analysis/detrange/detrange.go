@@ -6,8 +6,10 @@
 // reach an output row, a table cell, or a result-assembly index. In
 // the packages that assemble output (internal/exp, internal/stats,
 // internal/par), the benchmark registry that feeds row order
-// (internal/workload), and the chaos-suite fault injectors whose
-// decisions must reproduce bit-for-bit (internal/faultinject), a
+// (internal/workload), the chaos-suite fault injectors whose
+// decisions must reproduce bit-for-bit (internal/faultinject), and
+// the miss-ratio-curve engine whose SHARDS sampling must be a pure
+// function of (address, seed) (internal/mrc), a
 // `for ... range m` over a map is therefore banned
 // outright: either iterate a sorted key slice, or annotate the site
 // with `//ldis:nondet-ok <why>` proving the order cannot reach any
@@ -30,12 +32,13 @@ var Packages = []string{
 	"ldis/internal/par",
 	"ldis/internal/workload",
 	"ldis/internal/faultinject",
+	"ldis/internal/mrc",
 }
 
 // Analyzer is the detrange analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
-	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject) unless annotated //ldis:nondet-ok",
+	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc) unless annotated //ldis:nondet-ok",
 	Run:  run,
 }
 

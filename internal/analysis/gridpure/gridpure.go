@@ -15,12 +15,17 @@
 // into distinct elements of a captured slice are fine too, because the
 // idiomatic cell writes only its own index. Everything else needs a
 // `//ldis:nondet-ok <why>` annotation.
+//
+// The check also covers internal/exp's wrappers over the scheduler
+// (runGrid, mapBenchmarks): experiments hand their cells to those, not
+// to par directly, and the purity contract rides through unchanged.
 package gridpure
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"ldis/internal/analysis"
 )
@@ -28,13 +33,45 @@ import (
 // Analyzer is the gridpure analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "gridpure",
-	Doc:  "cell functions passed to par.Map/Grid/MapPolicy/GridPolicy must not write captured variables (except distinct slice elements)",
+	Doc:  "cell functions passed to par.Map/Grid/MapPolicy/GridPolicy (or the exp.runGrid/mapBenchmarks wrappers over them) must not write captured variables (except distinct slice elements)",
 	Run:  run,
 }
 
-// parPkg is the scheduler package whose entry points take cell
-// functions.
-const parPkg = "ldis/internal/par"
+// cellTakers maps package path -> entry points whose final argument is
+// a cell function handed to the scheduler. Besides par's own entry
+// points this covers internal/exp's grid wrappers, so every experiment
+// cell — including the mrc curve cells — is checked at its natural
+// call site rather than only where par is invoked directly.
+var cellTakers = map[string]map[string]bool{
+	"ldis/internal/par": {
+		"Map": true, "Grid": true, "MapPolicy": true, "GridPolicy": true,
+	},
+	"ldis/internal/exp": {
+		"runGrid": true, "mapBenchmarks": true,
+	},
+}
+
+// takesCell reports whether the callee is a scheduler entry point (or
+// wrapper). Fixture packages under this analyzer's testdata tree match
+// by function name alone so the golden tests can model wrappers
+// without replicating real package paths.
+func takesCell(callee *types.Func) bool {
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	path := callee.Pkg().Path()
+	if names, ok := cellTakers[path]; ok {
+		return names[callee.Name()]
+	}
+	if strings.Contains(path, "/gridpure/testdata/") {
+		for _, names := range cellTakers {
+			if names[callee.Name()] {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 func run(pass *analysis.Pass) error {
 	pass.Directives.CheckJustifications(pass, analysis.DirNondetOK)
@@ -45,12 +82,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			callee := staticCallee(pass.TypesInfo, call)
-			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != parPkg {
-				return true
-			}
-			switch callee.Name() {
-			case "Map", "Grid", "MapPolicy", "GridPolicy":
-			default:
+			if !takesCell(callee) {
 				return true
 			}
 			// The cell function is the final parameter of every
@@ -59,7 +91,7 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			checkCell(pass, callee.Name(), lit)
+			checkCell(pass, callee.Pkg().Name()+"."+callee.Name(), lit)
 			return true
 		})
 	}
@@ -87,7 +119,7 @@ func checkCell(pass *analysis.Pass, schedName string, lit *ast.FuncLit) {
 		if pass.Directives.Suppressed(pos, analysis.DirNondetOK) {
 			return
 		}
-		pass.Reportf(pos, "par.%s cell function %s captured variable %q; cells must be pure functions of their index so results are byte-identical at any worker count", schedName, how, obj.Name())
+		pass.Reportf(pos, "%s cell function %s captured variable %q; cells must be pure functions of their index so results are byte-identical at any worker count", schedName, how, obj.Name())
 	}
 	captured := func(id *ast.Ident) *types.Var {
 		obj, _ := pass.TypesInfo.Uses[id].(*types.Var)

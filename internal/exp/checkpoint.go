@@ -78,6 +78,11 @@ func (o Options) Fingerprint() uint64 {
 	var b strings.Builder
 	fmt.Fprintf(&b, "accesses=%d|warmup=%g|benchmarks=%s",
 		o.Accesses, o.WarmupFrac, strings.Join(o.benchmarks(), ","))
+	// MRC knobs change what the mrc experiment's cells compute. The
+	// defaulted accessors are used so explicit-default and zero-value
+	// options share a fingerprint.
+	fmt.Fprintf(&b, "|mrc=%g/%d/%d/%d",
+		o.mrcSampleRate(), o.mrcMaxSamples(), o.mrcResolution(), o.mrcMaxBytes())
 	h := uint64(14695981039346656037)
 	for i := 0; i < b.Len(); i++ {
 		h ^= uint64(b.String()[i])
@@ -144,33 +149,10 @@ func (c *Checkpoint) load(fingerprint uint64) error {
 	if fp := binary.LittleEndian.Uint64(hdr[8:16]); fp != fingerprint {
 		return fmt.Errorf("exp: checkpoint %s was written with different options (fingerprint %016x, want %016x); rerun without -resume or delete it", c.path, fp, fingerprint)
 	}
-	valid := int64(ckHeaderSize)
-	r := newByteCounter(c.f)
-	for {
-		var pre [8]byte
-		if _, err := io.ReadFull(r, pre[:]); err != nil {
-			break // clean EOF or torn length prefix: stop at last valid record
-		}
-		n := binary.LittleEndian.Uint32(pre[0:4])
-		sum := binary.LittleEndian.Uint32(pre[4:8])
-		if n == 0 || n > ckMaxPayload {
-			break
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			break
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			break
-		}
-		var rec ckRecord
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			break
-		}
+	valid := int64(ckHeaderSize) + scanRecords(c.f, func(rec ckRecord) {
 		c.done[ckKey(rec.Exp, rec.Bench, rec.Col)] = rec.Data
 		c.loaded++
-		valid = int64(ckHeaderSize) + r.n
-	}
+	})
 	if err := c.f.Truncate(valid); err != nil {
 		return fmt.Errorf("exp: repairing checkpoint tail: %w", err)
 	}
@@ -178,6 +160,43 @@ func (c *Checkpoint) load(fingerprint uint64) error {
 		return err
 	}
 	return nil
+}
+
+// scanRecords reads the checkpoint record log from r (positioned just
+// past the header), invoking fn for each structurally valid record,
+// and returns the byte length of the valid record prefix. The first
+// torn, truncated, oversized, CRC-mismatched, or undecodable record
+// ends the scan: everything from it onward is the corrupt tail the
+// caller truncates away. It never fails — hostile input just shortens
+// the valid prefix — which is the property the checkpoint fuzz target
+// exercises.
+func scanRecords(r io.Reader, fn func(rec ckRecord)) int64 {
+	bc := newByteCounter(r)
+	var valid int64
+	for {
+		var pre [8]byte
+		if _, err := io.ReadFull(bc, pre[:]); err != nil {
+			return valid // clean EOF or torn length prefix: stop at last valid record
+		}
+		n := binary.LittleEndian.Uint32(pre[0:4])
+		sum := binary.LittleEndian.Uint32(pre[4:8])
+		if n == 0 || n > ckMaxPayload {
+			return valid
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(bc, payload); err != nil {
+			return valid
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return valid
+		}
+		var rec ckRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return valid
+		}
+		fn(rec)
+		valid = bc.n
+	}
 }
 
 // byteCounter counts bytes consumed from an io.Reader.

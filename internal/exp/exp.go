@@ -58,6 +58,20 @@ type Options struct {
 	// hook. 0 disables injection.
 	FaultSeed uint64
 
+	// MRCSampleRate is the SHARDS spatial sampling rate in (0, 1) used
+	// by the sampled column of the mrc experiment; 0 means the default
+	// (see mrcSampleRate). The exact column ignores it.
+	MRCSampleRate float64
+	// MRCMaxSamples bounds concurrently tracked lines in the sampled
+	// column (SHARDS fixed-size mode); 0 means the default.
+	MRCMaxSamples int
+	// MRCResolution is the capacity step of the miss-ratio curves in
+	// bytes; 0 means the default (64KB).
+	MRCResolution int
+	// MRCMaxBytes is the largest curve capacity in bytes; 0 means the
+	// default (4MB).
+	MRCMaxBytes int
+
 	// expID is the registry id of the experiment being run, set by
 	// Run; it keys checkpoint records and failure rows.
 	expID string
@@ -78,6 +92,41 @@ func (o Options) benchmarks() []string {
 func (o Options) warmup() int  { return int(float64(o.Accesses) * o.WarmupFrac) }
 func (o Options) measure() int { return o.Accesses - o.warmup() }
 
+// mrc option accessors: zero means "default", and the same defaulted
+// values feed both the engine configs and the checkpoint fingerprint,
+// so an explicit default and an implicit one fingerprint identically.
+
+func (o Options) mrcSampleRate() float64 {
+	if o.MRCSampleRate == 0 {
+		// 0.1 keeps the SHARDS curve within the 0.02 error budget on
+		// every registered benchmark even at short (150k-access) test
+		// traces; production-scale MRC studies can lower it.
+		return 0.1
+	}
+	return o.MRCSampleRate
+}
+
+func (o Options) mrcMaxSamples() int {
+	if o.MRCMaxSamples == 0 {
+		return 16 << 10
+	}
+	return o.MRCMaxSamples
+}
+
+func (o Options) mrcResolution() int {
+	if o.MRCResolution == 0 {
+		return 64 << 10
+	}
+	return o.MRCResolution
+}
+
+func (o Options) mrcMaxBytes() int {
+	if o.MRCMaxBytes == 0 {
+		return 4 << 20
+	}
+	return o.MRCMaxBytes
+}
+
 // validate normalizes pathological options.
 func (o *Options) validate() error {
 	if o.Accesses <= 0 {
@@ -94,6 +143,20 @@ func (o *Options) validate() error {
 	}
 	if o.FailBudget < 0 {
 		return fmt.Errorf("exp: FailBudget must be >= 0, got %d", o.FailBudget)
+	}
+	if o.MRCSampleRate < 0 || o.MRCSampleRate >= 1 {
+		if o.MRCSampleRate != 0 {
+			return fmt.Errorf("exp: MRCSampleRate %v outside (0,1); the sampled column needs a real sampling rate", o.MRCSampleRate)
+		}
+	}
+	if o.MRCMaxSamples < 0 {
+		return fmt.Errorf("exp: MRCMaxSamples must be >= 0, got %d", o.MRCMaxSamples)
+	}
+	if o.MRCResolution < 0 || o.MRCMaxBytes < 0 {
+		return fmt.Errorf("exp: MRC curve geometry must be >= 0, got resolution %d max %d", o.MRCResolution, o.MRCMaxBytes)
+	}
+	if o.mrcMaxBytes() < o.mrcResolution() {
+		return fmt.Errorf("exp: MRCMaxBytes %d below MRCResolution %d", o.mrcMaxBytes(), o.mrcResolution())
 	}
 	if o.KeepGoing && o.Failures == nil {
 		o.Failures = NewFailureLog()

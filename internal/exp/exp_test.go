@@ -75,7 +75,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig13", "table1", "table2", "table3", "table4", "table5",
 		"table6", "overheads",
 		"ablation-woc-ways", "ablation-threshold", "ablation-victim",
-		"ablation-prefetch", "ablation-leaders", "ablation-traffic", "profiles"}
+		"ablation-prefetch", "ablation-leaders", "ablation-traffic", "profiles",
+		"mrc"}
 	for _, id := range want {
 		if _, ok := About(id); !ok {
 			t.Errorf("experiment %q not registered", id)

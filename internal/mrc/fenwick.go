@@ -1,0 +1,38 @@
+package mrc
+
+// fenwick is a binary indexed tree over logical access time, used as
+// the order-statistic structure behind the Mattson stack: the weight at
+// position t is the stack cost of the line most recently touched at
+// time t (1 for line grain, allocated word slots for word grain), and
+// prefix(b)-prefix(a) is the total cost of lines touched in (a, b] —
+// i.e. the reuse distance contribution of everything above the reused
+// line in the LRU stack. Both add and prefix are O(log n).
+//
+// Positions are 1-based; position 0 is reserved as "never touched".
+type fenwick struct {
+	tree []int32
+}
+
+func newFenwick(n int) fenwick {
+	return fenwick{tree: make([]int32, n+1)}
+}
+
+// add adds d to the weight at position i (1-based).
+//
+//ldis:noalloc
+func (f *fenwick) add(i int, d int32) {
+	for ; i < len(f.tree); i += i & -i {
+		f.tree[i] += d
+	}
+}
+
+// prefix returns the sum of weights at positions 1..i.
+//
+//ldis:noalloc
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & -i {
+		s += int64(f.tree[i])
+	}
+	return s
+}

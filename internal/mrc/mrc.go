@@ -1,0 +1,359 @@
+// Package mrc builds LRU miss-ratio curves in a single trace pass.
+//
+// The engine is a Mattson stack implemented over an order-statistic
+// Fenwick tree: each tracked line holds a weight at its last-touch
+// time, and the reuse distance of an access is the total weight of
+// lines touched since — an O(log M) prefix-sum query instead of an
+// O(M) stack scan. Because LRU has the inclusion property, one
+// histogram of reuse distances yields the miss ratio at every capacity
+// at once: an access hits in a cache of C bytes iff its (inclusive)
+// reuse distance is at most C.
+//
+// Every access is priced at two granularities from the same pass:
+//
+//   - line grain: each stacked line costs mem.LineSize bytes — the
+//     conventional cache.
+//   - word grain: each stacked line costs its allocated word slots
+//     (mem.Pow2WordsFor of the cumulative footprint since first touch,
+//     matching the distilled word-organized-cache allocation model)
+//     times mem.WordSize bytes.
+//
+// The vertical gap between the two curves is the effective capacity a
+// distilled cache reclaims by not storing never-used words (DESIGN.md
+// §9).
+//
+// SHARDS sampling (Waldspurger et al.) makes the pass sublinear in
+// distinct lines: a line is tracked iff its spatial hash falls under a
+// threshold, every tracked event is scaled by the inverse sampling
+// rate, and — the standard expected-misses correction — miss ratios
+// are divided by the true (unsampled) reference count. The fixed-size
+// variant additionally bounds tracked lines, evicting the
+// maximum-hash line and lowering the threshold when the bound is
+// exceeded. Everything is seeded from Config: no wall clock, no map
+// iteration, deterministic at any worker count.
+package mrc
+
+import (
+	"fmt"
+	"math"
+
+	"ldis/internal/mem"
+	"ldis/internal/stats"
+)
+
+// Config parameterizes one Engine.
+type Config struct {
+	// MaxBytes is the largest capacity on the curve. Default 4MB.
+	MaxBytes int
+	// ResolutionBytes is the capacity step between curve points.
+	// Default 64KB.
+	ResolutionBytes int
+	// SampleRate is the SHARDS spatial sampling rate in (0, 1];
+	// 1 (the default, also the zero value) disables sampling and the
+	// engine is exact.
+	SampleRate float64
+	// MaxSamples, when > 0, bounds the number of concurrently tracked
+	// lines (SHARDS fixed-size mode): exceeding it evicts the
+	// maximum-hash line and lowers the threshold. Requires
+	// SampleRate < 1.
+	MaxSamples int
+	// Seed perturbs the spatial hash so distinct runs (or benchmarks)
+	// sample independent line subsets.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 4 << 20
+	}
+	if c.ResolutionBytes == 0 {
+		c.ResolutionBytes = 64 << 10
+	}
+	if c.SampleRate == 0 {
+		c.SampleRate = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.ResolutionBytes < mem.LineSize {
+		return fmt.Errorf("mrc: resolution %dB is below the line size (%dB)", c.ResolutionBytes, mem.LineSize)
+	}
+	if c.MaxBytes < c.ResolutionBytes {
+		return fmt.Errorf("mrc: max capacity %dB is below the resolution %dB", c.MaxBytes, c.ResolutionBytes)
+	}
+	if c.SampleRate <= 0 || c.SampleRate > 1 {
+		return fmt.Errorf("mrc: sample rate %g outside (0, 1]", c.SampleRate)
+	}
+	if c.MaxSamples < 0 {
+		return fmt.Errorf("mrc: negative max samples %d", c.MaxSamples)
+	}
+	if c.MaxSamples > 0 && c.SampleRate >= 1 {
+		return fmt.Errorf("mrc: fixed-size mode (max samples %d) requires a sample rate below 1", c.MaxSamples)
+	}
+	return nil
+}
+
+// twoPow64 is 2^64 as a float, the denominator turning a uint64 hash
+// threshold into a sampling rate.
+const twoPow64 = 1 << 64
+
+// Engine computes line-grain and word-grain miss-ratio curves over one
+// access stream. Create with New, feed with Access, and read curves
+// with LineCurve/WordCurve. Call ResetCounts at the end of a warmup
+// window: the stack state (recency, footprints) carries over but the
+// histograms restart, mirroring the warmup()/measure() split of the
+// full simulations.
+type Engine struct {
+	cfg     Config
+	buckets int // curve points: MaxBytes / ResolutionBytes
+
+	sampled   bool
+	threshold uint64 // track line iff splitmix64(line^seed) < threshold
+	invR      float64
+
+	now    int // logical time of the latest tracked access
+	fwLine fenwick
+	fwWord fenwick
+	tab    lineTable
+	heap   sampleHeap
+
+	// Histogram bucket i in [1, buckets] counts accesses whose scaled
+	// reuse distance d satisfies ceil(d/resolution) == i; bucket
+	// buckets+1 collects everything beyond MaxBytes. Values are
+	// SHARDS-scaled expected counts (exact integers when SampleRate
+	// is 1).
+	histLine []float64
+	histWord []float64
+	cold     float64 // scaled first-touch (compulsory) misses
+	refs     float64 // true references observed, sampled or not
+	tracked  float64 // references that passed the sampling gate
+}
+
+// New returns an Engine able to ingest up to maxAccesses calls to
+// Access.
+func New(cfg Config, maxAccesses int) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if maxAccesses <= 0 {
+		return nil, fmt.Errorf("mrc: non-positive access budget %d", maxAccesses)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		buckets: cfg.MaxBytes / cfg.ResolutionBytes,
+		tab:     newLineTable(),
+		fwLine:  newFenwick(maxAccesses),
+		fwWord:  newFenwick(maxAccesses),
+		invR:    1,
+	}
+	if cfg.SampleRate < 1 {
+		e.sampled = true
+		e.threshold = uint64(cfg.SampleRate * twoPow64)
+		if e.threshold == 0 {
+			return nil, fmt.Errorf("mrc: sample rate %g rounds to zero lines", cfg.SampleRate)
+		}
+		e.invR = twoPow64 / float64(e.threshold)
+	}
+	e.histLine = make([]float64, e.buckets+2)
+	e.histWord = make([]float64, e.buckets+2)
+	return e, nil
+}
+
+// Access feeds one data access (line, word-in-line) through the
+// Mattson stack. The per-access cost is two O(log M) Fenwick queries
+// plus an O(1) open-addressing probe; no allocation.
+//
+//ldis:noalloc
+func (e *Engine) Access(line mem.LineAddr, word int) {
+	e.refs++
+	key := uint64(line)
+	var h uint64
+	if e.sampled {
+		h = splitmix64(key ^ e.cfg.Seed)
+		if h >= e.threshold {
+			return
+		}
+	}
+	e.tracked++
+	t := e.now + 1
+	if t >= len(e.fwLine.tree) {
+		panic("mrc: access budget exceeded; size New with the full trace length")
+	}
+	e.now = t
+
+	if idx := e.tab.find(key); idx >= 0 && e.tab.pos[idx] != 0 {
+		// Reuse: distance = weight of lines touched strictly after the
+		// previous touch, plus this line's own (inclusive) cost.
+		p := int(e.tab.pos[idx])
+		oldSlots := int32(mem.Pow2WordsFor(e.tab.fp[idx].Count()))
+		nfp := e.tab.fp[idx].Set(word)
+		newSlots := int32(mem.Pow2WordsFor(nfp.Count()))
+
+		otherLines := e.fwLine.prefix(t-1) - e.fwLine.prefix(p)
+		otherSlots := e.fwWord.prefix(t-1) - e.fwWord.prefix(p)
+		dLine := float64(otherLines+1) * mem.LineSize * e.invR
+		dWord := float64(otherSlots+int64(newSlots)) * mem.WordSize * e.invR
+		e.record(e.histLine, dLine)
+		e.record(e.histWord, dWord)
+
+		e.fwLine.add(p, -1)
+		e.fwWord.add(p, -oldSlots)
+		e.fwLine.add(t, 1)
+		e.fwWord.add(t, newSlots)
+		e.tab.pos[idx] = int32(t)
+		e.tab.fp[idx] = nfp
+		return
+	}
+
+	// First touch: a compulsory miss at every capacity.
+	e.cold += e.invR
+	nfp := mem.FootprintOfWord(word)
+	e.fwLine.add(t, 1)
+	e.fwWord.add(t, int32(mem.Pow2WordsFor(1)))
+	idx := e.tab.insert(key)
+	e.tab.pos[idx] = int32(t)
+	e.tab.fp[idx] = nfp
+	if e.cfg.MaxSamples > 0 {
+		e.pushSample(sampleRef{hash: h, key: key})
+	}
+}
+
+// record buckets one scaled reuse distance.
+//
+//ldis:noalloc
+func (e *Engine) record(hist []float64, dBytes float64) {
+	b := int(math.Ceil(dBytes / float64(e.cfg.ResolutionBytes)))
+	if b < 1 {
+		b = 1
+	}
+	if b > e.buckets {
+		b = e.buckets + 1
+	}
+	hist[b] += e.invR
+}
+
+// pushSample maintains the fixed-size SHARDS bound: track the new
+// line, then while over budget evict the maximum-hash line(s) and
+// lower the threshold to the evicted hash so the effective rate
+// shrinks monotonically.
+//
+//ldis:noalloc
+func (e *Engine) pushSample(r sampleRef) {
+	e.heap.push(r)
+	for len(e.heap.refs) > e.cfg.MaxSamples {
+		top := e.heap.pop()
+		e.threshold = top.hash
+		e.invR = twoPow64 / float64(e.threshold)
+		e.evict(top.key)
+		// Hash collisions: anything sharing the evicted hash is now at
+		// or above the threshold and must leave with it.
+		for len(e.heap.refs) > 0 && e.heap.refs[0].hash >= e.threshold {
+			e.evict(e.heap.pop().key)
+		}
+	}
+}
+
+// evict removes a line from the stack: its Fenwick weights vanish and
+// its table entry is tombstoned (pos 0). The lowered threshold
+// guarantees the gate rejects the line forever after.
+//
+//ldis:noalloc
+func (e *Engine) evict(key uint64) {
+	idx := e.tab.find(key)
+	if idx < 0 || e.tab.pos[idx] == 0 {
+		return
+	}
+	p := int(e.tab.pos[idx])
+	e.fwLine.add(p, -1)
+	e.fwWord.add(p, -int32(mem.Pow2WordsFor(e.tab.fp[idx].Count())))
+	e.tab.pos[idx] = 0
+}
+
+// ResetCounts zeroes the histograms and reference counters while
+// keeping the stack (recency order, footprints, sample set) intact —
+// call it at the warmup/measure boundary.
+func (e *Engine) ResetCounts() {
+	for i := range e.histLine {
+		e.histLine[i] = 0
+		e.histWord[i] = 0
+	}
+	e.cold = 0
+	e.refs = 0
+	e.tracked = 0
+}
+
+// Refs returns the true number of references observed since the last
+// ResetCounts.
+func (e *Engine) Refs() float64 { return e.refs }
+
+// TrackedRefs returns how many of those passed the sampling gate
+// (equal to Refs for an exact engine).
+func (e *Engine) TrackedRefs() float64 { return e.tracked }
+
+// Curve is one miss-ratio curve: Points[i].X is a capacity in bytes,
+// Points[i].Y the LRU miss ratio at that capacity. Fields are exported
+// so curves survive the experiment checkpoint's gob round-trip.
+type Curve struct {
+	Name   string
+	Points []stats.Point
+	// ColdFrac is the compulsory-miss floor: the fraction of references
+	// that were first touches (scaled under sampling).
+	ColdFrac float64
+	// Refs is the true reference count the ratios are over.
+	Refs float64
+}
+
+// Series adapts the curve for stats rendering.
+func (c Curve) Series() stats.Series {
+	return stats.Series{Name: c.Name, Points: c.Points}
+}
+
+// MissRatioAt evaluates the curve at a capacity in bytes (step
+// semantics, clamped to the curve's domain; NaN if empty).
+func (c Curve) MissRatioAt(bytes float64) float64 {
+	return c.Series().At(bytes)
+}
+
+// LineCurve returns the conventional line-grain curve accumulated
+// since the last ResetCounts.
+func (e *Engine) LineCurve(name string) Curve { return e.curve(name, e.histLine) }
+
+// WordCurve returns the word-grain (distilled allocation cost) curve
+// accumulated since the last ResetCounts.
+func (e *Engine) WordCurve(name string) Curve { return e.curve(name, e.histWord) }
+
+func (e *Engine) curve(name string, hist []float64) Curve {
+	c := Curve{Name: name, Refs: e.refs}
+	if e.refs == 0 {
+		return c
+	}
+	c.ColdFrac = clampRatio(e.cold / e.refs)
+	c.Points = make([]stats.Point, e.buckets)
+	// MR(C_j) = (cold + distances beyond C_j) / true refs. The true-
+	// reference denominator is the SHARDS expected-misses correction:
+	// unsampled references are, in expectation, already accounted for
+	// by the 1/R scaling of the numerator.
+	beyond := e.cold + hist[e.buckets+1]
+	for j := e.buckets; j >= 1; j-- {
+		c.Points[j-1] = stats.Point{
+			X: float64(j * e.cfg.ResolutionBytes),
+			Y: clampRatio(beyond / e.refs),
+		}
+		beyond += hist[j]
+	}
+	return c
+}
+
+// clampRatio bounds a miss ratio to [0, 1]: SHARDS scaling is unbiased
+// but individual estimates can overshoot slightly.
+func clampRatio(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}

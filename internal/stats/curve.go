@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a curve: for miss-ratio curves x is a
+// capacity in bytes and y a miss ratio.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named step curve: points sorted by ascending X, each
+// holding the curve's value from its X until the next point's. It is
+// the rendering currency between the miss-ratio-curve engine
+// (internal/mrc) and the table output.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Len returns the number of points.
+func (s Series) Len() int { return len(s.Points) }
+
+// At evaluates the step curve at x: the Y of the last point whose X is
+// <= x, clamped to the first point's Y below the domain and the last
+// point's Y above it. An empty series returns NaN.
+func (s Series) At(x float64) float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].X > x })
+	if i == 0 {
+		return s.Points[0].Y
+	}
+	return s.Points[i-1].Y
+}
+
+// NonIncreasing reports whether the series never rises (modulo a tiny
+// float tolerance) as X grows — the shape every miss-ratio curve must
+// have: more capacity can only remove misses.
+func (s Series) NonIncreasing() bool {
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y > s.Points[i-1].Y+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest |a-b| over the union of both series'
+// sample points — the metric behind the exact-vs-SHARDS validation. If
+// either series is empty it returns NaN.
+func MaxAbsDiff(a, b Series) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return math.NaN()
+	}
+	max := 0.0
+	for _, s := range [2]Series{a, b} {
+		for _, p := range s.Points {
+			if d := math.Abs(a.At(p.X) - b.At(p.X)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// CurveTable renders one or more series against a shared X axis: one
+// row per distinct X (sorted union across series), one column per
+// series. Cells are blank where a series has no point at that exact X;
+// Y values render with four decimals (miss ratios need more precision
+// than AddRow's two). formatX labels the X column; nil falls back to
+// %g.
+func CurveTable(title, xHeader string, formatX func(x float64) string, series ...Series) *Table {
+	if formatX == nil {
+		formatX = func(x float64) string { return fmt.Sprintf("%g", x) }
+	}
+	headers := make([]string, 0, len(series)+1)
+	headers = append(headers, xHeader)
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(title, headers...)
+
+	xs := make([]float64, 0)
+	seen := make(map[float64]bool)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	for _, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, formatX(x))
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.4f", p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		cells := make([]interface{}, len(row))
+		for i, c := range row {
+			cells[i] = c
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// FormatBytes renders a byte count as a compact capacity label (e.g.
+// "64KB", "1MB", "1.5MB") for curve-table X columns.
+func FormatBytes(x float64) string {
+	switch {
+	case x >= 1<<20:
+		mb := strings.TrimRight(fmt.Sprintf("%.2f", x/(1<<20)), "0")
+		return strings.TrimSuffix(mb, ".") + "MB"
+	case x >= 1<<10:
+		return fmt.Sprintf("%gKB", x/(1<<10))
+	default:
+		return fmt.Sprintf("%gB", x)
+	}
+}

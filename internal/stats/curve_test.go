@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{Name: "s", Points: []Point{{64, 0.9}, {128, 0.5}, {256, 0.1}}}
+	cases := []struct {
+		x, want float64
+	}{
+		{32, 0.9},  // below domain: clamp to first
+		{64, 0.9},  // exact hit
+		{100, 0.9}, // step holds until next X
+		{128, 0.5},
+		{256, 0.1},
+		{1 << 20, 0.1}, // above domain: clamp to last
+	}
+	for _, tc := range cases {
+		if got := s.At(tc.x); got != tc.want {
+			t.Errorf("At(%g) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestSeriesAtEmpty(t *testing.T) {
+	var s Series
+	if got := s.At(100); !math.IsNaN(got) {
+		t.Errorf("empty Series.At = %v, want NaN", got)
+	}
+	if s.Len() != 0 {
+		t.Errorf("empty Series.Len = %d", s.Len())
+	}
+}
+
+func TestSeriesAtSinglePoint(t *testing.T) {
+	s := Series{Points: []Point{{128, 0.42}}}
+	for _, x := range []float64{0, 128, 1e9} {
+		if got := s.At(x); got != 0.42 {
+			t.Errorf("single-point At(%g) = %v, want 0.42", x, got)
+		}
+	}
+	if !s.NonIncreasing() {
+		t.Error("single-point series reported as increasing")
+	}
+}
+
+func TestNonIncreasing(t *testing.T) {
+	down := Series{Points: []Point{{1, 0.9}, {2, 0.9}, {3, 0.2}}}
+	if !down.NonIncreasing() {
+		t.Error("non-increasing series rejected")
+	}
+	up := Series{Points: []Point{{1, 0.2}, {2, 0.3}}}
+	if up.NonIncreasing() {
+		t.Error("increasing series accepted")
+	}
+	var empty Series
+	if !empty.NonIncreasing() {
+		t.Error("empty series should be vacuously non-increasing")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := Series{Points: []Point{{64, 0.8}, {128, 0.4}}}
+	b := Series{Points: []Point{{64, 0.7}, {128, 0.45}}}
+	if got, want := MaxAbsDiff(a, b), 0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxAbsDiff = %v, want %v", got, want)
+	}
+	if got := MaxAbsDiff(a, a); got != 0 {
+		t.Errorf("MaxAbsDiff(a,a) = %v, want 0", got)
+	}
+	if got := MaxAbsDiff(a, Series{}); !math.IsNaN(got) {
+		t.Errorf("MaxAbsDiff vs empty = %v, want NaN", got)
+	}
+	// Mismatched X grids: evaluated over the union of points.
+	c := Series{Points: []Point{{96, 0.1}}}
+	if got, want := MaxAbsDiff(a, c), 0.7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxAbsDiff across grids = %v, want %v", got, want)
+	}
+}
+
+func TestCurveTable(t *testing.T) {
+	a := Series{Name: "exact", Points: []Point{{64, 0.8}, {128, 0.4}}}
+	b := Series{Name: "shards", Points: []Point{{64, 0.81}}}
+	tab := CurveTable("MRC: demo", "capacity", FormatBytes, a, b)
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2 (union of X values)", tab.NumRows())
+	}
+	out := tab.String()
+	for _, want := range []string{"capacity", "exact", "shards", "64KB" /* header check below */} {
+		_ = want
+	}
+	for _, want := range []string{"capacity", "exact", "shards", "0.8000", "0.8100", "0.4000", "64B", "128B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// b has no point at X=128: that cell must be blank, not 0.
+	if strings.Contains(out, "0.0000") {
+		t.Errorf("missing point rendered as zero:\n%s", out)
+	}
+}
+
+func TestCurveTableEmpty(t *testing.T) {
+	tab := CurveTable("empty", "x", nil, Series{Name: "s"})
+	if tab.NumRows() != 0 {
+		t.Errorf("empty series produced %d rows", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "empty") {
+		t.Error("title lost on empty table")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want string
+	}{
+		{32, "32B"},
+		{64 << 10, "64KB"},
+		{1 << 20, "1MB"},
+		{1<<20 + 1<<19, "1.5MB"},
+		{4 << 20, "4MB"},
+	}
+	for _, tc := range cases {
+		if got := FormatBytes(tc.x); got != tc.want {
+			t.Errorf("FormatBytes(%g) = %q, want %q", tc.x, got, tc.want)
+		}
+	}
+}
