@@ -13,6 +13,10 @@
 # `make mrc-smoke` validates the miss-ratio-curve engine: SHARDS-vs-
 # exact tolerance on every benchmark, curve-vs-simulation spot checks,
 # and a short end-to-end ldisexp mrc run.
+# `make obs-smoke` validates the observability core: manifest
+# determinism across worker counts, the zero-allocation registry
+# tests, and an end-to-end ldisexp run whose manifest must round-trip
+# the validating parser and carry the instrumented metrics.
 # `make chaos` runs the fault-injection suite: seeded panics, corrupt
 # traces, and kill-mid-sweep checkpoints driven through the full
 # engine (see DESIGN.md §8).
@@ -20,7 +24,7 @@
 GO ?= go
 
 .PHONY: all build vet lint lint-install test check race bench bench-smoke \
-	chaos fuzz-smoke mrc-smoke govulncheck profile clean
+	chaos fuzz-smoke mrc-smoke obs-smoke govulncheck profile clean
 
 all: check
 
@@ -71,6 +75,23 @@ fuzz-smoke:
 mrc-smoke:
 	$(GO) test -run 'TestMRCShardsTolerance|TestMRCMatchesSimulation' -count=1 ./internal/exp
 	$(GO) run ./cmd/ldisexp -accesses 120000 -benchmarks sixtrack,health mrc > /dev/null
+
+# Observability smoke: the acceptance gate for internal/obs. The
+# tests pin manifest determinism across worker counts and the
+# zero-allocation metric hot paths; the CLI run exercises manifest
+# emission end to end (-verify-manifest re-reads it through the
+# validating parser) and the greps assert the required content:
+# identity fields, instrumented distill counters, and span timings.
+obs-smoke:
+	$(GO) test -run 'TestManifestDeterministicAcrossWorkerCounts' -count=1 ./internal/exp
+	$(GO) test -count=1 ./internal/obs
+	$(GO) run ./cmd/ldisexp -accesses 60000 -benchmarks mcf,health \
+		-out obs-smoke-out -verify-manifest fig6 > /dev/null
+	@grep -q '"tool": "ldisexp"' obs-smoke-out/manifest.json
+	@grep -q '"name": "distill_lines_distilled"' obs-smoke-out/manifest.json
+	@grep -q '"stage": "simulate"' obs-smoke-out/manifest.json
+	@rm -rf obs-smoke-out
+	@echo "obs-smoke: manifest verified"
 
 # Advisory vulnerability scan: runs only if govulncheck is installed
 # (it is not vendored; `go install golang.org/x/vuln/cmd/govulncheck@latest`

@@ -15,6 +15,7 @@ import (
 
 	"ldis"
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/trace"
 	"ldis/internal/workload"
 )
@@ -31,6 +32,7 @@ func main() {
 	noMT := flag.Bool("no-mt", false, "disable median-threshold filtering")
 	noReverter := flag.Bool("no-reverter", false, "disable the reverter circuit")
 	ipc := flag.Bool("ipc", false, "also run the execution-driven timing model")
+	metrics := flag.Bool("metrics", false, "attach an observer and print the metric snapshot and span timings after the run")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -39,11 +41,38 @@ func main() {
 		return
 	}
 
-	sim, err := buildSim(*cacheKind, *benchmark, *sizeMB, *ways, *wocWays, !*noMT, !*noReverter)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "distillsim:", err)
-		os.Exit(1)
+	// Collect every configuration problem and report them all at once.
+	var problems []string
+	if *accesses <= 0 {
+		problems = append(problems, fmt.Sprintf("-accesses must be positive, got %d", *accesses))
 	}
+	if *sizeMB <= 0 {
+		problems = append(problems, fmt.Sprintf("-size-mb must be positive, got %d", *sizeMB))
+	}
+	if *ways <= 0 {
+		problems = append(problems, fmt.Sprintf("-ways must be positive, got %d", *ways))
+	}
+	if *wocWays < 0 {
+		problems = append(problems, fmt.Sprintf("-woc-ways must be non-negative, got %d", *wocWays))
+	}
+
+	var reg *ldis.Observer
+	var decodeSpans *obs.Spans
+	if *metrics {
+		reg = ldis.NewObserver()
+		decodeSpans = obs.NewSpans(nil)
+	}
+	sim, err := buildSim(*cacheKind, *benchmark, *sizeMB, *ways, *wocWays, !*noMT, !*noReverter, reg)
+	if err != nil {
+		problems = append(problems, strings.Split(err.Error(), "\n")...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "distillsim:", p)
+		}
+		os.Exit(2)
+	}
+
 	var res ldis.Result
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -52,6 +81,7 @@ func main() {
 			os.Exit(1)
 		}
 		var accs []mem.Access
+		tok := decodeSpans.Begin(obs.StageDecode)
 		if *lenient {
 			var cerr *trace.CorruptError
 			accs, cerr = trace.ReadLenient(f)
@@ -61,6 +91,7 @@ func main() {
 		} else {
 			accs, err = trace.Read(f)
 		}
+		decodeSpans.End(obs.StageDecode, tok)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "distillsim:", err)
@@ -80,6 +111,9 @@ func main() {
 			ds.Distilled, ds.ThresholdSkips, ds.WOCEvictions, ds.ModeSwitches, ds.Writebacks)
 		fmt.Printf("words used at LOC eviction: %v\n", ds.WordsUsedAtEvict)
 	}
+	if *metrics {
+		printMetrics(reg, decodeSpans)
+	}
 
 	if *ipc {
 		base, dist, err := ldis.MeasureIPC(*benchmark, *accesses)
@@ -92,29 +126,52 @@ func main() {
 	}
 }
 
-func buildSim(kind, benchmark string, sizeMB, ways, wocWays int, mt, reverter bool) (*ldis.Sim, error) {
+// printMetrics dumps the observer's registry snapshot and the trace
+// decode span aggregate in a stable, grep-friendly form.
+func printMetrics(reg *ldis.Observer, decode *obs.Spans) {
+	fmt.Println("metrics:")
+	for _, m := range reg.Snapshot() {
+		switch m.Kind {
+		case "histogram":
+			fmt.Printf("  %-9s %-28s bounds=%v buckets=%v\n", m.Kind, m.Name, m.Bounds, m.Buckets)
+		case "gauge":
+			fmt.Printf("  %-9s %-28s %g\n", m.Kind, m.Name, m.Value)
+		default:
+			fmt.Printf("  %-9s %-28s %d\n", m.Kind, m.Name, m.Count)
+		}
+	}
+	for _, s := range decode.Report() {
+		fmt.Printf("  span      %-28s calls=%d timed=%d nanos=%d\n", s.Stage, s.Calls, s.Timed, s.Nanos)
+	}
+}
+
+func buildSim(kind, benchmark string, sizeMB, ways, wocWays int, mt, reverter bool, reg *ldis.Observer) (*ldis.Sim, error) {
+	var org ldis.Option
 	switch kind {
 	case "baseline":
-		return ldis.NewBaselineSim(), nil
+		org = ldis.WithTraditional(1<<20, 8)
 	case "trad":
-		return ldis.NewTraditionalSim(sizeMB<<20, ways)
-	case "distill":
+		org = ldis.WithTraditional(sizeMB<<20, ways)
+	case "distill", "fac":
 		cfg := ldis.DefaultDistillConfig()
 		cfg.WOCWays = wocWays
 		cfg.MedianThreshold = mt
 		cfg.Reverter = reverter
-		return ldis.NewDistillSim(cfg), nil
-	case "fac":
-		cfg := ldis.DefaultDistillConfig()
-		cfg.WOCWays = wocWays
-		cfg.MedianThreshold = mt
-		cfg.Reverter = reverter
-		return ldis.NewFACSim(cfg, benchmark)
+		if kind == "fac" {
+			org = ldis.WithFAC(cfg, benchmark)
+		} else {
+			org = ldis.WithDistill(cfg)
+		}
 	case "cmpr":
-		return ldis.NewCompressedSim(benchmark)
+		org = ldis.WithCompression(benchmark)
 	case "sfp":
-		return ldis.NewSFPSim(0)
+		org = ldis.WithSFP(0)
 	default:
 		return nil, fmt.Errorf("unknown cache kind %q", kind)
 	}
+	opts := []ldis.Option{org}
+	if reg != nil {
+		opts = append(opts, ldis.WithObserver(reg))
+	}
+	return ldis.New(opts...)
 }

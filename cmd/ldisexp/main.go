@@ -12,13 +12,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ldis/internal/exp"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 )
 
@@ -61,17 +64,15 @@ func main() {
 	mrcMaxSamples := flag.Int("mrc-max-samples", 0, "mrc experiment: SHARDS fixed-size bound on concurrently tracked lines (0 = default 16384)")
 	mrcResolution := flag.Int("mrc-resolution", 0, "mrc experiment: curve capacity step in bytes (0 = default 64KB)")
 	mrcMax := flag.Int("mrc-max", 0, "mrc experiment: largest curve capacity in bytes (0 = default 4MB)")
+	obsAddr := flag.String("obs-addr", "", "serve live progress, metric snapshots, and net/http/pprof on this address (e.g. localhost:6060)")
+	manifestPath := flag.String("manifest", "", "write the versioned run manifest to this path (default: <out>/"+obs.ManifestFile+" with -out, else ./"+obs.ManifestFile+")")
+	verifyManifest := flag.Bool("verify-manifest", false, "after writing the manifest, read it back through the validating parser")
 	flag.Parse()
-
-	if *markdown && *csv {
-		fmt.Fprintln(os.Stderr, "ldisexp: -markdown and -csv are mutually exclusive; pick one output format")
-		os.Exit(2)
-	}
 
 	if *list {
 		for _, id := range exp.IDs() {
-			about, _ := exp.About(id)
-			fmt.Printf("%-10s %s\n", id, about)
+			line, _ := exp.Describe(id)
+			fmt.Println(line)
 		}
 		return
 	}
@@ -103,6 +104,38 @@ func main() {
 		o.Failures = exp.NewFailureLog()
 	}
 
+	// Collect every configuration problem — CLI flag conflicts and
+	// option validation — and report them all at once rather than one
+	// per invocation.
+	var problems []string
+	if *markdown && *csv {
+		problems = append(problems, "-markdown and -csv are mutually exclusive; pick one output format")
+	}
+	if *resume && *outDir == "" {
+		problems = append(problems, "-resume requires -out (the checkpoint lives in the output directory)")
+	}
+	if err := o.Validate(); err != nil {
+		problems = append(problems, strings.Split(err.Error(), "\n")...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "ldisexp:", p)
+		}
+		os.Exit(2)
+	}
+
+	run := obs.NewRun(nil)
+	o.Obs = run
+	if *obsAddr != "" {
+		srv, err := obs.StartServer(*obsAddr, run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("[obs: live progress and pprof at http://%s/]\n", srv.Addr())
+	}
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "ldisexp:", err)
@@ -111,10 +144,6 @@ func main() {
 	}
 	var ck *exp.Checkpoint
 	if *resume {
-		if *outDir == "" {
-			fmt.Fprintln(os.Stderr, "ldisexp: -resume requires -out (the checkpoint lives in the output directory)")
-			os.Exit(2)
-		}
 		path := filepath.Join(*outDir, exp.CheckpointFile)
 		var err error
 		if ck, err = exp.OpenCheckpoint(path, o); err != nil {
@@ -162,6 +191,41 @@ func main() {
 	if report.Workers == 0 {
 		report.Workers = report.GoMaxProcs
 	}
+	mpath := *manifestPath
+	if mpath == "" {
+		if *outDir != "" {
+			mpath = filepath.Join(*outDir, obs.ManifestFile)
+		} else {
+			mpath = obs.ManifestFile
+		}
+	}
+	emitManifest := func() {
+		m := &obs.Manifest{
+			Tool:        "ldisexp",
+			GoVersion:   runtime.Version(),
+			GitDescribe: gitDescribe(),
+			Generated:   time.Now().UTC().Format(time.RFC3339),
+			Workers:     report.Workers,
+			Fingerprint: o.Fingerprint(),
+			Experiments: ids,
+			Params:      o.ManifestParams(),
+		}
+		m.Snapshot(run)
+		if o.Failures != nil {
+			m.Failures = o.Failures.Manifest()
+		}
+		if err := obs.WriteManifest(mpath, m); err != nil {
+			fmt.Fprintln(os.Stderr, "ldisexp:", err)
+			os.Exit(1)
+		}
+		if *verifyManifest {
+			if _, err := obs.ReadManifest(mpath); err != nil {
+				fmt.Fprintln(os.Stderr, "ldisexp: manifest verification failed:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[manifest: %s]\n", mpath)
+	}
 	render := func(t *stats.Table) string {
 		switch {
 		case *csv:
@@ -188,6 +252,7 @@ func main() {
 				ck.Close()
 				fmt.Fprintf(os.Stderr, "ldisexp: %d completed cells checkpointed; rerun with -resume to continue\n", ck.Recorded()+ck.Loaded())
 			}
+			emitManifest()
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
@@ -215,6 +280,7 @@ func main() {
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, elapsed.Round(time.Millisecond))
 	}
+	emitManifest()
 	if *throughput != "" {
 		report.Total.ID = "total"
 		if report.Total.Seconds > 0 {
@@ -235,13 +301,50 @@ func main() {
 		fmt.Printf("[checkpoint: %d cells replayed, %d newly recorded]\n", ck.Replayed(), ck.Recorded())
 	}
 	if o.Failures != nil && o.Failures.Len() > 0 {
-		// The failure table is deterministic: same cells, same order,
-		// at any worker count.
-		fmt.Fprint(os.Stderr, o.Failures.Table().String())
-		fmt.Fprintf(os.Stderr, "ldisexp: %d cells failed; healthy benchmarks rendered above\n", o.Failures.Len())
-		if ck != nil {
-			ck.Close()
-		}
-		os.Exit(1)
+		failuresExit(o, ck)
 	}
+}
+
+// failuresExit renders the failure table and exits nonzero; split out
+// so the main run path reads top to bottom.
+func failuresExit(o exp.Options, ck *exp.Checkpoint) {
+	// The failure table is deterministic: same cells, same order,
+	// at any worker count.
+	fmt.Fprint(os.Stderr, o.Failures.Table().String())
+	fmt.Fprintf(os.Stderr, "ldisexp: %d cells failed; healthy benchmarks rendered above\n", o.Failures.Len())
+	if ck != nil {
+		ck.Close()
+	}
+	os.Exit(1)
+}
+
+// gitDescribe identifies the source tree the binary was built from:
+// `git describe` when a repository is reachable, else the VCS stamp
+// embedded by the Go toolchain, else empty.
+func gitDescribe() string {
+	if out, err := exec.Command("git", "describe", "--always", "--dirty").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
 }

@@ -7,10 +7,13 @@ import (
 	"ldis/internal/costmodel"
 )
 
-// ExampleNewDistillSim shows the one-call path from a named benchmark to
-// a distill-cache result.
-func ExampleNewDistillSim() {
-	sim := ldis.NewDistillSim(ldis.DefaultDistillConfig())
+// ExampleNew shows the one-call path from a named benchmark to a
+// distill-cache result.
+func ExampleNew() {
+	sim, err := ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()))
+	if err != nil {
+		panic(err)
+	}
 	res, err := sim.RunWorkload("health", 200_000)
 	if err != nil {
 		panic(err)
@@ -18,6 +21,28 @@ func ExampleNewDistillSim() {
 	fmt.Printf("WOC hits observed: %v\n", res.WOCHits > 0)
 	// Output:
 	// WOC hits observed: true
+}
+
+// ExampleWithObserver attaches a metrics registry to a simulator and
+// reads the recorded distill counters after the run.
+func ExampleWithObserver() {
+	reg := ldis.NewObserver()
+	sim, err := ldis.New(
+		ldis.WithDistill(ldis.DefaultDistillConfig()),
+		ldis.WithObserver(reg))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sim.RunWorkload("health", 200_000); err != nil {
+		panic(err)
+	}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "distill_lines_distilled" {
+			fmt.Printf("distilled lines recorded: %v\n", m.Count > 0)
+		}
+	}
+	// Output:
+	// distilled lines recorded: true
 }
 
 // ExampleRunExperiment regenerates one of the paper's static tables.

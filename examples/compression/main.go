@@ -15,7 +15,7 @@ func main() {
 	const benchmark = "mcf" // pointer data: low word usage AND compressible values
 	const accesses = 1_000_000
 
-	base, err := ldis.NewBaselineSim().RunWorkload(benchmark, accesses)
+	base, err := mustNew(ldis.WithTraditional(1<<20, 8)).RunWorkload(benchmark, accesses)
 	if err != nil {
 		panic(err)
 	}
@@ -30,7 +30,7 @@ func main() {
 	for _, woc := range []int{2, 3} {
 		cfg := ldis.DefaultDistillConfig()
 		cfg.WOCWays = woc
-		res, err := ldis.NewDistillSim(cfg).RunWorkload(benchmark, accesses)
+		res, err := mustNew(ldis.WithDistill(cfg)).RunWorkload(benchmark, accesses)
 		if err != nil {
 			panic(err)
 		}
@@ -38,11 +38,7 @@ func main() {
 	}
 
 	// Compression alone (CMPR-4xTags, whole-line compression).
-	cs, err := ldis.NewCompressedSim(benchmark)
-	if err != nil {
-		panic(err)
-	}
-	res, err := cs.RunWorkload(benchmark, accesses)
+	res, err := mustNew(ldis.WithCompression(benchmark)).RunWorkload(benchmark, accesses)
 	if err != nil {
 		panic(err)
 	}
@@ -51,11 +47,7 @@ func main() {
 	// Footprint-aware compression: distill + compress the used words.
 	cfg := ldis.DefaultDistillConfig()
 	cfg.WOCWays = 3
-	fs, err := ldis.NewFACSim(cfg, benchmark)
-	if err != nil {
-		panic(err)
-	}
-	res, err = fs.RunWorkload(benchmark, accesses)
+	res, err = mustNew(ldis.WithFAC(cfg, benchmark)).RunWorkload(benchmark, accesses)
 	if err != nil {
 		panic(err)
 	}
@@ -63,4 +55,13 @@ func main() {
 
 	fmt.Println("\nFAC compresses only the words the footprint proved useful,")
 	fmt.Println("so each WOC way holds several compressed distilled lines.")
+}
+
+// mustNew builds a simulator from a known-good option set.
+func mustNew(opts ...ldis.Option) *ldis.Sim {
+	sim, err := ldis.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return sim
 }

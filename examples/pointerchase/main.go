@@ -18,7 +18,7 @@ func main() {
 
 	fmt.Printf("benchmark %s: pointer chasing, ~2 of 8 words used per line\n\n", benchmark)
 
-	base, err := ldis.NewBaselineSim().RunWorkload(benchmark, accesses)
+	base, err := mustNew(ldis.WithTraditional(1<<20, 8)).RunWorkload(benchmark, accesses)
 	if err != nil {
 		panic(err)
 	}
@@ -27,7 +27,7 @@ func main() {
 	for _, woc := range []int{1, 2, 3} {
 		cfg := ldis.DefaultDistillConfig()
 		cfg.WOCWays = woc
-		res, err := ldis.NewDistillSim(cfg).RunWorkload(benchmark, accesses)
+		res, err := mustNew(ldis.WithDistill(cfg)).RunWorkload(benchmark, accesses)
 		if err != nil {
 			panic(err)
 		}
@@ -38,11 +38,7 @@ func main() {
 	// Against bigger traditional caches (paper Figure 8: for health the
 	// distill cache beats even doubling the capacity).
 	for _, mb := range []int{2, 4} {
-		sim, err := ldis.NewTraditionalSim(mb<<20, 8)
-		if err != nil {
-			panic(err)
-		}
-		res, err := sim.RunWorkload(benchmark, accesses)
+		res, err := mustNew(ldis.WithTraditional(mb<<20, 8)).RunWorkload(benchmark, accesses)
 		if err != nil {
 			panic(err)
 		}
@@ -50,4 +46,13 @@ func main() {
 			fmt.Sprintf("traditional %dMB 8-way", mb), res.MPKI,
 			100*(base.MPKI-res.MPKI)/base.MPKI)
 	}
+}
+
+// mustNew builds a simulator from a known-good option set.
+func mustNew(opts ...ldis.Option) *ldis.Sim {
+	sim, err := ldis.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return sim
 }

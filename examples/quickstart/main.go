@@ -13,11 +13,11 @@ func main() {
 	const benchmark = "mcf"
 	const accesses = 500_000
 
-	base, err := ldis.NewBaselineSim().RunWorkload(benchmark, accesses)
+	base, err := mustNew(ldis.WithTraditional(1<<20, 8)).RunWorkload(benchmark, accesses)
 	if err != nil {
 		panic(err)
 	}
-	dist, err := ldis.NewDistillSim(ldis.DefaultDistillConfig()).RunWorkload(benchmark, accesses)
+	dist, err := mustNew(ldis.WithDistill(ldis.DefaultDistillConfig())).RunWorkload(benchmark, accesses)
 	if err != nil {
 		panic(err)
 	}
@@ -33,4 +33,13 @@ func main() {
 	fmt.Printf("  WOC-hit   %5.1f%%   <- capacity recovered from unused words\n", 100*float64(dist.WOCHits)/total)
 	fmt.Printf("  hole-miss %5.1f%%\n", 100*float64(dist.HoleMisses)/total)
 	fmt.Printf("  line-miss %5.1f%%\n", 100*float64(dist.LineMisses)/total)
+}
+
+// mustNew builds a simulator from a known-good option set.
+func mustNew(opts ...ldis.Option) *ldis.Sim {
+	sim, err := ldis.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return sim
 }

@@ -16,7 +16,7 @@ func main() {
 	const benchmark = "swim"
 	const accesses = 2_000_000
 
-	base, err := ldis.NewBaselineSim().RunWorkload(benchmark, accesses)
+	base, err := mustNew(ldis.WithTraditional(1<<20, 8)).RunWorkload(benchmark, accesses)
 	if err != nil {
 		panic(err)
 	}
@@ -26,7 +26,7 @@ func main() {
 		cfg := ldis.DefaultDistillConfig()
 		cfg.MedianThreshold = mt
 		cfg.Reverter = reverter
-		sim := ldis.NewDistillSim(cfg)
+		sim := mustNew(ldis.WithDistill(cfg))
 		res, err := sim.RunWorkload(benchmark, accesses)
 		if err != nil {
 			panic(err)
@@ -46,4 +46,13 @@ func main() {
 
 	fmt.Println("\nThe reverter bounds the damage: the paper reports LDIS-MT-RC")
 	fmt.Println("never increases misses by more than 2% on any benchmark.")
+}
+
+// mustNew builds a simulator from a known-good option set.
+func mustNew(opts ...ldis.Option) *ldis.Sim {
+	sim, err := ldis.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return sim
 }

@@ -29,8 +29,8 @@ func main() {
 		return trace.NewInterleave(a.Stream(), b.Stream())
 	}
 
-	base := ldis.NewBaselineSim().RunStream("health+wupwise", mix(), accesses)
-	dist := ldis.NewDistillSim(ldis.DefaultDistillConfig()).RunStream("health+wupwise", mix(), accesses)
+	base := mustNew(ldis.WithTraditional(1<<20, 8)).RunStream("health+wupwise", mix(), accesses)
+	dist := mustNew(ldis.WithDistill(ldis.DefaultDistillConfig())).RunStream("health+wupwise", mix(), accesses)
 
 	fmt.Println("shared 1MB L2, interleaved health + wupwise")
 	fmt.Printf("  baseline: %s\n", base)
@@ -40,4 +40,13 @@ func main() {
 	fmt.Println("\nwupwise streams full lines (nothing to distill, nothing lost);")
 	fmt.Println("health's 2-word lines pack 4-8x denser in the WOC, so the")
 	fmt.Println("chaser keeps its working set despite the streaming neighbour.")
+}
+
+// mustNew builds a simulator from a known-good option set.
+func mustNew(opts ...ldis.Option) *ldis.Sim {
+	sim, err := ldis.New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return sim
 }

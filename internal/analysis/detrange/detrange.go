@@ -9,7 +9,9 @@
 // (internal/workload), the chaos-suite fault injectors whose
 // decisions must reproduce bit-for-bit (internal/faultinject), and
 // the miss-ratio-curve engine whose SHARDS sampling must be a pure
-// function of (address, seed) (internal/mrc), a
+// function of (address, seed) (internal/mrc), and the observability
+// layer whose manifests must diff clean at any worker count
+// (internal/obs), a
 // `for ... range m` over a map is therefore banned
 // outright: either iterate a sorted key slice, or annotate the site
 // with `//ldis:nondet-ok <why>` proving the order cannot reach any
@@ -33,12 +35,13 @@ var Packages = []string{
 	"ldis/internal/workload",
 	"ldis/internal/faultinject",
 	"ldis/internal/mrc",
+	"ldis/internal/obs",
 }
 
 // Analyzer is the detrange analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
-	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc) unless annotated //ldis:nondet-ok",
+	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc, internal/obs) unless annotated //ldis:nondet-ok",
 	Run:  run,
 }
 

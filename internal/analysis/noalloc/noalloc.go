@@ -50,10 +50,12 @@ var Analyzer = &analysis.Analyzer{
 const factClean = "clean"
 
 // cleanStdPkgs are standard-library packages whose exported functions
-// are known allocation-free (pure bit/arithmetic kernels).
+// are known allocation-free (pure bit/arithmetic kernels, and the
+// lock-free atomics behind the obs metric hot paths).
 var cleanStdPkgs = map[string]bool{
-	"math/bits": true,
-	"math":      true,
+	"math/bits":   true,
+	"math":        true,
+	"sync/atomic": true,
 }
 
 type finding struct {
@@ -632,4 +634,3 @@ func (t *appendTracker) varOK(v *types.Var) bool {
 	}
 	return ok
 }
-

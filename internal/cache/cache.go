@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 )
 
@@ -20,6 +21,12 @@ type Config struct {
 	SizeBytes int
 	// Ways is the associativity.
 	Ways int
+	// Obs, when non-nil, receives eviction/writeback counters for the
+	// owning grid cell. Counters land on the install (miss) path only —
+	// the per-access hit path stays untouched — and the handles no-op
+	// when Obs is nil, so disabled observability costs one branch per
+	// eviction.
+	Obs *obs.Cell
 }
 
 // Sets returns the number of sets implied by the config.
@@ -89,6 +96,11 @@ type Cache struct {
 	// shift-loops) on every access.
 	setMask  uint64
 	tagShift uint
+
+	// Observability handles, registered once at construction; nil when
+	// the config carries no obs cell.
+	obsEvictions  *obs.Counter
+	obsWritebacks *obs.Counter
 }
 
 // New builds a cache; it panics on an invalid config (configs are
@@ -110,6 +122,8 @@ func New(cfg Config) *Cache {
 	// them on the hot path.
 	c.st.WordsUsedAtEvict = stats.NewHistogram(cfg.Name+" words used", mem.WordsPerLine+1)
 	c.st.FPChangePos = stats.NewHistogram(cfg.Name+" fp-change pos", cfg.Ways)
+	c.obsEvictions = cfg.Obs.Counter("cache_evictions")
+	c.obsWritebacks = cfg.Obs.Counter("cache_writebacks")
 	return c
 }
 
@@ -206,10 +220,12 @@ func (c *Cache) Install(line mem.LineAddr, word int, write bool) (Victim, bool) 
 	had := false
 	if v := set[victimPos]; v.Valid {
 		st.Evictions++
+		c.obsEvictions.Inc()
 		st.WordsUsedAtEvict.Add(v.Footprint.Count())
 		st.FPChangePos.Add(int(v.MaxFPPos))
 		if v.Dirty {
 			st.Writebacks++
+			c.obsWritebacks.Inc()
 		}
 		victim = Victim{
 			Line:      c.lineFromTag(v.Tag, si),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/sampler"
 	"ldis/internal/stats"
 	"ldis/internal/wordstore"
@@ -116,6 +117,16 @@ type Cache struct {
 	// path does not rederive it per access.
 	setMask  uint64
 	tagShift uint
+
+	// Observability handles, registered once at construction; all nil
+	// (and therefore no-ops) when the config carries no obs cell. They
+	// sit on the miss/evict paths only — the LOC hit path is untouched.
+	obsSpans          *obs.Spans
+	obsDistilled      *obs.Counter
+	obsThresholdSkips *obs.Counter
+	obsHoleMisses     *obs.Counter
+	obsWOCEvictions   *obs.Counter
+	obsModeSwitches   *obs.Counter
 }
 
 // New builds a distill cache; panics on invalid config.
@@ -147,6 +158,17 @@ func New(cfg Config) *Cache {
 	}
 	c.st.WordsUsedAtEvict = stats.NewHistogram(cfg.Name+" words used", mem.WordsPerLine+1)
 	c.st.FPChangePos = stats.NewHistogram(cfg.Name+" fp-change pos", cfg.Ways)
+	c.obsSpans = cfg.Obs.Spans()
+	c.obsDistilled = cfg.Obs.Counter("distill_lines_distilled")
+	c.obsThresholdSkips = cfg.Obs.Counter("distill_threshold_skips")
+	c.obsHoleMisses = cfg.Obs.Counter("distill_hole_misses")
+	c.obsWOCEvictions = cfg.Obs.Counter("distill_woc_evictions")
+	c.obsModeSwitches = cfg.Obs.Counter("distill_mode_switches")
+	if slotsHist := cfg.Obs.Histogram("woc_install_slots", []uint64{1, 2, 4}); slotsHist != nil {
+		for i := range c.sets {
+			c.sets[i].woc.ObsInstallSlots = slotsHist
+		}
+	}
 	return c
 }
 
@@ -243,7 +265,10 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 
 	// WOC lookup (inactive in traditional mode).
 	if !s.trad {
-		if idx := s.woc.Find(tag); idx >= 0 {
+		tok := c.obsSpans.Begin(obs.StageWOCLookup)
+		idx := s.woc.Find(tag)
+		c.obsSpans.End(obs.StageWOCLookup, tok)
+		if idx >= 0 {
 			wl := &s.woc.Lines[idx]
 			if wl.Words.Has(word) {
 				if write {
@@ -258,6 +283,7 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 			// refetch from memory, install in the LOC (Section 5.2).
 			removed := s.woc.RemoveAt(idx)
 			c.st.HoleMisses++
+			c.obsHoleMisses.Inc()
 			if leader {
 				c.smp.RecordPolicyMiss(si)
 			}
@@ -286,7 +312,9 @@ func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
 func (c *Cache) installLOC(s *set, si int, tag uint64, word int, write, instr bool, mergedDirty mem.Footprint) {
 	victimPos := len(s.loc) - 1
 	if v := s.loc[victimPos]; v.valid {
+		tok := c.obsSpans.Begin(obs.StageDistillEvict)
 		c.evictLOC(s, si, v)
+		c.obsSpans.End(obs.StageDistillEvict, tok)
 	}
 	e := locEntry{
 		valid: true,
@@ -336,6 +364,7 @@ func (c *Cache) evictLOC(s *set, si int, v locEntry) {
 	}
 	if !c.admit(used) {
 		c.st.ThresholdSkips++
+		c.obsThresholdSkips.Inc()
 		if v.dirty != 0 {
 			c.st.Writebacks++
 		}
@@ -352,6 +381,7 @@ func (c *Cache) evictLOC(s *set, si int, v locEntry) {
 // installWOC places a distilled line and accounts for displaced lines.
 func (c *Cache) installWOC(s *set, wl wordstore.Line) {
 	c.st.Distilled++
+	c.obsDistilled.Inc()
 	c.tick++
 	wl.LastUse = c.tick
 	var evicted []wordstore.Line
@@ -362,6 +392,7 @@ func (c *Cache) installWOC(s *set, wl wordstore.Line) {
 	}
 	for _, ev := range evicted {
 		c.st.WOCEvictions++
+		c.obsWOCEvictions.Inc()
 		if ev.Dirty != 0 {
 			c.st.Writebacks++
 		}
@@ -374,6 +405,7 @@ func (c *Cache) installWOC(s *set, wl wordstore.Line) {
 // returning to distill mode narrows the LOC, distilling the overflow.
 func (c *Cache) switchMode(s *set, si int, trad bool) {
 	c.st.ModeSwitches++
+	c.obsModeSwitches.Inc()
 	if trad {
 		for _, wl := range s.woc.Clear() {
 			if wl.Dirty != 0 {
@@ -412,6 +444,7 @@ func (c *Cache) evictLOCNarrow(s *set, si int, v locEntry) {
 	c.st.FPChangePos.Add(int(v.maxFPPos))
 	if !c.admit(used) {
 		c.st.ThresholdSkips++
+		c.obsThresholdSkips.Inc()
 		if v.dirty != 0 {
 			c.st.Writebacks++
 		}

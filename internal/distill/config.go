@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/sampler"
 )
 
@@ -66,6 +67,13 @@ type Config struct {
 	// SamplerConfig overrides the reverter's sampler parameters; zero
 	// value means sampler.DefaultConfig for this cache's set count.
 	SamplerConfig *sampler.Config
+
+	// Obs, when non-nil, receives the owning grid cell's distillation
+	// counters (distilled lines, threshold skips, hole misses, WOC
+	// evictions, mode switches), the WOC-lookup and distill-evict
+	// spans, and the WOC install-size histogram. All handles no-op when
+	// Obs is nil; nothing lands on the per-access hit path.
+	Obs *obs.Cell
 }
 
 // DefaultConfig returns the paper's baseline distill cache: a 1MB 8-way

@@ -5,6 +5,7 @@ import (
 	"ldis/internal/distill"
 	"ldis/internal/hierarchy"
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/prefetch"
 	"ldis/internal/sampler"
 	"ldis/internal/stats"
@@ -19,17 +20,17 @@ import (
 // AblationWOCWays sweeps the LOC/WOC way split: five scheduler cells
 // per benchmark (baseline plus four splits).
 func AblationWOCWays(o Options) ([]*stats.Table, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: WOC way count (MPKI, 1MB 8-way total)",
 		"benchmark", "baseline", "1 WOC way", "2 WOC ways", "3 WOC ways", "4 WOC ways")
-	names, rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 5, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		if col == 0 {
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		}
-		sys, _ := hierarchy.Distill(ldisMTRC(col, prof.Seed))
+		sys, _ := distillSystem(ldisMTRC(col, prof.Seed), co)
 		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
@@ -44,12 +45,12 @@ func AblationWOCWays(o Options) ([]*stats.Table, error) {
 // AblationThreshold sweeps the static distillation threshold K against
 // the adaptive median (Section 5.4).
 func AblationThreshold(o Options) ([]*stats.Table, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: distillation threshold K (MPKI, no reverter)",
 		"benchmark", "K=1", "K=2", "K=4", "K=8", "median")
-	names, rows, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 5, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		var cfg distill.Config
 		if col < 4 {
 			cfg = ldisBase(2, prof.Seed)
@@ -57,7 +58,7 @@ func AblationThreshold(o Options) ([]*stats.Table, error) {
 		} else {
 			cfg = ldisMT(2, prof.Seed)
 		}
-		sys, _ := hierarchy.Distill(cfg)
+		sys, _ := distillSystem(cfg, co)
 		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
@@ -72,23 +73,23 @@ func AblationThreshold(o Options) ([]*stats.Table, error) {
 // AblationVictim isolates filtering from associativity: the same data
 // budget as the WOC, used as a plain full-line victim buffer.
 func AblationVictim(o Options) ([]*stats.Table, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: distillation vs full-line victim buffer (MPKI)",
 		"benchmark", "baseline", "distill (LDIS-MT-RC)", "victim buffer")
-	names, rows, err := runGrid(o, 3, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 3, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		switch col {
 		case 0:
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		case 1:
-			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
 			return runWindowed(sysD, prof, o).MPKI(), nil
 		default:
 			vcfg := ldisBase(2, prof.Seed)
 			vcfg.Slots = func(mem.LineAddr, mem.Footprint) int { return mem.WordsPerLine }
-			sysV, _ := hierarchy.Distill(vcfg)
+			sysV, _ := distillSystem(vcfg, co)
 			return runWindowed(sysV, prof, o).MPKI(), nil
 		}
 	})
@@ -104,23 +105,27 @@ func AblationVictim(o Options) ([]*stats.Table, error) {
 // AblationPrefetch measures next-line prefetching over the baseline and
 // the distill cache (the paper's Section 9 composition argument).
 func AblationPrefetch(o Options) ([]*stats.Table, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: next-line prefetching composed with LDIS (MPKI)",
 		"benchmark", "baseline", "baseline+pf2", "distill", "distill+pf2")
-	names, rows, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 4, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		var l2 hierarchy.L2
 		switch col {
 		case 0:
-			l2 = hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
+			l2 = hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8, Obs: co}))
 		case 1:
-			inner := hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8}))
+			inner := hierarchy.NewTradL2(cache.New(cache.Config{Name: "b", SizeBytes: 1 << 20, Ways: 8, Obs: co}))
 			l2 = prefetch.Wrap(inner, prefetch.Config{Degree: 2})
 		case 2:
-			l2 = hierarchy.NewDistillL2(distill.New(ldisMTRC(2, prof.Seed)))
+			cfg := ldisMTRC(2, prof.Seed)
+			cfg.Obs = co
+			l2 = hierarchy.NewDistillL2(distill.New(cfg))
 		default:
-			inner := hierarchy.NewDistillL2(distill.New(ldisMTRC(2, prof.Seed)))
+			cfg := ldisMTRC(2, prof.Seed)
+			cfg.Obs = co
+			inner := hierarchy.NewDistillL2(distill.New(cfg))
 			l2 = prefetch.Wrap(inner, prefetch.Config{Degree: 2})
 		}
 		sys := hierarchy.NewSystem(l2)
@@ -138,7 +143,7 @@ func AblationPrefetch(o Options) ([]*stats.Table, error) {
 // AblationLeaderSets sweeps the reverter's sampling density on the
 // adversarial benchmarks.
 func AblationLeaderSets(o Options) ([]*stats.Table, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	if len(o.Benchmarks) == 0 {
@@ -147,9 +152,9 @@ func AblationLeaderSets(o Options) ([]*stats.Table, error) {
 	leaderCounts := []int{8, 32, 128}
 	t := stats.NewTable("Ablation: reverter leader-set count (MPKI)",
 		"benchmark", "baseline", "8 leaders", "32 leaders", "128 leaders")
-	names, rows, err := runGrid(o, 1+len(leaderCounts), func(prof *workload.Profile, col int) (float64, error) {
+	names, rows, err := runGrid(o, 1+len(leaderCounts), func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		if col == 0 {
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		}
 		cfg := ldisMTRC(2, prof.Seed)
@@ -158,7 +163,7 @@ func AblationLeaderSets(o Options) ([]*stats.Table, error) {
 		sc.LowWatermark = 112
 		sc.HighWatermark = 144
 		cfg.SamplerConfig = &sc
-		sys, _ := hierarchy.Distill(cfg)
+		sys, _ := distillSystem(cfg, co)
 		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
@@ -200,16 +205,16 @@ func init() {
 // run): distillation trades extra refetches (hole misses) against the
 // miss fills it saves, and its WOC evicts dirty words early.
 func AblationTraffic(o Options) ([]*stats.Table, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: off-chip traffic in 64B transfers per kilo-instruction",
 		"benchmark", "base fills", "base wbs", "distill fills", "distill wbs", "traffic delta %")
 	// A cell returns {fills, writebacks} per kilo-instruction for its
 	// configuration; the delta is assembled afterwards.
-	names, rows, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([2]float64, error) {
+	names, rows, err := runGrid(o, 2, func(prof *workload.Profile, col int, co *obs.Cell) ([2]float64, error) {
 		if col == 0 {
-			sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
+			sysB, cb := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
 			countSimAccesses(sysB.Run(prof.Stream(), o.Accesses))
 			kinst := float64(sysB.Instructions) / 1000
 			return [2]float64{
@@ -217,7 +222,7 @@ func AblationTraffic(o Options) ([]*stats.Table, error) {
 				float64(cb.Stats().Writebacks) / kinst,
 			}, nil
 		}
-		sysD, cd := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		sysD, cd := distillSystem(ldisMTRC(2, prof.Seed), co)
 		countSimAccesses(sysD.Run(prof.Stream(), o.Accesses))
 		kinst := float64(sysD.Instructions) / 1000
 		return [2]float64{

@@ -98,7 +98,7 @@ func (o Options) Fingerprint() uint64 {
 // away, keeping the valid record prefix. The caller must Close the
 // returned checkpoint.
 func OpenCheckpoint(path string, o Options) (*Checkpoint, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)

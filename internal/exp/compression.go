@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"ldis/internal/cache"
 	"ldis/internal/compress"
 	"ldis/internal/hierarchy"
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 	"ldis/internal/workload"
 )
@@ -21,13 +23,13 @@ type Fig10Row struct {
 // samples every 10M instructions) and classifies every valid line under
 // both whole-line and used-words-only compression.
 func Fig10(o Options) ([]Fig10Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	const samples = 5
-	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Fig10Row, error) {
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile, co *obs.Cell) (Fig10Row, error) {
 		vals := prof.Values()
-		sys, c := hierarchy.Baseline("base-1MB", 1<<20, 8)
+		sys, c := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
 		st := prof.Stream()
 		var all, used [4]uint64
 		chunk := o.Accesses / samples
@@ -90,21 +92,21 @@ type Fig11Row struct {
 // Fig11 runs the four configurations of the compression study plus the
 // shared baseline, one scheduler cell each.
 func Fig11(o Options) ([]Fig11Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, 5, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 5, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		switch col {
 		case 0:
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		case 1:
 			// LDIS-3xTags: 2 WOC ways (6+16 = 22 tags/set ~ 3x baseline).
-			sys, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			sys, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
 			return runWindowed(sys, prof, o).MPKI(), nil
 		case 2:
 			// LDIS-4xTags: 3 WOC ways (5+24 = 29 tags/set ~ 4x baseline).
-			sys, _ := hierarchy.Distill(ldisMTRC(3, prof.Seed))
+			sys, _ := distillSystem(ldisMTRC(3, prof.Seed), co)
 			return runWindowed(sys, prof, o).MPKI(), nil
 		case 3:
 			// CMPR-4xTags: compressed traditional cache, perfect LRU.
@@ -112,7 +114,9 @@ func Fig11(o Options) ([]Fig11Row, error) {
 			return runWindowed(sys, prof, o).MPKI(), nil
 		default:
 			// FAC-4xTags: distill cache with 3 WOC ways + compression.
-			sys, _ := hierarchy.FAC(ldisMTRC(3, prof.Seed), prof.Values())
+			fcfg := ldisMTRC(3, prof.Seed)
+			fcfg.Obs = co
+			sys, _ := hierarchy.FAC(fcfg, prof.Values())
 			return runWindowed(sys, prof, o).MPKI(), nil
 		}
 	})

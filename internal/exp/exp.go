@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"ldis/internal/cache"
 	"ldis/internal/distill"
 	"ldis/internal/hierarchy"
+	"ldis/internal/obs"
 	"ldis/internal/sampler"
 	"ldis/internal/stats"
 	"ldis/internal/workload"
@@ -57,6 +59,13 @@ type Options struct {
 	// subset of cells via internal/faultinject — the chaos-testing
 	// hook. 0 disables injection.
 	FaultSeed uint64
+
+	// Obs, when non-nil, receives per-cell metrics, span timings,
+	// scheduler counters, and progress for the whole sweep. A nil Obs
+	// costs nothing: every handle downstream is a nil no-op. Obs is
+	// reporting-only and deliberately excluded from Fingerprint —
+	// toggling observability never invalidates a checkpoint.
+	Obs *obs.Run
 
 	// MRCSampleRate is the SHARDS spatial sampling rate in (0, 1) used
 	// by the sampled column of the mrc experiment; 0 means the default
@@ -127,46 +136,61 @@ func (o Options) mrcMaxBytes() int {
 	return o.MRCMaxBytes
 }
 
-// validate normalizes pathological options.
-func (o *Options) validate() error {
+// OptionError is one diagnosed problem with an Options value: the
+// offending field plus a human-readable message. Validate returns all
+// of them joined, so callers (both CLIs) can print the complete
+// problem list in one pass instead of fixing flags one at a time.
+type OptionError struct {
+	Field string // Options field name ("Accesses", "MRCSampleRate", ...)
+	Msg   string
+}
+
+func (e *OptionError) Error() string { return "exp: " + e.Field + ": " + e.Msg }
+
+// Validate checks every option and normalizes the ones with sensible
+// defaults (a KeepGoing run with no Failures log gets a fresh one).
+// It returns nil or an errors.Join of *OptionError values — one per
+// problem found, never just the first.
+func (o *Options) Validate() error {
+	var problems []error
+	bad := func(field, format string, args ...any) {
+		problems = append(problems, &OptionError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
 	if o.Accesses <= 0 {
-		return fmt.Errorf("exp: Accesses must be positive, got %d", o.Accesses)
+		bad("Accesses", "must be positive, got %d", o.Accesses)
 	}
 	if o.WarmupFrac < 0 || o.WarmupFrac >= 1 {
-		return fmt.Errorf("exp: WarmupFrac %v out of [0,1)", o.WarmupFrac)
+		bad("WarmupFrac", "%v out of [0,1)", o.WarmupFrac)
 	}
 	if o.Parallel < 0 {
-		return fmt.Errorf("exp: Parallel must be >= 0, got %d", o.Parallel)
+		bad("Parallel", "must be >= 0, got %d", o.Parallel)
 	}
 	if o.Retries < 0 {
-		return fmt.Errorf("exp: Retries must be >= 0, got %d", o.Retries)
+		bad("Retries", "must be >= 0, got %d", o.Retries)
 	}
 	if o.FailBudget < 0 {
-		return fmt.Errorf("exp: FailBudget must be >= 0, got %d", o.FailBudget)
+		bad("FailBudget", "must be >= 0, got %d", o.FailBudget)
 	}
-	if o.MRCSampleRate < 0 || o.MRCSampleRate >= 1 {
-		if o.MRCSampleRate != 0 {
-			return fmt.Errorf("exp: MRCSampleRate %v outside (0,1); the sampled column needs a real sampling rate", o.MRCSampleRate)
-		}
+	if (o.MRCSampleRate < 0 || o.MRCSampleRate >= 1) && o.MRCSampleRate != 0 {
+		bad("MRCSampleRate", "%v outside (0,1); the sampled column needs a real sampling rate", o.MRCSampleRate)
 	}
 	if o.MRCMaxSamples < 0 {
-		return fmt.Errorf("exp: MRCMaxSamples must be >= 0, got %d", o.MRCMaxSamples)
+		bad("MRCMaxSamples", "must be >= 0, got %d", o.MRCMaxSamples)
 	}
 	if o.MRCResolution < 0 || o.MRCMaxBytes < 0 {
-		return fmt.Errorf("exp: MRC curve geometry must be >= 0, got resolution %d max %d", o.MRCResolution, o.MRCMaxBytes)
-	}
-	if o.mrcMaxBytes() < o.mrcResolution() {
-		return fmt.Errorf("exp: MRCMaxBytes %d below MRCResolution %d", o.mrcMaxBytes(), o.mrcResolution())
+		bad("MRCResolution", "MRC curve geometry must be >= 0, got resolution %d max %d", o.MRCResolution, o.MRCMaxBytes)
+	} else if o.mrcMaxBytes() < o.mrcResolution() {
+		bad("MRCMaxBytes", "%d below MRCResolution %d", o.mrcMaxBytes(), o.mrcResolution())
 	}
 	if o.KeepGoing && o.Failures == nil {
 		o.Failures = NewFailureLog()
 	}
 	for _, b := range o.Benchmarks {
 		if _, err := workload.ByName(b); err != nil {
-			return err
+			problems = append(problems, err)
 		}
 	}
-	return nil
+	return errors.Join(problems...)
 }
 
 // baselineConfig builds a traditional cache config of the given size in
@@ -221,9 +245,23 @@ func runWindowed(sys *hierarchy.System, prof *workload.Profile, o Options) *hier
 	return w
 }
 
+// tradSystem builds a traditional-cache system with the cell's
+// observability wired in.
+func tradSystem(cfg cache.Config, co *obs.Cell) (*hierarchy.System, *cache.Cache) {
+	cfg.Obs = co
+	return hierarchy.Traditional(cfg)
+}
+
+// distillSystem builds a distill-cache system with the cell's
+// observability wired in.
+func distillSystem(cfg distill.Config, co *obs.Cell) (*hierarchy.System, *distill.Cache) {
+	cfg.Obs = co
+	return hierarchy.Distill(cfg)
+}
+
 // baselineMPKI runs the 1MB 8-way baseline and returns the window.
-func baselineMPKI(prof *workload.Profile, o Options) (*hierarchy.Window, *cache.Cache) {
-	sys, c := hierarchy.Baseline("base-1MB", 1<<20, 8)
+func baselineMPKI(prof *workload.Profile, o Options, co *obs.Cell) (*hierarchy.Window, *cache.Cache) {
+	sys, c := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
 	w := runWindowed(sys, prof, o)
 	return w, c
 }
@@ -266,15 +304,55 @@ func About(id string) (string, bool) {
 	return e.About, true
 }
 
+// Describe returns the one-line "id  description" text for an
+// experiment, or false for an unknown id. `ldisexp -list` prints one
+// line per id, and the unknown-experiment error reuses the exact same
+// text, so the error doubles as the listing.
+func Describe(id string) (string, bool) {
+	e, ok := experiments[id]
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%-20s %s", id, e.About), true
+}
+
+// describeAll renders the full experiment listing, one Describe line
+// per registered id.
+func describeAll() string {
+	var b strings.Builder
+	for _, id := range IDs() {
+		line, _ := Describe(id)
+		b.WriteString("  ")
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // Run executes the experiment with the given id.
 func Run(id string, o Options) ([]*stats.Table, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	e, ok := experiments[id]
 	if !ok {
-		return nil, fmt.Errorf("exp: unknown experiment %q; valid ids: %s", id, strings.Join(IDs(), ", "))
+		return nil, fmt.Errorf("exp: unknown experiment %q; valid experiments:\n%s", id, describeAll())
 	}
 	o.expID = id
 	return e.Run(o)
+}
+
+// ManifestParams returns the result-relevant options as strings, for
+// the run manifest's params block. Scheduling knobs stay out — they
+// cannot change results — mirroring the Fingerprint field set.
+func (o Options) ManifestParams() map[string]string {
+	return map[string]string{
+		"accesses":        fmt.Sprint(o.Accesses),
+		"warmup_frac":     fmt.Sprint(o.WarmupFrac),
+		"benchmarks":      strings.Join(o.benchmarks(), ","),
+		"mrc_sample_rate": fmt.Sprint(o.mrcSampleRate()),
+		"mrc_max_samples": fmt.Sprint(o.mrcMaxSamples()),
+		"mrc_resolution":  fmt.Sprint(o.mrcResolution()),
+		"mrc_max_bytes":   fmt.Sprint(o.mrcMaxBytes()),
+	}
 }

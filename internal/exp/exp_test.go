@@ -21,12 +21,12 @@ func TestOptionsValidate(t *testing.T) {
 		{Accesses: 100, Parallel: -1},
 	}
 	for i, o := range bad {
-		if err := o.validate(); err == nil {
+		if err := o.Validate(); err == nil {
 			t.Errorf("case %d should fail: %+v", i, o)
 		}
 	}
 	good := DefaultOptions()
-	if err := good.validate(); err != nil {
+	if err := good.Validate(); err != nil {
 		t.Errorf("default options invalid: %v", err)
 	}
 	if len(good.benchmarks()) != 16 {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ldis/internal/obs"
 	"ldis/internal/par"
 	"ldis/internal/stats"
 	"sync"
@@ -73,4 +74,24 @@ func (l *FailureLog) Cells() []stats.CellFailure {
 // Table renders the failures as the canonical per-cell failure table.
 func (l *FailureLog) Table() *stats.Table {
 	return stats.FailureTable(l.Cells())
+}
+
+// Manifest converts the recorded failures to the run-manifest form, in
+// the same canonical order as Cells.
+func (l *FailureLog) Manifest() []obs.Failure {
+	cells := l.Cells()
+	if len(cells) == 0 {
+		return nil
+	}
+	out := make([]obs.Failure, len(cells))
+	for i, c := range cells {
+		out[i] = obs.Failure{
+			Experiment: c.Experiment,
+			Benchmark:  c.Benchmark,
+			Col:        c.Col,
+			Attempts:   c.Attempts,
+			Err:        c.Kind + ": " + c.Reason,
+		}
+	}
+	return out
 }

@@ -1,8 +1,9 @@
 package exp
 
 import (
+	"ldis/internal/cache"
 	"ldis/internal/cpu"
-	"ldis/internal/hierarchy"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 	"ldis/internal/workload"
 )
@@ -20,17 +21,17 @@ type Fig9Row struct {
 // tag cycle on every L2 access and two extra cycles on WOC hits).
 // The two machines are independent scheduler cells.
 func Fig9(o Options) ([]Fig9Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		if col == 0 {
-			sysB, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
+			sysB, _ := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
 			r := cpu.New(cpu.DefaultConfig()).Run(sysB, prof, prof.Stream(), o.Accesses)
 			countSimAccesses(o.Accesses)
 			return r.IPC(), nil
 		}
-		sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
 		r := cpu.New(cpu.DistillConfig()).Run(sysD, prof, prof.Stream(), o.Accesses)
 		countSimAccesses(o.Accesses)
 		return r.IPC(), nil

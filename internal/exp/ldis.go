@@ -5,7 +5,7 @@ import (
 
 	"ldis/internal/cache"
 	"ldis/internal/distill"
-	"ldis/internal/hierarchy"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 	"ldis/internal/workload"
 )
@@ -21,12 +21,12 @@ type Fig6Row struct {
 // Fig6 compares LDIS-Base, LDIS-MT, and LDIS-MT-RC against the 1MB
 // baseline. Each of the four configurations is its own scheduler cell.
 func Fig6(o Options) ([]Fig6Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		if col == 0 {
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		}
 		cfgs := [...]distill.Config{
@@ -34,7 +34,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 			ldisMT(2, prof.Seed),
 			ldisMTRC(2, prof.Seed),
 		}
-		sys, _ := hierarchy.Distill(cfgs[col-1])
+		sys, _ := distillSystem(cfgs[col-1], co)
 		return runWindowed(sys, prof, o).MPKI(), nil
 	})
 	if err != nil {
@@ -122,18 +122,18 @@ type Fig7Row struct {
 // are independent scheduler cells; a cell returns [baseHit, LOC, WOC,
 // hole, line] with only the slots its configuration produces filled.
 func Fig7(o Options) ([]Fig7Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) ([5]float64, error) {
+	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int, co *obs.Cell) ([5]float64, error) {
 		var cell [5]float64
 		if col == 0 {
-			sysB, cb := hierarchy.Baseline("base-1MB", 1<<20, 8)
+			sysB, cb := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
 			runWindowed(sysB, prof, o)
 			cell[0] = cb.Stats().HitRate()
 			return cell, nil
 		}
-		sysD, cd := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+		sysD, cd := distillSystem(ldisMTRC(2, prof.Seed), co)
 		runWindowed(sysD, prof, o)
 		ds := cd.Stats()
 		total := float64(ds.Accesses)
@@ -183,21 +183,20 @@ type Fig8Row struct {
 // Fig8 runs the capacity analysis: four scheduler cells per benchmark
 // (baseline, distill, and the two bigger traditional caches).
 func Fig8(o Options) ([]Fig8Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		switch col {
 		case 0:
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		case 1:
-			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
 			return runWindowed(sysD, prof, o).MPKI(), nil
 		default:
 			sz := []float64{1.5, 2.0}[col-2]
-			c := cache.New(baselineConfig(fmt.Sprintf("trad-%.1fMB", sz), sz))
-			sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
+			sys, _ := tradSystem(baselineConfig(fmt.Sprintf("trad-%.1fMB", sz), sz), co)
 			return runWindowed(sys, prof, o).MPKI(), nil
 		}
 	})
@@ -236,7 +235,7 @@ type Table5Row struct {
 // Table5 runs the Appendix A sanity check: LDIS must track the
 // traditional cache when capacity does not matter.
 func Table5(o Options) ([]Table5Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	if len(o.Benchmarks) == 0 {
@@ -245,18 +244,17 @@ func Table5(o Options) ([]Table5Row, error) {
 		o.Benchmarks = []string{"equake", "lucas", "mgrid", "applu", "mesa", "crafty", "gap",
 			"gzip", "fma3d", "perlbmk", "eon"}
 	}
-	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		switch col {
 		case 0:
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		case 1:
-			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
 			return runWindowed(sysD, prof, o).MPKI(), nil
 		default:
 			sz := []float64{2, 4}[col-2]
-			c := cache.New(baselineConfig(fmt.Sprintf("trad-%gMB", sz), sz))
-			sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
+			sys, _ := tradSystem(baselineConfig(fmt.Sprintf("trad-%gMB", sz), sz), co)
 			return runWindowed(sys, prof, o).MPKI(), nil
 		}
 	})

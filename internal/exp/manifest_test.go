@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ldis/internal/obs"
+)
+
+// TestManifestDeterministicAcrossWorkerCounts pins the manifest
+// determinism contract: two sweeps of the same options at different
+// -parallel values must produce deeply equal manifests once
+// StripTimings clears the fields that legitimately vary (timestamps,
+// durations, worker count). Everything else — cell reports, span call
+// counts, merged metrics, scheduler counters, progress counts — is a
+// pure function of the configuration.
+func TestManifestDeterministicAcrossWorkerCounts(t *testing.T) {
+	ids := []string{"fig6", "table6"}
+	build := func(workers int) *obs.Manifest {
+		o := DefaultOptions()
+		o.Accesses = 30_000
+		o.Benchmarks = []string{"mcf", "art", "health"}
+		o.Parallel = workers
+		o.Obs = obs.NewRun(nil)
+		for _, id := range ids {
+			if _, err := Run(id, o); err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, id, err)
+			}
+		}
+		m := &obs.Manifest{
+			Tool:        "exp-test",
+			Workers:     workers,
+			Fingerprint: o.Fingerprint(),
+			Experiments: ids,
+			Params:      o.ManifestParams(),
+		}
+		m.Snapshot(o.Obs)
+		m.StripTimings()
+		return m
+	}
+	serial := build(1)
+	fanned := build(4)
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Errorf("stripped manifests diverge between 1 and 4 workers:\n serial %+v\n fanned %+v", serial, fanned)
+	}
+	if len(serial.Cells) == 0 {
+		t.Fatal("manifest recorded no cells")
+	}
+
+	// The stripped manifest must also survive the validating
+	// write/read round trip byte-for-byte.
+	path := filepath.Join(t.TempDir(), obs.ManifestFile)
+	if err := obs.WriteManifest(path, serial); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, back) {
+		t.Errorf("manifest changed across write/read round trip:\n wrote %+v\n read %+v", serial, back)
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"ldis/internal/cache"
-	"ldis/internal/hierarchy"
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 	"ldis/internal/workload"
 )
@@ -22,11 +22,11 @@ type Fig1Row struct {
 // Fig1 measures the distribution of words used per cache line for the
 // baseline 1MB 8-way L2.
 func Fig1(o Options) ([]Fig1Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Fig1Row, error) {
-		_, c := baselineMPKI(prof, o)
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile, co *obs.Cell) (Fig1Row, error) {
+		_, c := baselineMPKI(prof, o, co)
 		h := c.Stats().WordsUsedAtEvict
 		row := Fig1Row{Benchmark: prof.Name, Mean: h.Mean()}
 		for wi := 0; wi <= 8; wi++ {
@@ -69,11 +69,11 @@ func (r Fig2Row) Pos6to7() float64 { return r.Fractions[6] + r.Fractions[7] }
 
 // Fig2 measures where in the LRU stack footprints stop changing.
 func Fig2(o Options) ([]Fig2Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Fig2Row, error) {
-		_, c := baselineMPKI(prof, o)
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile, co *obs.Cell) (Fig2Row, error) {
+		_, c := baselineMPKI(prof, o, co)
 		h := c.Stats().FPChangePos
 		row := Fig2Row{Benchmark: prof.Name}
 		for p := 0; p < 8; p++ {
@@ -117,11 +117,11 @@ type Table2Row struct {
 
 // Table2 measures baseline MPKI and compulsory fraction.
 func Table2(o Options) ([]Table2Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile) (Table2Row, error) {
-		sys, _ := hierarchy.Baseline("base-1MB", 1<<20, 8)
+	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile, co *obs.Cell) (Table2Row, error) {
+		sys, _ := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
 		w := runWindowed(sys, prof, o)
 		comp := 0.0
 		if m := sys.L2.Misses(); m > 0 {
@@ -161,14 +161,12 @@ var Table6Sizes = []float64{0.75, 1.0, 1.25, 1.5, 2.0}
 // Table6 measures how word usage changes with cache capacity: one
 // scheduler cell per (benchmark, cache size).
 func Table6(o Options) ([]Table6Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, len(Table6Sizes), func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, len(Table6Sizes), func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		sz := Table6Sizes[col]
-		cfg := baselineConfig(fmt.Sprintf("base-%.2fMB", sz), sz)
-		c := cache.New(cfg)
-		sys := hierarchy.NewSystem(hierarchy.NewTradL2(c))
+		sys, c := tradSystem(baselineConfig(fmt.Sprintf("base-%.2fMB", sz), sz), co)
 		runWindowed(sys, prof, o)
 		// Prefer eviction-time footprints (the paper's metric); when
 		// the working set fits and evictions are scarce, fall back to

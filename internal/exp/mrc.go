@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ldis/internal/mrc"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 	"ldis/internal/workload"
 )
@@ -38,13 +39,14 @@ type MRCResult struct {
 // MRC computes the per-benchmark curves. Column 0 is exact, column 1
 // SHARDS-sampled with Options.MRCSampleRate / MRCMaxSamples.
 func MRC(o Options) ([]MRCResult, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int) (mrcCell, error) {
+	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int, co *obs.Cell) (mrcCell, error) {
 		cfg := mrc.Config{
 			MaxBytes:        o.mrcMaxBytes(),
 			ResolutionBytes: o.mrcResolution(),
+			Obs:             co,
 		}
 		label := "exact"
 		if col == 1 {

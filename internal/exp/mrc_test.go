@@ -198,13 +198,13 @@ func TestMRCOptionsValidate(t *testing.T) {
 		{Accesses: 1000, MRCResolution: 1 << 20, MRCMaxBytes: 1 << 10},
 	}
 	for i, o := range bad {
-		if err := o.validate(); err == nil {
+		if err := o.Validate(); err == nil {
 			t.Errorf("case %d: validate accepted %+v", i, o)
 		}
 	}
 	ok := Options{Accesses: 1000, MRCSampleRate: 0.1, MRCMaxSamples: 100,
 		MRCResolution: 64 << 10, MRCMaxBytes: 1 << 20}
-	if err := ok.validate(); err != nil {
+	if err := ok.Validate(); err != nil {
 		t.Errorf("validate rejected good options: %v", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"ldis/internal/faultinject"
+	"ldis/internal/obs"
 	"ldis/internal/par"
 	"ldis/internal/workload"
 )
@@ -43,29 +44,41 @@ const cellSep = "/"
 // healthy rows still render exactly as in a fault-free run. fn must
 // derive all randomness from the profile's seed so results are
 // independent of scheduling.
-func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int) (T, error)) ([]string, [][]T, error) {
+//
+// fn's co argument is the cell's observability surface (nil when
+// Options.Obs is nil): fn wires it into the simulator configs it
+// builds, so the cache/distill/mrc counters land on the right
+// (experiment × benchmark × column) coordinates in the manifest.
+func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int, co *obs.Cell) (T, error)) ([]string, [][]T, error) {
 	names := o.benchmarks()
-	cell := fn
+	sim := fn
+	cell := func(prof *workload.Profile, col int, co *obs.Cell) (T, error) {
+		tok := co.Spans().Begin(obs.StageSimulate)
+		v, err := sim(prof, col, co)
+		co.Spans().End(obs.StageSimulate, tok)
+		return v, err
+	}
 	if o.FaultSeed != 0 {
 		inj := faultinject.NewDefault(o.FaultSeed)
 		inner := cell
-		cell = func(prof *workload.Profile, col int) (T, error) {
+		cell = func(prof *workload.Profile, col int, co *obs.Cell) (T, error) {
 			inj.MaybePanic(o.expID + cellSep + prof.Name + cellSep + fmt.Sprint(col))
-			return inner(prof, col)
+			return inner(prof, col, co)
 		}
 	}
 	if o.Checkpoint != nil {
 		inner := cell
-		cell = func(prof *workload.Profile, col int) (T, error) {
+		cell = func(prof *workload.Profile, col int, co *obs.Cell) (T, error) {
 			if data, ok := o.Checkpoint.lookup(o.expID, prof.Name, col); ok {
 				var v T
 				if err := decodeCell(data, &v); err == nil {
+					co.MarkReplayed()
 					return v, nil
 				}
 				// Undecodable but CRC-valid record (e.g. a row type
 				// changed shape): fall through and re-simulate.
 			}
-			v, err := inner(prof, col)
+			v, err := inner(prof, col, co)
 			if err != nil {
 				return v, err
 			}
@@ -73,18 +86,32 @@ func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int
 			if err != nil {
 				return v, err
 			}
-			return v, o.Checkpoint.record(o.expID, prof.Name, col, data)
+			tok := co.Spans().Begin(obs.StageCheckpointWrite)
+			err = o.Checkpoint.record(o.expID, prof.Name, col, data)
+			co.Spans().End(obs.StageCheckpointWrite, tok)
+			return v, err
 		}
 	}
 
-	p := par.Policy{Retries: o.Retries, FailFast: !o.KeepGoing, Budget: o.FailBudget}
+	o.Obs.Progress().AddTotal(len(names) * cols)
+	p := par.Policy{Retries: o.Retries, FailFast: !o.KeepGoing, Budget: o.FailBudget, Obs: o.Obs.Sched()}
 	grid, errs := par.GridPolicy(p, o.Parallel, len(names), cols, func(row, col int) (T, error) {
 		prof, err := workload.ByName(names[row])
 		if err != nil {
 			var zero T
 			return zero, err
 		}
-		return cell(prof, col)
+		co := o.Obs.StartCell(o.expID, names[row], col)
+		v, err := cell(prof, col, co)
+		status := obs.StatusOK
+		switch {
+		case err != nil:
+			status = obs.StatusFailed
+		case co.Replayed():
+			status = obs.StatusReplayed
+		}
+		o.Obs.FinishCell(co, status)
+		return v, err
 	})
 	if errs == nil {
 		return names, grid, nil
@@ -133,9 +160,9 @@ func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int
 // for experiments whose unit of work is the whole benchmark (e.g. the
 // Figure 10 content sampling). Like runGrid it returns the surviving
 // benchmark names alongside the results.
-func mapBenchmarks[T any](o Options, fn func(prof *workload.Profile) (T, error)) ([]string, []T, error) {
-	names, grid, err := runGrid(o, 1, func(prof *workload.Profile, _ int) (T, error) {
-		return fn(prof)
+func mapBenchmarks[T any](o Options, fn func(prof *workload.Profile, co *obs.Cell) (T, error)) ([]string, []T, error) {
+	names, grid, err := runGrid(o, 1, func(prof *workload.Profile, _ int, co *obs.Cell) (T, error) {
+		return fn(prof, co)
 	})
 	if err != nil {
 		return nil, nil, err

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"ldis/internal/obs"
 	"ldis/internal/workload"
 )
 
@@ -58,7 +59,7 @@ func TestParallelDefaultMatchesSequential(t *testing.T) {
 func TestGridErrorPropagates(t *testing.T) {
 	o := Options{Accesses: 1000, Benchmarks: []string{"ammp", "mcf"}, Parallel: 2}
 	boom := errors.New("boom")
-	_, _, err := runGrid(o, 3, func(prof *workload.Profile, col int) (int, error) {
+	_, _, err := runGrid(o, 3, func(prof *workload.Profile, col int, _ *obs.Cell) (int, error) {
 		if prof.Name == "mcf" && col == 1 {
 			return 0, boom
 		}
@@ -92,7 +93,7 @@ func TestSimAccessCounter(t *testing.T) {
 // of letting the scheduler misbehave.
 func TestNegativeParallelRejected(t *testing.T) {
 	o := Options{Accesses: 1000, Parallel: -1}
-	err := o.validate()
+	err := o.Validate()
 	if err == nil || !strings.Contains(err.Error(), "Parallel") {
 		t.Errorf("negative Parallel: err = %v", err)
 	}

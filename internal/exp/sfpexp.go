@@ -2,6 +2,7 @@ package exp
 
 import (
 	"ldis/internal/hierarchy"
+	"ldis/internal/obs"
 	"ldis/internal/sampler"
 	"ldis/internal/sfp"
 	"ldis/internal/stats"
@@ -19,13 +20,13 @@ type Fig13Row struct {
 // — both reverter-wrapped, as in the paper — against LDIS-MT-RC. Each
 // configuration (plus the baseline) is its own scheduler cell.
 func Fig13(o Options) ([]Fig13Row, error) {
-	if err := o.validate(); err != nil {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int) (float64, error) {
+	names, grid, err := runGrid(o, 4, func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		switch col {
 		case 0:
-			base, _ := baselineMPKI(prof, o)
+			base, _ := baselineMPKI(prof, o, co)
 			return base.MPKI(), nil
 		case 1, 2:
 			cfg := sfp.DefaultConfig()
@@ -39,7 +40,7 @@ func Fig13(o Options) ([]Fig13Row, error) {
 			sys, _ := hierarchy.SFP(cfg)
 			return runWindowed(sys, prof, o).MPKI(), nil
 		default:
-			sysD, _ := hierarchy.Distill(ldisMTRC(2, prof.Seed))
+			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
 			return runWindowed(sysD, prof, o).MPKI(), nil
 		}
 	})

@@ -8,11 +8,18 @@ import (
 	"ldis/internal/values"
 )
 
+// Traditional builds an L1D + traditional L2 system from a full cache
+// config (the general form of Baseline, used when the caller needs to
+// set more than geometry — e.g. an observability cell).
+func Traditional(cfg cache.Config) (*System, *cache.Cache) {
+	c := cache.New(cfg)
+	return NewSystem(NewTradL2(c)), c
+}
+
 // Baseline builds an L1D + traditional L2 system of the given data
 // capacity and associativity.
 func Baseline(name string, sizeBytes, ways int) (*System, *cache.Cache) {
-	c := cache.New(cache.Config{Name: name, SizeBytes: sizeBytes, Ways: ways})
-	return NewSystem(NewTradL2(c)), c
+	return Traditional(cache.Config{Name: name, SizeBytes: sizeBytes, Ways: ways})
 }
 
 // Distill builds an L1D + distill-cache system.

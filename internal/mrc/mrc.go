@@ -38,6 +38,7 @@ import (
 	"math"
 
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 	"ldis/internal/stats"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	// Seed perturbs the spatial hash so distinct runs (or benchmarks)
 	// sample independent line subsets.
 	Seed uint64
+
+	// Obs, when non-nil, receives the owning grid cell's tracked-line
+	// counter and — every 64K tracked accesses — the running line-grain
+	// and word-grain miss ratios at MaxBytes, both as deterministic
+	// cell gauges and as live gauges for the HTTP endpoint. Nil
+	// disables all of it at the cost of one branch per publish window.
+	Obs *obs.Cell
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +136,16 @@ type Engine struct {
 	cold     float64 // scaled first-touch (compulsory) misses
 	refs     float64 // true references observed, sampled or not
 	tracked  float64 // references that passed the sampling gate
+
+	// Observability handles (nil when Config.Obs is nil). The miss-
+	// ratio gauges refresh every 64K tracked accesses: the cell gauges
+	// are deterministic (pure functions of the stream position), the
+	// live gauges feed the HTTP endpoint mid-flight.
+	obsSampled  *obs.Counter
+	obsLineMR   *obs.Gauge
+	obsWordMR   *obs.Gauge
+	obsLiveLine *obs.Gauge
+	obsLiveWord *obs.Gauge
 }
 
 // New returns an Engine able to ingest up to maxAccesses calls to
@@ -158,6 +176,11 @@ func New(cfg Config, maxAccesses int) (*Engine, error) {
 	}
 	e.histLine = make([]float64, e.buckets+2)
 	e.histWord = make([]float64, e.buckets+2)
+	e.obsSampled = cfg.Obs.Counter("mrc_tracked_accesses")
+	e.obsLineMR = cfg.Obs.Gauge("mrc_line_miss_ratio")
+	e.obsWordMR = cfg.Obs.Gauge("mrc_word_miss_ratio")
+	e.obsLiveLine = cfg.Obs.LiveGauge("mrc_live_line_miss_ratio")
+	e.obsLiveWord = cfg.Obs.LiveGauge("mrc_live_word_miss_ratio")
 	return e, nil
 }
 
@@ -177,11 +200,15 @@ func (e *Engine) Access(line mem.LineAddr, word int) {
 		}
 	}
 	e.tracked++
+	e.obsSampled.Inc()
 	t := e.now + 1
 	if t >= len(e.fwLine.tree) {
 		panic("mrc: access budget exceeded; size New with the full trace length")
 	}
 	e.now = t
+	if t&0xFFFF == 0 {
+		e.publishGauges()
+	}
 
 	if idx := e.tab.find(key); idx >= 0 && e.tab.pos[idx] != 0 {
 		// Reuse: distance = weight of lines touched strictly after the
@@ -269,6 +296,24 @@ func (e *Engine) evict(key uint64) {
 	e.fwLine.add(p, -1)
 	e.fwWord.add(p, -int32(mem.Pow2WordsFor(e.tab.fp[idx].Count())))
 	e.tab.pos[idx] = 0
+}
+
+// publishGauges refreshes the running miss ratios at MaxBytes — the
+// cheapest point on the curve: its miss count is just cold misses plus
+// distances beyond the largest capacity, no bucket walk. Keyed off the
+// tracked-access count, so which accesses publish is deterministic.
+//
+//ldis:noalloc
+func (e *Engine) publishGauges() {
+	if e.obsLineMR == nil || e.refs == 0 {
+		return
+	}
+	lineMR := clampRatio((e.cold + e.histLine[e.buckets+1]) / e.refs)
+	wordMR := clampRatio((e.cold + e.histWord[e.buckets+1]) / e.refs)
+	e.obsLineMR.Set(lineMR)
+	e.obsWordMR.Set(wordMR)
+	e.obsLiveLine.Set(lineMR)
+	e.obsLiveWord.Set(wordMR)
 }
 
 // ResetCounts zeroes the histograms and reference counters while

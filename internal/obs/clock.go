@@ -1,0 +1,45 @@
+package obs
+
+import "time"
+
+// Clock is the observability layer's only source of wall-clock time.
+// Simulation logic never reads the clock; spans and progress reporting
+// do, and they do it through this interface so tests can inject a
+// manual clock and the nowallclock analyzer's guarantee — no
+// time.Now in simulation logic — survives with a single audited
+// exception below.
+type Clock interface {
+	// Nanos returns monotonic elapsed nanoseconds since an arbitrary
+	// fixed origin. Only differences are meaningful.
+	Nanos() int64
+}
+
+// systemClock reads the host monotonic clock relative to a fixed base,
+// so Nanos is immune to wall-clock jumps.
+type systemClock struct {
+	base time.Time
+}
+
+// SystemClock returns a Clock backed by the host monotonic clock. This
+// is the one place in internal/ that reads real time; everything else
+// takes a Clock.
+func SystemClock() Clock {
+	//ldis:nondet-ok observability clock: timings are reporting-only fields, excluded from deterministic output by StripTimings
+	return &systemClock{base: time.Now()}
+}
+
+func (c *systemClock) Nanos() int64 {
+	//ldis:nondet-ok observability clock: timings are reporting-only fields, excluded from deterministic output by StripTimings
+	return int64(time.Since(c.base))
+}
+
+// ManualClock is a test clock advanced by hand.
+type ManualClock struct {
+	now int64
+}
+
+// Nanos returns the manually set time.
+func (c *ManualClock) Nanos() int64 { return c.now }
+
+// Advance moves the clock forward by d nanoseconds.
+func (c *ManualClock) Advance(d int64) { c.now += d }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server serves a run's live state over HTTP: progress and ETA,
+// metric snapshots, per-cell reports, and the standard pprof
+// endpoints. It exists for watching multi-hour sweeps; nothing in the
+// simulation path ever touches it.
+type Server struct {
+	run *Run
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (e.g. "localhost:6060") and serves:
+//
+//	/            endpoint index
+//	/progress    cells done/total, replayed, elapsed, ETA (JSON)
+//	/metrics     run-level merged metric snapshot + scheduler counters (JSON)
+//	/cells       per-cell reports recorded so far (JSON)
+//	/debug/pprof standard pprof index, profile, trace, symbol handlers
+func StartServer(addr string, run *Run) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ldis observability endpoint\n\n/progress\n/metrics\n/cells\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, run.Progress().Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Metrics []Metric `json:"metrics"`
+			Live    []Metric `json:"live,omitempty"`
+			Sched   []Metric `json:"sched,omitempty"`
+		}{run.Registry().Snapshot(), run.Live().Snapshot(), run.Sched().Snapshot()})
+	})
+	mux.HandleFunc("/cells", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, run.CellReports())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{run: run, ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful when addr requested port 0).
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

@@ -1,0 +1,313 @@
+// Package obs is the simulator's observability layer: a typed metrics
+// registry (counters, gauges, fixed-bucket histograms), per-stage span
+// timing, live run progress, a versioned JSON run manifest, and an
+// optional HTTP endpoint serving all of it.
+//
+// The layer is built around two invariants the rest of the engine
+// already enforces:
+//
+//   - Zero overhead when disabled. Every hot-path entry point
+//     (Counter.Inc/Add, Gauge.Set, Histogram.Observe, Spans.Begin/End)
+//     is a method on a possibly-nil receiver: a disabled simulator
+//     holds nil metric handles and the calls reduce to a nil check.
+//     Enabled, the paths are atomic and allocation-free, pinned by
+//     AllocsPerRun tests and the //ldis:noalloc analyzer.
+//
+//   - Determinism. Counts are pure functions of the simulated work, so
+//     two sweeps of the same configuration produce identical metric
+//     values at any worker count; only durations differ. Everything
+//     that reads a clock goes through the injectable Clock interface,
+//     keeping the nowallclock analyzer's guarantee for simulation
+//     logic, and every aggregate (registry snapshots, collector cell
+//     reports) is emitted in sorted order so output never depends on
+//     scheduling.
+//
+// Wiring: cmd-level code builds a Run (NewRun); the experiment engine
+// derives one Cell per (benchmark × configuration) grid cell
+// (Run.StartCell) and hands it to the simulators via their Config.Obs
+// fields; completed cells are folded back into the run
+// (Run.FinishCell) — per-cell counters merge into the run registry and
+// the cell's metric/span snapshot is recorded for the manifest.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value
+// is ready to use; a nil *Counter is a sanctioned no-op so disabled
+// instrumentation costs one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//ldis:noalloc
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+//
+//ldis:noalloc
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric holding the latest observation (stored as
+// atomic bits, so readers never see a torn value). Nil gauges no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+//
+//ldis:noalloc
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the latest observation (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram over uint64 observations.
+// Bucket i counts observations v with v <= Bounds[i] (first match);
+// observations above the last bound land in the implicit overflow
+// bucket. Bounds are fixed at registration, so Observe is a linear
+// scan over a handful of comparisons plus one atomic add — no
+// allocation, no locks.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+}
+
+// Observe records one value.
+//
+//ldis:noalloc
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.bounds)].Add(1)
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Counts returns a snapshot of the bucket counts (len(Bounds())+1, the
+// last being the overflow bucket).
+func (h *Histogram) Counts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Registration (Counter,
+// Gauge, Histogram) takes a lock and may allocate — callers register
+// once at construction and keep the returned handles; the handles'
+// hot paths never touch the registry again. All accessors are nil-safe
+// and return nil handles on a nil registry, so a simulator wired to a
+// nil registry is fully disabled.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	histos map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		histos: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket upper bounds on first use. Re-registering an existing name
+// returns the existing histogram (its original bounds win).
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histos[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]uint64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.histos[name] = h
+	}
+	return h
+}
+
+// Metric is one snapshotted metric value — the unit of the manifest's
+// metric tables and the HTTP endpoint's JSON.
+type Metric struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "counter", "gauge", or "histogram"
+	// Count is the counter value (counters only).
+	Count uint64 `json:"count,omitempty"`
+	// Value is the gauge value (gauges only).
+	Value float64 `json:"value,omitempty"`
+	// Bounds/Buckets describe a histogram: Buckets[i] counts
+	// observations <= Bounds[i]; the final bucket is overflow.
+	Bounds  []uint64 `json:"bounds,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered metric sorted by (kind, name), so
+// two snapshots of identical state are deeply equal regardless of
+// registration or scheduling order. Zero-valued counters and gauges
+// are included: a metric's presence documents the instrumentation
+// point.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counts)+len(r.gauges)+len(r.histos))
+	for _, name := range sortedKeys(r.counts) {
+		out = append(out, Metric{Name: name, Kind: "counter", Count: r.counts[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.histos) {
+		h := r.histos[name]
+		out = append(out, Metric{Name: name, Kind: "histogram", Bounds: h.Bounds(), Buckets: h.Counts()})
+	}
+	return out
+}
+
+// Merge folds another registry into this one: counters and histogram
+// buckets add (commutative, so merge order — and therefore worker
+// scheduling — cannot change the result), gauges take the maximum of
+// the two values (the only commutative choice that keeps "latest
+// high-water" semantics). Histograms merge bucket-for-bucket only when
+// the bounds agree; mismatched bounds keep the receiver's buckets.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for _, m := range other.Snapshot() {
+		switch m.Kind {
+		case "counter":
+			if m.Count > 0 {
+				r.Counter(m.Name).Add(m.Count)
+			}
+		case "gauge":
+			g := r.Gauge(m.Name)
+			if m.Value > g.Value() {
+				g.Set(m.Value)
+			}
+		case "histogram":
+			h := r.Histogram(m.Name, m.Bounds)
+			if len(h.bounds) != len(m.Bounds) {
+				continue
+			}
+			same := true
+			for i := range h.bounds {
+				if h.bounds[i] != m.Bounds[i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				continue
+			}
+			for i, n := range m.Buckets {
+				if n > 0 {
+					h.counts[i].Add(n)
+				}
+			}
+		}
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	//ldis:nondet-ok key collection only; the slice is sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,140 @@
+package obs
+
+import "sync/atomic"
+
+// Stage identifies one instrumented pipeline stage. Stages are a fixed
+// enum (not free-form strings) so span bookkeeping is a fixed-size
+// array with no per-call lookups or allocation.
+type Stage int
+
+const (
+	// StageDecode covers trace decoding (distillsim -trace replay).
+	StageDecode Stage = iota
+	// StageSimulate covers a cell's full simulate pass.
+	StageSimulate
+	// StageDistillEvict covers the distill evict/pack path (LOC
+	// eviction through WOC install).
+	StageDistillEvict
+	// StageWOCLookup covers word-organized-cache lookups on the LOC
+	// miss path.
+	StageWOCLookup
+	// StageCheckpointWrite covers checkpoint record appends.
+	StageCheckpointWrite
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"decode",
+	"simulate",
+	"distill_evict",
+	"woc_lookup",
+	"checkpoint_write",
+}
+
+// String returns the stage's manifest name.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// stageMasks control sampled timing: a stage's span is timed when
+// callIndex&mask == 0. Coarse stages (one span per cell or per
+// checkpoint record) time every call; the distill-evict and WOC-lookup
+// stages fire around once per LOC miss, so they are sampled (1/64 and
+// 1/256) to keep clock reads off the per-access budget. Call counts
+// are always exact and — because sampling keys off the count, never
+// the clock — the number of timed calls is itself deterministic; only
+// the nanoseconds vary run to run.
+var stageMasks = [numStages]uint64{
+	StageDecode:          0,
+	StageSimulate:        0,
+	StageDistillEvict:    63,
+	StageWOCLookup:       255,
+	StageCheckpointWrite: 0,
+}
+
+type stageAgg struct {
+	calls atomic.Uint64
+	timed atomic.Uint64
+	nanos atomic.Int64
+}
+
+// Spans aggregates per-stage timing for one grid cell. A nil *Spans
+// no-ops, so disabled cells pay one branch per instrumentation point.
+type Spans struct {
+	clock  Clock
+	stages [numStages]stageAgg
+}
+
+// NewSpans returns a span aggregator reading the given clock.
+func NewSpans(clock Clock) *Spans {
+	if clock == nil {
+		clock = SystemClock()
+	}
+	return &Spans{clock: clock}
+}
+
+// Begin enters a stage and returns the start token to pass to End. It
+// returns -1 when timing is disabled or this call is not sampled; End
+// ignores that sentinel, so call sites never branch on it.
+//
+//ldis:noalloc
+func (s *Spans) Begin(stage Stage) int64 {
+	if s == nil {
+		return -1
+	}
+	n := s.stages[stage].calls.Add(1)
+	if (n-1)&stageMasks[stage] != 0 {
+		return -1
+	}
+	//ldis:alloc-ok Clock is an interface so tests can inject time; both implementations are pointer-receiver and allocation-free
+	return s.clock.Nanos()
+}
+
+// End exits a stage begun with Begin. A -1 start (disabled or
+// unsampled) is a no-op.
+//
+//ldis:noalloc
+func (s *Spans) End(stage Stage, start int64) {
+	if s == nil || start < 0 {
+		return
+	}
+	//ldis:alloc-ok Clock is an interface so tests can inject time; both implementations are pointer-receiver and allocation-free
+	now := s.clock.Nanos()
+	s.stages[stage].timed.Add(1)
+	s.stages[stage].nanos.Add(now - start)
+}
+
+// SpanReport is one stage's aggregate in a manifest cell report.
+// Calls and Timed are deterministic (sampling keys off the call
+// count); Nanos is a timing field cleared by Manifest.StripTimings.
+type SpanReport struct {
+	Stage string `json:"stage"`
+	Calls uint64 `json:"calls"`
+	Timed uint64 `json:"timed"`
+	Nanos int64  `json:"nanos"`
+}
+
+// Report returns the per-stage aggregates in fixed stage order,
+// omitting stages that were never entered.
+func (s *Spans) Report() []SpanReport {
+	if s == nil {
+		return nil
+	}
+	var out []SpanReport
+	for st := Stage(0); st < numStages; st++ {
+		calls := s.stages[st].calls.Load()
+		if calls == 0 {
+			continue
+		}
+		out = append(out, SpanReport{
+			Stage: st.String(),
+			Calls: calls,
+			Timed: s.stages[st].timed.Load(),
+			Nanos: s.stages[st].nanos.Load(),
+		})
+	}
+	return out
+}

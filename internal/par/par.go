@@ -22,6 +22,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"ldis/internal/obs"
 )
 
 // TaskError records the failure of one task after all retry attempts
@@ -69,6 +71,10 @@ type Policy struct {
 	// new tasks once this many tasks have failed; zero means
 	// run-to-completion regardless of the failure count.
 	Budget int
+	// Obs, when non-nil, receives scheduler-level counts (tasks run,
+	// retries, recovered panics, skipped tasks). The hooks are nil-safe
+	// no-ops, so the scheduler never branches on observability.
+	Obs *obs.SchedMetrics
 }
 
 // call runs one attempt of fn(i) with a panic boundary.
@@ -89,6 +95,9 @@ func call[T any](fn func(i int) (T, error), i int) (v T, err error, pv any, stac
 func attempt[T any](p Policy, i int, fn func(i int) (T, error), out *T) *TaskError {
 	for a := 0; ; a++ {
 		v, err, pv, stack := call(fn, i)
+		if pv != nil {
+			p.Obs.Panic()
+		}
 		if pv == nil && err == nil {
 			*out = v
 			return nil
@@ -96,6 +105,7 @@ func attempt[T any](p Policy, i int, fn func(i int) (T, error), out *T) *TaskErr
 		if a >= p.Retries {
 			return &TaskError{Index: i, Attempts: a + 1, Panic: pv, Stack: stack, Err: err}
 		}
+		p.Obs.Retry()
 	}
 }
 
@@ -122,6 +132,8 @@ func MapPolicy[T any](p Policy, workers, n int, fn func(i int) (T, error)) ([]T,
 	out := make([]T, n)
 	errs := make([]error, n)
 	var failures atomic.Int64
+	var minFail atomic.Int64
+	minFail.Store(int64(n)) // n = no failure recorded yet
 	stopped := func() bool {
 		f := failures.Load()
 		if f == 0 {
@@ -136,7 +148,26 @@ func MapPolicy[T any](p Policy, workers, n int, fn func(i int) (T, error)) ([]T,
 		if te := attempt(p, i, fn, &out[i]); te != nil {
 			errs[i] = te
 			failures.Add(1)
+			for {
+				m := minFail.Load()
+				if int64(i) >= m || minFail.CompareAndSwap(m, int64(i)) {
+					break
+				}
+			}
 		}
+		p.Obs.TaskDone()
+	}
+	// Under fail-fast the reported error must be the smallest-index
+	// failure regardless of scheduling. A task already handed out when
+	// the stop fired still runs if its index is below every failure
+	// seen so far — otherwise a higher-indexed task racing to fail
+	// first would get a lower-indexed, also-failing task skipped and
+	// make the reported error depend on worker timing.
+	skip := func(i int) bool {
+		if !stopped() {
+			return false
+		}
+		return !p.FailFast || int64(i) >= minFail.Load()
 	}
 
 	started := n
@@ -157,8 +188,9 @@ func MapPolicy[T any](p Policy, workers, n int, fn func(i int) (T, error)) ([]T,
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					if stopped() {
+					if skip(i) {
 						errs[i] = &TaskError{Index: i}
+						p.Obs.Skipped()
 						continue
 					}
 					runTask(i)
@@ -177,6 +209,7 @@ func MapPolicy[T any](p Policy, workers, n int, fn func(i int) (T, error)) ([]T,
 	}
 	for i := started; i < n; i++ {
 		errs[i] = &TaskError{Index: i}
+		p.Obs.Skipped()
 	}
 
 	if failures.Load() == 0 {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ldis/internal/mem"
+	"ldis/internal/obs"
 )
 
 // Line is one resident line: its stored words are packed into Slots
@@ -37,6 +38,12 @@ type Set struct {
 	// Callers consume the returned lines before the next mutation, so
 	// reusing one buffer keeps the install path allocation-free.
 	evictBuf []Line
+
+	// ObsInstallSlots, when non-nil, histograms the slot count of every
+	// installed line (the distilled-line size distribution). The owning
+	// cache shares one histogram across all its sets; a nil handle
+	// no-ops.
+	ObsInstallSlots *obs.Histogram
 }
 
 // NewSet returns an empty set with the given number of data ways.
@@ -214,6 +221,7 @@ func (s *Set) checkInstall(nl Line) {
 	if s.Find(nl.Tag) >= 0 {
 		panic("wordstore: set already holds this line")
 	}
+	s.ObsInstallSlots.Observe(uint64(nl.Slots))
 }
 
 // place evicts every line starting inside the chosen region (alignment

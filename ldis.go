@@ -4,25 +4,28 @@
 //
 // The package exposes a small facade over the internal simulator: build
 // a cache organization (traditional, distill, compressed, or
-// SFP-predicted), pick a workload, run it, and read the results. The
-// full experiment harness that regenerates every table and figure of
-// the paper lives behind RunExperiment and the ldisexp command.
+// SFP-predicted) with New, pick a workload, run it, and read the
+// results. The full experiment harness that regenerates every table
+// and figure of the paper lives behind RunExperiment and the ldisexp
+// command.
 //
 // Quick start:
 //
-//	sim := ldis.NewDistillSim(ldis.DefaultDistillConfig())
-//	res := sim.RunWorkload("mcf", 1_000_000)
+//	sim, _ := ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()))
+//	res, _ := sim.RunWorkload("mcf", 1_000_000)
 //	fmt.Println(res)
 package ldis
 
 import (
 	"fmt"
+	"strings"
 
 	"ldis/internal/cache"
 	"ldis/internal/cpu"
 	"ldis/internal/distill"
 	"ldis/internal/exp"
 	"ldis/internal/hierarchy"
+	"ldis/internal/obs"
 	"ldis/internal/sfp"
 	"ldis/internal/stats"
 	"ldis/internal/trace"
@@ -76,64 +79,196 @@ func (r Result) String() string {
 type Sim struct {
 	sys     *hierarchy.System
 	distill *distill.Cache
+	obsCell *obs.Cell
+}
+
+// Observer is a metrics registry a Sim records into when built with
+// WithObserver: cache eviction/writeback counters, distill outcome
+// counters, the distilled-line size histogram, and span timings land
+// here. Snapshot returns everything in deterministic order.
+type Observer = obs.Registry
+
+// NewObserver returns an empty metrics registry for WithObserver.
+func NewObserver() *Observer { return obs.NewRegistry() }
+
+// Option configures a Sim built by New. Exactly one cache-organization
+// option — WithTraditional, WithDistill, WithCompression, WithFAC, or
+// WithSFP — must be given; WithObserver composes with any of them.
+type Option func(*simSpec)
+
+// simSpec accumulates the options before New builds anything; orgs
+// records every organization option seen so New can report conflicts
+// by name.
+type simSpec struct {
+	orgs  []string
+	build func(co *obs.Cell) (*Sim, error)
+	reg   *obs.Registry
+}
+
+func (s *simSpec) setOrg(name string, build func(co *obs.Cell) (*Sim, error)) {
+	s.orgs = append(s.orgs, name)
+	s.build = build
+}
+
+// WithTraditional selects a traditional L2 of the given geometry
+// (the paper's baseline is WithTraditional(1<<20, 8)).
+func WithTraditional(sizeBytes, ways int) Option {
+	return func(s *simSpec) {
+		s.setOrg("WithTraditional", func(co *obs.Cell) (*Sim, error) {
+			cfg := cache.Config{Name: "trad", SizeBytes: sizeBytes, Ways: ways, Obs: co}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			sys, _ := hierarchy.Traditional(cfg)
+			return &Sim{sys: sys}, nil
+		})
+	}
+}
+
+// WithDistill selects a distill-cache L2 (paper Section 5).
+func WithDistill(cfg DistillConfig) Option {
+	return func(s *simSpec) {
+		s.setOrg("WithDistill", func(co *obs.Cell) (*Sim, error) {
+			cfg.Obs = co
+			sys, dc := hierarchy.Distill(cfg)
+			return &Sim{sys: sys, distill: dc}, nil
+		})
+	}
+}
+
+// WithCompression selects the CMPR comparator (compressed traditional
+// cache, Section 8.1) over the named benchmark's value model.
+func WithCompression(benchmark string) Option {
+	return func(s *simSpec) {
+		s.setOrg("WithCompression", func(co *obs.Cell) (*Sim, error) {
+			prof, err := workload.ByName(benchmark)
+			if err != nil {
+				return nil, err
+			}
+			sys, _ := hierarchy.Compressed(icompress.DefaultCMPRConfig(), prof.Values())
+			return &Sim{sys: sys}, nil
+		})
+	}
+}
+
+// WithFAC selects a distill cache whose WOC installs use
+// footprint-aware compression (Section 8.2) over the named benchmark's
+// value model.
+func WithFAC(cfg DistillConfig, benchmark string) Option {
+	return func(s *simSpec) {
+		s.setOrg("WithFAC", func(co *obs.Cell) (*Sim, error) {
+			prof, err := workload.ByName(benchmark)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Obs = co
+			sys, dc := hierarchy.FAC(cfg, prof.Values())
+			return &Sim{sys: sys, distill: dc}, nil
+		})
+	}
+}
+
+// WithSFP selects the spatial-footprint-predictor comparator (Section
+// 9 / Figure 13). predictorEntries <= 0 keeps the default table size.
+func WithSFP(predictorEntries int) Option {
+	return func(s *simSpec) {
+		s.setOrg("WithSFP", func(co *obs.Cell) (*Sim, error) {
+			cfg := sfp.DefaultConfig()
+			if predictorEntries > 0 {
+				cfg.PredictorEntries = predictorEntries
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			sys, _ := hierarchy.SFP(cfg)
+			return &Sim{sys: sys}, nil
+		})
+	}
+}
+
+// WithObserver wires the simulator's metrics into reg. A nil reg (or
+// omitting the option) disables observability entirely: every handle
+// on the hot path is a nil no-op.
+func WithObserver(reg *obs.Registry) Option {
+	return func(s *simSpec) { s.reg = reg }
+}
+
+// New builds a simulator from functional options — the single entry
+// point the deprecated New*Sim constructors now delegate to:
+//
+//	sim, err := ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()),
+//		ldis.WithObserver(reg))
+func New(opts ...Option) (*Sim, error) {
+	var spec simSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	if len(spec.orgs) == 0 {
+		return nil, fmt.Errorf("ldis.New: no cache organization selected; pass one of WithTraditional, WithDistill, WithCompression, WithFAC, WithSFP")
+	}
+	if len(spec.orgs) > 1 {
+		return nil, fmt.Errorf("ldis.New: conflicting organization options: %s", strings.Join(spec.orgs, ", "))
+	}
+	co := obs.NewCell(spec.reg)
+	sim, err := spec.build(co)
+	if err != nil {
+		return nil, err
+	}
+	sim.obsCell = co
+	return sim, nil
 }
 
 // NewBaselineSim builds the paper's baseline: a 1MB 8-way traditional
 // L2 behind the 16kB sectored L1D.
+//
+// Deprecated: use New(WithTraditional(1<<20, 8)).
 func NewBaselineSim() *Sim {
-	sys, _ := hierarchy.Baseline("baseline", 1<<20, 8)
-	return &Sim{sys: sys}
+	s, err := New(WithTraditional(1<<20, 8))
+	if err != nil {
+		panic(err) // the fixed baseline geometry always validates
+	}
+	return s
 }
 
 // NewTraditionalSim builds a traditional L2 of the given geometry.
+//
+// Deprecated: use New(WithTraditional(sizeBytes, ways)).
 func NewTraditionalSim(sizeBytes, ways int) (*Sim, error) {
-	cfg := cache.Config{Name: "trad", SizeBytes: sizeBytes, Ways: ways}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	sys, _ := hierarchy.Baseline("trad", sizeBytes, ways)
-	return &Sim{sys: sys}, nil
+	return New(WithTraditional(sizeBytes, ways))
 }
 
 // NewDistillSim builds a distill-cache hierarchy.
+//
+// Deprecated: use New(WithDistill(cfg)).
 func NewDistillSim(cfg DistillConfig) *Sim {
-	sys, dc := hierarchy.Distill(cfg)
-	return &Sim{sys: sys, distill: dc}
+	s, err := New(WithDistill(cfg))
+	if err != nil {
+		panic(err) // WithDistill's builder never errors
+	}
+	return s
 }
 
 // NewCompressedSim builds the CMPR comparator (compressed traditional
 // cache) using the named benchmark's value model.
+//
+// Deprecated: use New(WithCompression(benchmark)).
 func NewCompressedSim(benchmark string) (*Sim, error) {
-	prof, err := workload.ByName(benchmark)
-	if err != nil {
-		return nil, err
-	}
-	sys, _ := hierarchy.Compressed(icompress.DefaultCMPRConfig(), prof.Values())
-	return &Sim{sys: sys}, nil
+	return New(WithCompression(benchmark))
 }
 
 // NewFACSim builds a distill cache with footprint-aware compression
 // (Section 8.2) using the named benchmark's value model.
+//
+// Deprecated: use New(WithFAC(cfg, benchmark)).
 func NewFACSim(cfg DistillConfig, benchmark string) (*Sim, error) {
-	prof, err := workload.ByName(benchmark)
-	if err != nil {
-		return nil, err
-	}
-	sys, dc := hierarchy.FAC(cfg, prof.Values())
-	return &Sim{sys: sys, distill: dc}, nil
+	return New(WithFAC(cfg, benchmark))
 }
 
 // NewSFPSim builds the spatial-footprint-predictor comparator.
+//
+// Deprecated: use New(WithSFP(predictorEntries)).
 func NewSFPSim(predictorEntries int) (*Sim, error) {
-	cfg := sfp.DefaultConfig()
-	if predictorEntries > 0 {
-		cfg.PredictorEntries = predictorEntries
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	sys, _ := hierarchy.SFP(cfg)
-	return &Sim{sys: sys}, nil
+	return New(WithSFP(predictorEntries))
 }
 
 // RunWorkload drives n accesses of the named synthetic benchmark

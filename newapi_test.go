@@ -1,0 +1,151 @@
+package ldis_test
+
+import (
+	"testing"
+
+	"ldis"
+)
+
+// TestNewMatchesDeprecatedConstructors proves the functional-options
+// API is a pure refactor: for every registered benchmark and every
+// cache organization, the Result from ldis.New is byte-identical to
+// the one from the deprecated constructor it replaces.
+func TestNewMatchesDeprecatedConstructors(t *testing.T) {
+	const accesses = 20_000
+	type pair struct {
+		name string
+		old  func(bench string) (*ldis.Sim, error)
+		new  func(bench string) (*ldis.Sim, error)
+	}
+	pairs := []pair{
+		{
+			name: "baseline",
+			old:  func(string) (*ldis.Sim, error) { return ldis.NewBaselineSim(), nil },
+			new:  func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithTraditional(1<<20, 8)) },
+		},
+		{
+			name: "traditional-2MB",
+			old:  func(string) (*ldis.Sim, error) { return ldis.NewTraditionalSim(2<<20, 16) },
+			new:  func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithTraditional(2<<20, 16)) },
+		},
+		{
+			name: "distill",
+			old: func(string) (*ldis.Sim, error) {
+				return ldis.NewDistillSim(ldis.DefaultDistillConfig()), nil
+			},
+			new: func(string) (*ldis.Sim, error) {
+				return ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()))
+			},
+		},
+		{
+			name: "compressed",
+			old:  func(b string) (*ldis.Sim, error) { return ldis.NewCompressedSim(b) },
+			new:  func(b string) (*ldis.Sim, error) { return ldis.New(ldis.WithCompression(b)) },
+		},
+		{
+			name: "fac",
+			old: func(b string) (*ldis.Sim, error) {
+				return ldis.NewFACSim(ldis.DefaultDistillConfig(), b)
+			},
+			new: func(b string) (*ldis.Sim, error) {
+				return ldis.New(ldis.WithFAC(ldis.DefaultDistillConfig(), b))
+			},
+		},
+		{
+			name: "sfp",
+			old:  func(string) (*ldis.Sim, error) { return ldis.NewSFPSim(0) },
+			new:  func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithSFP(0)) },
+		},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			for _, bench := range ldis.Benchmarks() {
+				oldSim, err := p.old(bench)
+				if err != nil {
+					t.Fatalf("%s/%s old: %v", p.name, bench, err)
+				}
+				newSim, err := p.new(bench)
+				if err != nil {
+					t.Fatalf("%s/%s new: %v", p.name, bench, err)
+				}
+				oldRes, err := oldSim.RunWorkload(bench, accesses)
+				if err != nil {
+					t.Fatal(err)
+				}
+				newRes, err := newSim.RunWorkload(bench, accesses)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if oldRes != newRes {
+					t.Errorf("%s/%s: results diverge:\n old %+v\n new %+v", p.name, bench, oldRes, newRes)
+				}
+			}
+		})
+	}
+}
+
+// TestNewRejectsBadOptionSets pins the two misuse diagnostics: no
+// organization, and more than one.
+func TestNewRejectsBadOptionSets(t *testing.T) {
+	if _, err := ldis.New(); err == nil {
+		t.Error("New() without an organization option succeeded")
+	}
+	if _, err := ldis.New(ldis.WithObserver(ldis.NewObserver())); err == nil {
+		t.Error("New(WithObserver) alone succeeded")
+	}
+	_, err := ldis.New(ldis.WithTraditional(1<<20, 8), ldis.WithSFP(0))
+	if err == nil {
+		t.Fatal("conflicting organization options accepted")
+	}
+	for _, want := range []string{"WithTraditional", "WithSFP"} {
+		if !containsStr(err.Error(), want) {
+			t.Errorf("conflict error %q does not name %s", err, want)
+		}
+	}
+}
+
+// TestWithObserverRecordsMetrics: a distill run with an observer must
+// populate the instrumented counters, and the same run without one
+// must behave identically (the zero-overhead contract, result half).
+func TestWithObserverRecordsMetrics(t *testing.T) {
+	reg := ldis.NewObserver()
+	obsSim, err := ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()), ldis.WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSim, err := ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsRes, err := obsSim.RunWorkload("mcf", 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRes, err := plainSim.RunWorkload("mcf", 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obsRes != plainRes {
+		t.Errorf("observer changed results:\n with %+v\n without %+v", obsRes, plainRes)
+	}
+	snap := reg.Snapshot()
+	byName := map[string]uint64{}
+	for _, m := range snap {
+		byName[m.Name] = m.Count
+	}
+	if byName["distill_lines_distilled"] == 0 {
+		t.Errorf("distill_lines_distilled not recorded; snapshot %+v", snap)
+	}
+	if byName["cache_evictions"] == 0 && byName["distill_woc_evictions"] == 0 {
+		t.Errorf("no eviction counters recorded; snapshot %+v", snap)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
