@@ -8,6 +8,15 @@
 # experiment engine fans (benchmark × configuration) cells out across
 # worker goroutines, so the suite doubles as a scheduler race test).
 # `make bench-smoke` regenerates BENCH_throughput.json with a short run.
+# `make bench` writes a fresh throughput snapshot to benchmarks/latest;
+# `make bench-gate` fails if it regressed >$(BENCH_TOL) against the
+# committed benchmarks/baseline; `make bench-promote` blesses the
+# latest snapshot as the new baseline (commit the result). Workflow:
+#   make bench          # measure (single worker, repeats, median)
+#   make bench-gate     # compare against benchmarks/baseline
+#   make bench-promote  # intentional perf change: update the baseline
+# `make microbench` runs the Go testing benchmarks (per-figure,
+# hot-path, and scheduler fan-out).
 # `make fuzz-smoke` runs the trace-codec and checkpoint-scan fuzzers
 # briefly over their committed seed corpora.
 # `make mrc-smoke` validates the miss-ratio-curve engine: SHARDS-vs-
@@ -23,8 +32,16 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-install test check race bench bench-smoke \
-	chaos fuzz-smoke mrc-smoke obs-smoke govulncheck profile clean
+.PHONY: all build vet lint lint-install test check race microbench bench \
+	bench-gate bench-promote bench-smoke chaos fuzz-smoke mrc-smoke \
+	obs-smoke govulncheck profile clean
+
+# Allowed fractional slowdown per experiment before bench-gate fails.
+BENCH_TOL ?= 0.05
+# The pinned gate workload: the four headline experiments, single
+# worker (so decode CPU time equals its wall share), three repeats
+# with the median reported.
+BENCH_FLAGS = -accesses 200000 -parallel 1 -bench-repeats 3 fig6 fig7 fig8 table5
 
 all: check
 
@@ -103,9 +120,29 @@ govulncheck:
 		echo "govulncheck not installed; skipping (advisory only)"; \
 	fi
 
-# Full benchmark suite (per-figure, hot-path, and scheduler fan-out).
-bench:
+# Go testing benchmarks (per-figure, hot-path, and scheduler fan-out).
+microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Measure: write a fresh throughput snapshot to benchmarks/latest.
+bench:
+	mkdir -p benchmarks/latest
+	$(GO) run ./cmd/ldisexp -throughput benchmarks/latest/BENCH_throughput.json \
+		$(BENCH_FLAGS) > /dev/null
+
+# Gate: regenerate the latest snapshot and fail on any experiment (or
+# the total) more than BENCH_TOL slower than the committed baseline.
+bench-gate: bench
+	$(GO) run ./cmd/benchgate -tolerance $(BENCH_TOL)
+
+# Promote: bless benchmarks/latest as the committed baseline. Run this
+# only for intentional performance changes, then commit the result.
+bench-promote:
+	@test -f benchmarks/latest/BENCH_throughput.json || \
+		{ echo "bench-promote: run 'make bench' first"; exit 1; }
+	mkdir -p benchmarks/baseline
+	cp benchmarks/latest/BENCH_throughput.json benchmarks/baseline/BENCH_throughput.json
+	@echo "bench-promote: baseline updated; commit benchmarks/baseline"
 
 # Short throughput run: regenerates the committed BENCH_throughput.json.
 # Sized to finish in well under a minute on one core.
@@ -123,4 +160,4 @@ profile:
 	@echo "inspect with: go tool pprof profiles/cpu.prof"
 
 clean:
-	rm -rf profiles
+	rm -rf profiles benchmarks/latest

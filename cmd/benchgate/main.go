@@ -1,0 +1,45 @@
+// Command benchgate compares a freshly generated throughput report
+// against the committed baseline and exits nonzero when any experiment
+// (or the total) regressed beyond the tolerance. It is the check behind
+// `make bench-gate`; promote a new baseline explicitly with
+// `make bench-promote`.
+//
+//	benchgate -baseline benchmarks/baseline/BENCH_throughput.json \
+//	          -latest benchmarks/latest/BENCH_throughput.json -tolerance 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldis/internal/benchgate"
+)
+
+func main() {
+	baseline := flag.String("baseline", "benchmarks/baseline/BENCH_throughput.json", "committed baseline throughput report")
+	latest := flag.String("latest", "benchmarks/latest/BENCH_throughput.json", "freshly generated throughput report")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional slowdown per experiment (0.05 = 5%)")
+	flag.Parse()
+
+	if *tolerance < 0 || *tolerance >= 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: tolerance %v outside [0, 1)\n", *tolerance)
+		os.Exit(2)
+	}
+	base, err := benchgate.Load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := benchgate.Load(*latest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := benchgate.Gate(base, cur, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok — %d experiments within %.0f%% of baseline (total %.0f vs %.0f acc/s)\n",
+		len(base.Results), 100**tolerance, cur.Total.Rate(), base.Total.Rate())
+}

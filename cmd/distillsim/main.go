@@ -75,29 +75,28 @@ func main() {
 
 	var res ldis.Result
 	if *traceFile != "" {
+		// Streaming decode: records flow from the file through the
+		// batched pipeline without materializing the whole trace, so
+		// replay memory stays flat in the trace length.
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "distillsim:", err)
 			os.Exit(1)
 		}
-		var accs []mem.Access
-		tok := decodeSpans.Begin(obs.StageDecode)
-		if *lenient {
-			var cerr *trace.CorruptError
-			accs, cerr = trace.ReadLenient(f)
-			if cerr != nil {
-				fmt.Fprintf(os.Stderr, "distillsim: warning: %v; replaying %d-access valid prefix\n", cerr, len(accs))
-			}
-		} else {
-			accs, err = trace.Read(f)
-		}
-		decodeSpans.End(obs.StageDecode, tok)
-		f.Close()
+		br, err := trace.NewBatchReader(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "distillsim:", err)
 			os.Exit(1)
 		}
-		res = sim.RunStream(*traceFile, trace.NewSliceStream(accs), *accesses)
+		res = sim.RunStream(*traceFile, &timedStream{br: br, sp: decodeSpans}, *accesses)
+		f.Close()
+		if cerr := br.Err(); cerr != nil {
+			if !*lenient {
+				fmt.Fprintln(os.Stderr, "distillsim:", cerr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "distillsim: warning: %v; replayed the valid prefix\n", cerr)
+		}
 	} else {
 		res, err = sim.RunWorkload(*benchmark, *accesses)
 		if err != nil {
@@ -124,6 +123,29 @@ func main() {
 		fmt.Printf("IPC: baseline %.3f (MPKI %.2f)  distill %.3f (MPKI %.2f)  improvement %.1f%%\n",
 			base.IPC, base.MPKI, dist.IPC, dist.MPKI, 100*(dist.IPC-base.IPC)/base.IPC)
 	}
+}
+
+// timedStream adapts the streaming trace decoder to the simulator,
+// charging each refill to the decode span so -metrics reports decode
+// time separately from simulation. It forwards both the scalar and the
+// block interface; the batched pipeline uses the latter.
+type timedStream struct {
+	br *trace.BatchReader
+	sp *obs.Spans
+}
+
+func (t *timedStream) Next() (mem.Access, bool) {
+	tok := t.sp.Begin(obs.StageDecode)
+	a, ok := t.br.Next()
+	t.sp.End(obs.StageDecode, tok)
+	return a, ok
+}
+
+func (t *timedStream) NextBatch(dst []trace.Record) int {
+	tok := t.sp.Begin(obs.StageDecode)
+	n := t.br.NextBatch(dst)
+	t.sp.End(obs.StageDecode, tok)
+	return n
 }
 
 // printMetrics dumps the observer's registry snapshot and the trace

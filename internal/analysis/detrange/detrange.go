@@ -36,12 +36,15 @@ var Packages = []string{
 	"ldis/internal/faultinject",
 	"ldis/internal/mrc",
 	"ldis/internal/obs",
+	// The shard scheduler and merge path: per-shard results must merge
+	// identically at any scheduling, so map iteration is off-limits.
+	"ldis/internal/hierarchy",
 }
 
 // Analyzer is the detrange analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
-	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc, internal/obs) unless annotated //ldis:nondet-ok",
+	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc, internal/obs, internal/hierarchy) unless annotated //ldis:nondet-ok",
 	Run:  run,
 }
 

@@ -1,0 +1,47 @@
+package a
+
+// shardSystem is a stand-in for hierarchy.System in the fixtures.
+type shardSystem struct{ id int }
+
+// RunSharded models the hierarchy shard scheduler: the trailing build
+// closure runs once per shard, and the systems it returns are driven
+// concurrently, so it carries the grid-cell purity contract. Fixture
+// packages match cell takers by name.
+func RunSharded(shards int, build func(shard int) *shardSystem) []*shardSystem {
+	out := make([]*shardSystem, shards)
+	for i := range out {
+		out[i] = build(i)
+	}
+	return out
+}
+
+// BadShardBuilder leaks shard-construction order into captured state:
+// under the real scheduler the systems are driven concurrently and the
+// count becomes scheduling-dependent.
+func BadShardBuilder(shards int) int {
+	built := 0
+	_ = RunSharded(shards, func(shard int) *shardSystem {
+		built++ // want `writes captured variable "built"`
+		return &shardSystem{id: shard}
+	})
+	return built
+}
+
+// BadShardLastConfig: "last writer wins" on a captured pointer target.
+func BadShardLastConfig(shards int) {
+	var last *shardSystem
+	_ = RunSharded(shards, func(shard int) *shardSystem {
+		sys := &shardSystem{id: shard}
+		last = sys // want `writes captured variable "last"`
+		return sys
+	})
+	_ = last
+}
+
+// GoodShardBuilder is a pure function of its shard index; reads of
+// captured configuration are fine.
+func GoodShardBuilder(shards, ways int) []*shardSystem {
+	return RunSharded(shards, func(shard int) *shardSystem {
+		return &shardSystem{id: shard * ways}
+	})
+}

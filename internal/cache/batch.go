@@ -1,0 +1,21 @@
+package cache
+
+import "ldis/internal/trace"
+
+// AccessBatch drives a record block through the cache as a standalone
+// L2: each record performs a demand access for its word, and a miss
+// installs the line, modelling the fill. Instruction fetches are
+// ordinary lines in a traditional cache. It returns the number of
+// hits. This is the bulk half of the batched pipeline; the scalar
+// Access/Install pair stays as the compatibility surface.
+//
+//ldis:noalloc
+func (c *Cache) AccessBatch(recs []trace.Record) (hits int) {
+	for i := range recs {
+		la, word, write := recs[i].Line(), recs[i].Word(), recs[i].IsWrite()
+		if c.AccessInstall(la, word, write) {
+			hits++
+		}
+	}
+	return hits
+}

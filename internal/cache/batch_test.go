@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"ldis/internal/mem"
+	"ldis/internal/trace"
+)
+
+func batchRecords(n, lines int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		k := mem.Load
+		if i%5 == 0 {
+			k = mem.Store
+		}
+		recs[i] = trace.Record{Addr: mem.LineAddr(i % lines).WordAddr(i % 8), Kind: k, Instret: 1}
+	}
+	return recs
+}
+
+// AccessBatch must be exactly the scalar access/install loop in bulk:
+// same hit count, same final stats.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	cfg := Config{Name: "t", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8}
+	recs := batchRecords(10_000, 1024)
+
+	batched := New(cfg)
+	gotHits := batched.AccessBatch(recs)
+
+	scalar := New(cfg)
+	wantHits := 0
+	for i := range recs {
+		la, word, write := recs[i].Line(), recs[i].Word(), recs[i].IsWrite()
+		if scalar.Access(la, word, write) {
+			wantHits++
+		} else {
+			scalar.Install(la, word, write)
+		}
+	}
+	if gotHits != wantHits {
+		t.Errorf("AccessBatch hits = %d, scalar loop %d", gotHits, wantHits)
+	}
+	if !reflect.DeepEqual(batched.Stats(), scalar.Stats()) {
+		t.Errorf("stats diverged: %+v vs %+v", *batched.Stats(), *scalar.Stats())
+	}
+}
+
+func TestAccessBatchZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8})
+	recs := batchRecords(256, 2048)
+	c.AccessBatch(recs) // steady state: sets at capacity
+	if n := testing.AllocsPerRun(500, func() { c.AccessBatch(recs) }); n != 0 {
+		t.Errorf("AccessBatch allocates %.1f/op", n)
+	}
+}

@@ -170,7 +170,17 @@ func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
 	st.Accesses++
 	set := c.sets[c.setIndexOf(line)]
 	tag := c.tagOf(line)
-	for pos := range set {
+	// MRU fast path: a hit on way 0 needs no promotion (and cannot
+	// raise MaxFPPos), so it updates the line in place.
+	if l := &set[0]; l.Valid && l.Tag == tag {
+		st.Hits++
+		l.Footprint = l.Footprint.Set(word)
+		if write {
+			l.Dirty = true
+		}
+		return true
+	}
+	for pos := 1; pos < len(set); pos++ {
 		if !set[pos].Valid || set[pos].Tag != tag {
 			continue
 		}
@@ -189,6 +199,68 @@ func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
 		return true
 	}
 	st.Misses++
+	return false
+}
+
+// AccessInstall fuses Access with the Install that follows a miss: the
+// lookup scan that proves the line absent doubles as Install's
+// presence check, so the miss path walks the set once instead of
+// twice. Counters and LRU state evolve exactly as Access-then-Install;
+// the victim (unused by the traditional L2, which counts writebacks
+// internally) is not materialized. Returns whether the access hit.
+//
+//ldis:noalloc
+func (c *Cache) AccessInstall(line mem.LineAddr, word int, write bool) bool {
+	st := &c.st
+	st.Accesses++
+	si := c.setIndexOf(line)
+	set := c.sets[si]
+	tag := c.tagOf(line)
+	// MRU fast path, as in Access.
+	if l := &set[0]; l.Valid && l.Tag == tag {
+		st.Hits++
+		l.Footprint = l.Footprint.Set(word)
+		if write {
+			l.Dirty = true
+		}
+		return true
+	}
+	for pos := 1; pos < len(set); pos++ {
+		if !set[pos].Valid || set[pos].Tag != tag {
+			continue
+		}
+		st.Hits++
+		l := set[pos]
+		if !l.Footprint.Has(word) {
+			l.Footprint = l.Footprint.Set(word)
+			if uint8(pos) > l.MaxFPPos {
+				l.MaxFPPos = uint8(pos)
+			}
+		}
+		if write {
+			l.Dirty = true
+		}
+		c.promote(set, pos, l)
+		return true
+	}
+	st.Misses++
+	victimPos := len(set) - 1
+	if v := set[victimPos]; v.Valid {
+		st.Evictions++
+		c.obsEvictions.Inc()
+		st.WordsUsedAtEvict.Add(v.Footprint.Count())
+		st.FPChangePos.Add(int(v.MaxFPPos))
+		if v.Dirty {
+			st.Writebacks++
+			c.obsWritebacks.Inc()
+		}
+	}
+	c.promote(set, victimPos, Line{
+		Valid:     true,
+		Dirty:     write,
+		Tag:       tag,
+		Footprint: mem.FootprintOfWord(word),
+	})
 	return false
 }
 
@@ -270,6 +342,32 @@ func (c *Cache) MergeFootprint(line mem.LineAddr, fp mem.Footprint) {
 	}
 }
 
+// MergeWriteback is the fused MergeFootprint + SetDirty the hierarchy
+// uses for L1D eviction notices: one set scan merges the footprint and
+// marks the line dirty (when the writeback carries dirty words),
+// instead of two.
+//
+//ldis:noalloc
+func (c *Cache) MergeWriteback(line mem.LineAddr, fp, dirty mem.Footprint) {
+	set := c.sets[c.setIndexOf(line)]
+	tag := c.tagOf(line)
+	for pos := range set {
+		if set[pos].Valid && set[pos].Tag == tag {
+			e := &set[pos]
+			if merged := e.Footprint.Or(fp); merged != e.Footprint {
+				e.Footprint = merged
+				if uint8(pos) > e.MaxFPPos {
+					e.MaxFPPos = uint8(pos)
+				}
+			}
+			if dirty != 0 {
+				e.Dirty = true
+			}
+			return
+		}
+	}
+}
+
 // SetDirty marks the line dirty if present (used when a dirty L1D line
 // is written back into a clean L2 copy).
 func (c *Cache) SetDirty(line mem.LineAddr) {
@@ -308,4 +406,19 @@ func (c *Cache) RecencyPosition(line mem.LineAddr) int {
 		}
 	}
 	return -1
+}
+
+// Merge folds a sibling shard's counters into s: shards partition the
+// line-address space, so plain sums (and bucket-wise histogram sums)
+// reproduce the sequential totals exactly.
+//
+//ldis:noalloc
+func (s *Stats) Merge(o *Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.WordsUsedAtEvict.Merge(o.WordsUsedAtEvict)
+	s.FPChangePos.Merge(o.FPChangePos)
 }

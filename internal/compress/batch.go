@@ -1,0 +1,18 @@
+package compress
+
+import "ldis/internal/trace"
+
+// AccessBatch drives a record block through the compressed cache as a
+// standalone L2. Access already performs the compressed install on a
+// miss, so each record is a single call; instruction fetches are
+// ordinary lines here. It returns the number of hits.
+//
+//ldis:noalloc
+func (c *CMPR) AccessBatch(recs []trace.Record) (hits int) {
+	for i := range recs {
+		if c.Access(recs[i].Line(), recs[i].Word(), recs[i].IsWrite()) {
+			hits++
+		}
+	}
+	return hits
+}

@@ -1,0 +1,55 @@
+package compress
+
+import (
+	"reflect"
+	"testing"
+
+	"ldis/internal/mem"
+	"ldis/internal/trace"
+	"ldis/internal/values"
+)
+
+func batchRecords(n, lines int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		k := mem.Load
+		if i%5 == 0 {
+			k = mem.Store
+		}
+		recs[i] = trace.Record{Addr: mem.LineAddr(i % lines).WordAddr(i % 8), Kind: k, Instret: 1}
+	}
+	return recs
+}
+
+func testModel() *values.Model { return values.NewModel(7, values.Mix{Zero: 0.4, Half: 0.3, Full: 0.3}) }
+
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	cfg := CMPRConfig{Name: "c", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8, TagFactor: 2}
+	recs := batchRecords(10_000, 1024)
+
+	batched := NewCMPR(cfg, testModel())
+	gotHits := batched.AccessBatch(recs)
+
+	scalar := NewCMPR(cfg, testModel())
+	wantHits := 0
+	for i := range recs {
+		if scalar.Access(recs[i].Line(), recs[i].Word(), recs[i].IsWrite()) {
+			wantHits++
+		}
+	}
+	if gotHits != wantHits {
+		t.Errorf("AccessBatch hits = %d, scalar loop %d", gotHits, wantHits)
+	}
+	if !reflect.DeepEqual(batched.Stats(), scalar.Stats()) {
+		t.Errorf("stats diverged")
+	}
+}
+
+func TestAccessBatchZeroAllocs(t *testing.T) {
+	c := NewCMPR(CMPRConfig{Name: "c", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8, TagFactor: 2}, testModel())
+	recs := batchRecords(256, 1024)
+	c.AccessBatch(recs) // steady state: sets at tag capacity
+	if n := testing.AllocsPerRun(500, func() { c.AccessBatch(recs) }); n != 0 {
+		t.Errorf("AccessBatch allocates %.1f/op", n)
+	}
+}

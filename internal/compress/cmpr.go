@@ -85,6 +85,11 @@ type CMPR struct {
 	vals *values.Model
 	sets [][]cmprLine // MRU-first
 	st   CMPRStats
+
+	// Set-indexing geometry, precomputed at construction so the access
+	// path does not rederive it per access.
+	setMask  uint64
+	tagShift uint
 }
 
 // NewCMPR builds the compressed cache over the given value model;
@@ -93,11 +98,26 @@ func NewCMPR(cfg CMPRConfig, vals *values.Model) *CMPR {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]cmprLine, cfg.Sets())
-	c := &CMPR{cfg: cfg, vals: vals, sets: sets}
+	numSets := cfg.Sets()
+	sets := make([][]cmprLine, numSets)
+	for i := range sets {
+		// Full tag-budget capacity up front: install's in-place prepend
+		// then never grows the slice, keeping the miss path
+		// allocation-free.
+		sets[i] = make([]cmprLine, 0, cfg.TagsPerSet())
+	}
+	c := &CMPR{cfg: cfg, vals: vals, sets: sets, setMask: uint64(numSets - 1)}
+	for n := numSets; n > 1; n >>= 1 {
+		c.tagShift++
+	}
 	c.st.SegmentsHist = stats.NewHistogram(cfg.Name+" segments", mem.WordsPerLine+1)
 	return c
 }
+
+// setIndexOf and tagOf are the precomputed equivalents of
+// mem.LineAddr.SetIndex/Tag for this cache's geometry.
+func (c *CMPR) setIndexOf(la mem.LineAddr) int { return int(uint64(la) & c.setMask) }
+func (c *CMPR) tagOf(la mem.LineAddr) uint64   { return uint64(la) >> c.tagShift }
 
 // Stats returns the live counters.
 func (c *CMPR) Stats() *CMPRStats { return &c.st }
@@ -109,11 +129,12 @@ func (c *CMPR) Config() CMPRConfig { return c.cfg }
 // installed, evicting LRU lines until both the segment and tag budgets
 // are satisfied. All words of a stored line are valid (compression
 // keeps the whole line), so there are no hole misses.
+//ldis:noalloc
 func (c *CMPR) Access(la mem.LineAddr, word int, write bool) bool {
 	c.st.Accesses++
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	set := c.sets[si]
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	for pos := range set {
 		if set[pos].tag != tag {
 			continue
@@ -151,14 +172,19 @@ func (c *CMPR) install(si int, la mem.LineAddr, write bool) {
 			c.st.Writebacks++
 		}
 	}
-	set = append([]cmprLine{{tag: la.Tag(c.cfg.Sets()), segments: segs, dirty: write}}, set...)
+	// In-place MRU prepend: the eviction loop guarantees len(set)+1 is
+	// within the tag budget, and the set was allocated at full capacity,
+	// so the append never grows the backing array.
+	set = append(set, cmprLine{})
+	copy(set[1:], set)
+	set[0] = cmprLine{tag: c.tagOf(la), segments: segs, dirty: write}
 	c.sets[si] = set
 }
 
 // Present reports whether the line is resident (for tests).
 func (c *CMPR) Present(la mem.LineAddr) bool {
-	set := c.sets[la.SetIndex(c.cfg.Sets())]
-	tag := la.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(la)]
+	tag := c.tagOf(la)
 	for _, l := range set {
 		if l.tag == tag {
 			return true
@@ -170,7 +196,7 @@ func (c *CMPR) Present(la mem.LineAddr) bool {
 // LinesResident returns the number of lines in the set holding la; used
 // to verify the compression capacity benefit in tests.
 func (c *CMPR) LinesResident(la mem.LineAddr) int {
-	return len(c.sets[la.SetIndex(c.cfg.Sets())])
+	return len(c.sets[c.setIndexOf(la)])
 }
 
 // FACSlots returns a distill.SlotsFunc-compatible sizing function
@@ -181,4 +207,18 @@ func FACSlots(vals *values.Model) func(line mem.LineAddr, used mem.Footprint) in
 	return func(line mem.LineAddr, used mem.Footprint) int {
 		return SegmentsFor(LineBits(vals, line, used))
 	}
+}
+
+// Merge folds a sibling shard's counters into s: shards partition the
+// line-address space, so plain sums (and bucket-wise histogram sums)
+// reproduce the sequential totals exactly.
+//
+//ldis:noalloc
+func (s *CMPRStats) Merge(o *CMPRStats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.SegmentsHist.Merge(o.SegmentsHist)
 }

@@ -1,0 +1,29 @@
+package distill
+
+import (
+	"ldis/internal/mem"
+	"ldis/internal/trace"
+)
+
+// AccessBatch drives a record block through the distill cache as a
+// standalone L2: instruction fetches take the never-distill
+// AccessInstruction path (Section 4), everything else the ordinary
+// demand path. Both include the fill on a miss, so no install step is
+// needed. It returns the number of hits (LOC or WOC).
+//
+//ldis:noalloc
+func (c *Cache) AccessBatch(recs []trace.Record) (hits int) {
+	for i := range recs {
+		la, word, write := recs[i].Line(), recs[i].Word(), recs[i].IsWrite()
+		var r AccessResult
+		if recs[i].Kind == mem.IFetch {
+			r = c.AccessInstruction(la, word, write)
+		} else {
+			r = c.Access(la, word, write)
+		}
+		if !r.Outcome.IsMiss() {
+			hits++
+		}
+	}
+	return hits
+}

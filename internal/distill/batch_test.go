@@ -1,0 +1,65 @@
+package distill
+
+import (
+	"reflect"
+	"testing"
+
+	"ldis/internal/mem"
+	"ldis/internal/trace"
+)
+
+func batchRecords(n, lines int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		k := mem.Load
+		switch {
+		case i%7 == 0:
+			k = mem.IFetch // exercises the never-distill path
+		case i%5 == 0:
+			k = mem.Store
+		}
+		recs[i] = trace.Record{Addr: mem.LineAddr(i % lines).WordAddr(i % 8), Kind: k, Instret: 1}
+	}
+	return recs
+}
+
+// AccessBatch must route instruction fetches through the never-distill
+// path and everything else through the demand path — exactly what the
+// equivalent scalar loop does.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	cfg := Config{Name: "d", SizeBytes: 64 * 4 * mem.LineSize, Ways: 4, WOCWays: 1, Seed: 3}
+	recs := batchRecords(10_000, 512)
+
+	batched := New(cfg)
+	gotHits := batched.AccessBatch(recs)
+
+	scalar := New(cfg)
+	wantHits := 0
+	for i := range recs {
+		la, word, write := recs[i].Line(), recs[i].Word(), recs[i].IsWrite()
+		var r AccessResult
+		if recs[i].Kind == mem.IFetch {
+			r = scalar.AccessInstruction(la, word, write)
+		} else {
+			r = scalar.Access(la, word, write)
+		}
+		if !r.Outcome.IsMiss() {
+			wantHits++
+		}
+	}
+	if gotHits != wantHits {
+		t.Errorf("AccessBatch hits = %d, scalar loop %d", gotHits, wantHits)
+	}
+	if !reflect.DeepEqual(batched.Stats(), scalar.Stats()) {
+		t.Errorf("stats diverged")
+	}
+}
+
+func TestAccessBatchZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "d", SizeBytes: 64 * 4 * mem.LineSize, Ways: 4, WOCWays: 1, Seed: 3})
+	recs := batchRecords(256, 1024)
+	c.AccessBatch(recs) // steady state: LOC/WOC churn begins
+	if n := testing.AllocsPerRun(500, func() { c.AccessBatch(recs) }); n != 0 {
+		t.Errorf("AccessBatch allocates %.1f/op", n)
+	}
+}

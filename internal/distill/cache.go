@@ -139,11 +139,18 @@ func New(cfg Config) *Cache {
 	for n := cfg.Sets(); n > 1; n >>= 1 {
 		c.tagShift++
 	}
-	c.sets = make([]set, cfg.Sets())
+	// Per-set slices are carved from shared backing arrays: thousands of
+	// sets construct in a handful of allocations, and the full-slice
+	// expression caps each LOC at its own region so the traditional-mode
+	// regrow (switchMode extends loc to cfg.Ways) stays in place.
+	numSets := cfg.Sets()
+	c.sets = make([]set, numSets)
+	locArena := make([]locEntry, numSets*cfg.Ways)
+	wocSets := wordstore.NewSets(cfg.WOCWays, numSets)
 	for i := range c.sets {
 		c.sets[i] = set{
-			loc: make([]locEntry, cfg.LOCWays(), cfg.Ways),
-			woc: wordstore.NewSet(cfg.WOCWays),
+			loc: locArena[i*cfg.Ways : i*cfg.Ways+cfg.LOCWays() : (i+1)*cfg.Ways],
+			woc: wocSets[i],
 		}
 	}
 	if cfg.Reverter {
@@ -242,8 +249,17 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 	}
 	tag := c.tagOf(la)
 
-	// LOC lookup.
-	for pos := range s.loc {
+	// LOC lookup. MRU fast path first: a hit on way 0 needs no
+	// promotion (and cannot raise maxFPPos), so it updates in place.
+	if e := &s.loc[0]; e.valid && e.tag == tag {
+		e.fp = e.fp.Set(word)
+		if write {
+			e.dirty = e.dirty.Set(word)
+		}
+		c.st.LOCHits++
+		return AccessResult{Outcome: LOCHit, ValidBits: mem.FullFootprint}
+	}
+	for pos := 1; pos < len(s.loc); pos++ {
 		if !s.loc[pos].valid || s.loc[pos].tag != tag {
 			continue
 		}
@@ -595,4 +611,27 @@ func (c *Cache) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// Merge folds a sibling shard's counters into s: shards partition the
+// line-address space, so plain sums (and bucket-wise histogram sums)
+// reproduce the sequential totals exactly. Only shard-exact
+// configurations (Config.ShardExact) are ever run sharded.
+//
+//ldis:noalloc
+func (s *Stats) Merge(o *Stats) {
+	s.Accesses += o.Accesses
+	s.LOCHits += o.LOCHits
+	s.WOCHits += o.WOCHits
+	s.HoleMisses += o.HoleMisses
+	s.LineMisses += o.LineMisses
+	s.Writebacks += o.Writebacks
+	s.Distilled += o.Distilled
+	s.ThresholdSkips += o.ThresholdSkips
+	s.TradEvictions += o.TradEvictions
+	s.InstrEvictions += o.InstrEvictions
+	s.WOCEvictions += o.WOCEvictions
+	s.ModeSwitches += o.ModeSwitches
+	s.WordsUsedAtEvict.Merge(o.WordsUsedAtEvict)
+	s.FPChangePos.Merge(o.FPChangePos)
 }

@@ -31,7 +31,7 @@ func AblationWOCWays(o Options) ([]*stats.Table, error) {
 			return base.MPKI(), nil
 		}
 		sys, _ := distillSystem(ldisMTRC(col, prof.Seed), co)
-		return runWindowed(sys, prof, o).MPKI(), nil
+		return runWindowed(sys, prof, o, co).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -59,7 +59,7 @@ func AblationThreshold(o Options) ([]*stats.Table, error) {
 			cfg = ldisMT(2, prof.Seed)
 		}
 		sys, _ := distillSystem(cfg, co)
-		return runWindowed(sys, prof, o).MPKI(), nil
+		return runWindowed(sys, prof, o, co).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -85,12 +85,12 @@ func AblationVictim(o Options) ([]*stats.Table, error) {
 			return base.MPKI(), nil
 		case 1:
 			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
-			return runWindowed(sysD, prof, o).MPKI(), nil
+			return runWindowed(sysD, prof, o, co).MPKI(), nil
 		default:
 			vcfg := ldisBase(2, prof.Seed)
 			vcfg.Slots = func(mem.LineAddr, mem.Footprint) int { return mem.WordsPerLine }
 			sysV, _ := distillSystem(vcfg, co)
-			return runWindowed(sysV, prof, o).MPKI(), nil
+			return runWindowed(sysV, prof, o, co).MPKI(), nil
 		}
 	})
 	if err != nil {
@@ -129,7 +129,7 @@ func AblationPrefetch(o Options) ([]*stats.Table, error) {
 			l2 = prefetch.Wrap(inner, prefetch.Config{Degree: 2})
 		}
 		sys := hierarchy.NewSystem(l2)
-		return runWindowed(sys, prof, o).MPKI(), nil
+		return runWindowed(sys, prof, o, co).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -164,7 +164,7 @@ func AblationLeaderSets(o Options) ([]*stats.Table, error) {
 		sc.HighWatermark = 144
 		cfg.SamplerConfig = &sc
 		sys, _ := distillSystem(cfg, co)
-		return runWindowed(sys, prof, o).MPKI(), nil
+		return runWindowed(sys, prof, o, co).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err

@@ -103,21 +103,21 @@ func Fig11(o Options) ([]Fig11Row, error) {
 		case 1:
 			// LDIS-3xTags: 2 WOC ways (6+16 = 22 tags/set ~ 3x baseline).
 			sys, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
-			return runWindowed(sys, prof, o).MPKI(), nil
+			return runWindowed(sys, prof, o, co).MPKI(), nil
 		case 2:
 			// LDIS-4xTags: 3 WOC ways (5+24 = 29 tags/set ~ 4x baseline).
 			sys, _ := distillSystem(ldisMTRC(3, prof.Seed), co)
-			return runWindowed(sys, prof, o).MPKI(), nil
+			return runWindowed(sys, prof, o, co).MPKI(), nil
 		case 3:
 			// CMPR-4xTags: compressed traditional cache, perfect LRU.
 			sys, _ := hierarchy.Compressed(compress.DefaultCMPRConfig(), prof.Values())
-			return runWindowed(sys, prof, o).MPKI(), nil
+			return runWindowed(sys, prof, o, co).MPKI(), nil
 		default:
 			// FAC-4xTags: distill cache with 3 WOC ways + compression.
 			fcfg := ldisMTRC(3, prof.Seed)
 			fcfg.Obs = co
 			sys, _ := hierarchy.FAC(fcfg, prof.Values())
-			return runWindowed(sys, prof, o).MPKI(), nil
+			return runWindowed(sys, prof, o, co).MPKI(), nil
 		}
 	})
 	if err != nil {

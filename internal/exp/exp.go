@@ -17,6 +17,7 @@ import (
 	"ldis/internal/obs"
 	"ldis/internal/sampler"
 	"ldis/internal/stats"
+	"ldis/internal/trace"
 	"ldis/internal/workload"
 )
 
@@ -33,6 +34,17 @@ type Options struct {
 	// configuration) simulation cells concurrently; 0 means GOMAXPROCS.
 	// Results are deterministic regardless of the setting.
 	Parallel int
+	// Shards splits each shardable cell's cache state across this many
+	// workers by line-address hash; 0 or 1 means sequential. Must be a
+	// power of two at most hierarchy.MaxShards. Shard-exact
+	// organizations produce byte-identical results at any setting (the
+	// equivalence is enforced by tests), so Shards — like Parallel — is
+	// a scheduling knob, excluded from Fingerprint and ManifestParams.
+	Shards int
+	// BatchSize is the record-block size of the batched access
+	// pipeline; 0 means trace.DefaultBatchSize. It cannot change
+	// results and is likewise excluded from the fingerprint.
+	BatchSize int
 
 	// KeepGoing runs every cell to completion instead of aborting the
 	// sweep at the first failure. Failed cells are recorded in
@@ -101,6 +113,20 @@ func (o Options) benchmarks() []string {
 func (o Options) warmup() int  { return int(float64(o.Accesses) * o.WarmupFrac) }
 func (o Options) measure() int { return o.Accesses - o.warmup() }
 
+func (o Options) shards() int {
+	if o.Shards <= 1 {
+		return 1
+	}
+	return o.Shards
+}
+
+func (o Options) batchSize() int {
+	if o.BatchSize == 0 {
+		return trace.DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
 // mrc option accessors: zero means "default", and the same defaulted
 // values feed both the engine configs and the checkpoint fingerprint,
 // so an explicit default and an implicit one fingerprint identically.
@@ -164,6 +190,12 @@ func (o *Options) Validate() error {
 	}
 	if o.Parallel < 0 {
 		bad("Parallel", "must be >= 0, got %d", o.Parallel)
+	}
+	if o.Shards < 0 || o.Shards > hierarchy.MaxShards || (o.Shards > 0 && o.Shards&(o.Shards-1) != 0) {
+		bad("Shards", "must be a power of two in [1, %d], or 0 for sequential; got %d", hierarchy.MaxShards, o.Shards)
+	}
+	if o.BatchSize < 0 {
+		bad("BatchSize", "must be >= 0, got %d", o.BatchSize)
 	}
 	if o.Retries < 0 {
 		bad("Retries", "must be >= 0, got %d", o.Retries)
@@ -234,15 +266,88 @@ func ldisMTRC(wocWays int, seed uint64) distill.Config {
 	return c
 }
 
+// timedStream wraps a cell's record stream so every NextBatch refill is
+// charged to the cell's decode span and the package-wide decode-time
+// counter: manifests report record generation separately from
+// simulation, and -throughput mode subtracts it from the simulate
+// figure.
+type timedStream struct {
+	bs trace.BatchStream
+	sp *obs.Spans
+}
+
+func (t *timedStream) NextBatch(dst []trace.Record) int {
+	start := decodeClock.Nanos()
+	tok := t.sp.Begin(obs.StageDecode)
+	n := t.bs.NextBatch(dst)
+	t.sp.End(obs.StageDecode, tok)
+	countDecodeNanos(decodeClock.Nanos() - start)
+	return n
+}
+
+// cellStream builds the timed batch stream for one cell.
+func cellStream(prof *workload.Profile, co *obs.Cell) *timedStream {
+	return &timedStream{bs: trace.Batched(prof.Stream()), sp: co.Spans()}
+}
+
+// driveBatches feeds up to n records from bs into sys in buf-sized
+// blocks, returning the count actually driven (short on stream end).
+func driveBatches(sys *hierarchy.System, bs trace.BatchStream, n int, buf []trace.Record) int {
+	done := 0
+	for done < n {
+		want := len(buf)
+		if want > n-done {
+			want = n - done
+		}
+		got := bs.NextBatch(buf[:want])
+		sys.DoBatch(buf[:got])
+		done += got
+		if got < want {
+			break
+		}
+	}
+	return done
+}
+
 // runWindowed drives a profile through a system with warmup, returning
-// the measurement window.
-func runWindowed(sys *hierarchy.System, prof *workload.Profile, o Options) *hierarchy.Window {
-	st := prof.Stream()
-	n := sys.Run(st, o.warmup())
+// the measurement window. The drive is batched: records flow in
+// o.batchSize() blocks from the stream into System.DoBatch, with the
+// same block schedule — ceil(warmup/B) then ceil(measure/B) refills —
+// as the sharded path, so manifests agree on span counts either way.
+func runWindowed(sys *hierarchy.System, prof *workload.Profile, o Options, co *obs.Cell) *hierarchy.Window {
+	bs := cellStream(prof, co)
+	buf := make([]trace.Record, o.batchSize())
+	n := driveBatches(sys, bs, o.warmup(), buf)
 	w := sys.StartWindow()
-	n += sys.Run(st, o.measure())
+	n += driveBatches(sys, bs, o.measure(), buf)
 	countSimAccesses(n)
 	return w
+}
+
+// runTradWindowed runs one traditional-cache cell, sharded across
+// o.Shards workers when requested. The traditional organization is
+// always shard-exact, so the sharded result is byte-identical to the
+// sequential one; it returns the measurement-window totals and the
+// (merged) cache.
+func runTradWindowed(cfg cache.Config, prof *workload.Profile, o Options, co *obs.Cell) (hierarchy.WindowTotals, *cache.Cache) {
+	if o.shards() == 1 {
+		sys, c := tradSystem(cfg, co)
+		return runWindowed(sys, prof, o, co).Totals(), c
+	}
+	run, err := hierarchy.RunSharded(o.shards(), o.batchSize(), o.warmup(), o.measure(), cellStream(prof, co),
+		func(shard int) *hierarchy.System {
+			sys, _ := tradSystem(cfg, co)
+			return sys
+		})
+	if err != nil {
+		// Options are validated and the traditional organization is
+		// shard-exact, so only a panicking shard worker lands here; the
+		// cell-isolation layer above turns the panic back into a cell
+		// failure.
+		panic(err)
+	}
+	countSimAccesses(run.Done)
+	return run.Window, run.Systems[0].L2.(*hierarchy.TradL2).C
 }
 
 // tradSystem builds a traditional-cache system with the cell's
@@ -259,11 +364,10 @@ func distillSystem(cfg distill.Config, co *obs.Cell) (*hierarchy.System, *distil
 	return hierarchy.Distill(cfg)
 }
 
-// baselineMPKI runs the 1MB 8-way baseline and returns the window.
-func baselineMPKI(prof *workload.Profile, o Options, co *obs.Cell) (*hierarchy.Window, *cache.Cache) {
-	sys, c := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
-	w := runWindowed(sys, prof, o)
-	return w, c
+// baselineMPKI runs the 1MB 8-way baseline (sharded when o.Shards asks
+// for it) and returns the measurement-window totals.
+func baselineMPKI(prof *workload.Profile, o Options, co *obs.Cell) (hierarchy.WindowTotals, *cache.Cache) {
+	return runTradWindowed(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, prof, o, co)
 }
 
 // Runner is an experiment entry: it produces one or more tables.

@@ -35,7 +35,7 @@ func Fig6(o Options) ([]Fig6Row, error) {
 			ldisMTRC(2, prof.Seed),
 		}
 		sys, _ := distillSystem(cfgs[col-1], co)
-		return runWindowed(sys, prof, o).MPKI(), nil
+		return runWindowed(sys, prof, o, co).MPKI(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -128,13 +128,12 @@ func Fig7(o Options) ([]Fig7Row, error) {
 	names, grid, err := runGrid(o, 2, func(prof *workload.Profile, col int, co *obs.Cell) ([5]float64, error) {
 		var cell [5]float64
 		if col == 0 {
-			sysB, cb := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
-			runWindowed(sysB, prof, o)
+			_, cb := runTradWindowed(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, prof, o, co)
 			cell[0] = cb.Stats().HitRate()
 			return cell, nil
 		}
 		sysD, cd := distillSystem(ldisMTRC(2, prof.Seed), co)
-		runWindowed(sysD, prof, o)
+		runWindowed(sysD, prof, o, co)
 		ds := cd.Stats()
 		total := float64(ds.Accesses)
 		if total == 0 {
@@ -193,11 +192,11 @@ func Fig8(o Options) ([]Fig8Row, error) {
 			return base.MPKI(), nil
 		case 1:
 			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
-			return runWindowed(sysD, prof, o).MPKI(), nil
+			return runWindowed(sysD, prof, o, co).MPKI(), nil
 		default:
 			sz := []float64{1.5, 2.0}[col-2]
-			sys, _ := tradSystem(baselineConfig(fmt.Sprintf("trad-%.1fMB", sz), sz), co)
-			return runWindowed(sys, prof, o).MPKI(), nil
+			w, _ := runTradWindowed(baselineConfig(fmt.Sprintf("trad-%.1fMB", sz), sz), prof, o, co)
+			return w.MPKI(), nil
 		}
 	})
 	if err != nil {
@@ -251,11 +250,11 @@ func Table5(o Options) ([]Table5Row, error) {
 			return base.MPKI(), nil
 		case 1:
 			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
-			return runWindowed(sysD, prof, o).MPKI(), nil
+			return runWindowed(sysD, prof, o, co).MPKI(), nil
 		default:
 			sz := []float64{2, 4}[col-2]
-			sys, _ := tradSystem(baselineConfig(fmt.Sprintf("trad-%gMB", sz), sz), co)
-			return runWindowed(sys, prof, o).MPKI(), nil
+			w, _ := runTradWindowed(baselineConfig(fmt.Sprintf("trad-%gMB", sz), sz), prof, o, co)
+			return w.MPKI(), nil
 		}
 	})
 	if err != nil {

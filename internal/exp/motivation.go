@@ -122,7 +122,7 @@ func Table2(o Options) ([]Table2Row, error) {
 	}
 	_, rows, err := mapBenchmarks(o, func(prof *workload.Profile, co *obs.Cell) (Table2Row, error) {
 		sys, _ := tradSystem(cache.Config{Name: "base-1MB", SizeBytes: 1 << 20, Ways: 8}, co)
-		w := runWindowed(sys, prof, o)
+		w := runWindowed(sys, prof, o, co)
 		comp := 0.0
 		if m := sys.L2.Misses(); m > 0 {
 			// Compulsory fraction over the whole run, as the paper does.
@@ -167,7 +167,7 @@ func Table6(o Options) ([]Table6Row, error) {
 	names, grid, err := runGrid(o, len(Table6Sizes), func(prof *workload.Profile, col int, co *obs.Cell) (float64, error) {
 		sz := Table6Sizes[col]
 		sys, c := tradSystem(baselineConfig(fmt.Sprintf("base-%.2fMB", sz), sz), co)
-		runWindowed(sys, prof, o)
+		runWindowed(sys, prof, o, co)
 		// Prefer eviction-time footprints (the paper's metric); when
 		// the working set fits and evictions are scarce, fall back to
 		// the footprints of resident lines.

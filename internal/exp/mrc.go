@@ -6,6 +6,7 @@ import (
 	"ldis/internal/mrc"
 	"ldis/internal/obs"
 	"ldis/internal/stats"
+	"ldis/internal/trace"
 	"ldis/internal/workload"
 )
 
@@ -59,17 +60,21 @@ func MRC(o Options) ([]MRCResult, error) {
 		if err != nil {
 			return mrcCell{}, err
 		}
-		st := prof.Stream()
+		bs := cellStream(prof, co)
+		buf := make([]trace.Record, o.batchSize())
 		drive := func(n int) {
-			for i := 0; i < n; i++ {
-				a, ok := st.Next()
-				if !ok {
+			done := 0
+			for done < n {
+				want := len(buf)
+				if want > n-done {
+					want = n - done
+				}
+				got := bs.NextBatch(buf[:want])
+				eng.AccessBatch(buf[:got])
+				done += got
+				if got < want {
 					return
 				}
-				if !a.Kind.IsData() {
-					continue
-				}
-				eng.Access(a.Line(), a.Word())
 			}
 		}
 		drive(o.warmup())

@@ -38,10 +38,10 @@ func Fig13(o Options) ([]Fig13Row, error) {
 			sc.HighWatermark = 144
 			cfg.SamplerConfig = &sc
 			sys, _ := hierarchy.SFP(cfg)
-			return runWindowed(sys, prof, o).MPKI(), nil
+			return runWindowed(sys, prof, o, co).MPKI(), nil
 		default:
 			sysD, _ := distillSystem(ldisMTRC(2, prof.Seed), co)
-			return runWindowed(sysD, prof, o).MPKI(), nil
+			return runWindowed(sysD, prof, o, co).MPKI(), nil
 		}
 	})
 	if err != nil {

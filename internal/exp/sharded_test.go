@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ldis/internal/obs"
+)
+
+// TestShardDeterminismMatrix is the PR's byte-identity contract made
+// executable: rendered experiment output must not change when the
+// scheduling knobs — shard count and record-block size — do. fig6
+// mixes shardable (traditional) and sequential-only (distill) columns;
+// table6 is all traditional, so every cell takes the sharded path.
+func TestShardDeterminismMatrix(t *testing.T) {
+	ids := []string{"fig6", "table6"}
+	base := DefaultOptions()
+	base.Accesses = 20_000
+	base.Benchmarks = []string{"mcf", "art"}
+	base.Parallel = 2
+
+	render := func(o Options) string {
+		out := ""
+		for _, id := range ids {
+			out += renderAll(t, id, o)
+		}
+		return out
+	}
+	want := render(base)
+
+	for _, shards := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 64, 4096} {
+			o := base
+			o.Shards = shards
+			o.BatchSize = batch
+			if got := render(o); got != want {
+				t.Errorf("shards=%d batch=%d: rendered output diverges from the sequential default", shards, batch)
+			}
+		}
+	}
+}
+
+// TestManifestDeterministicAcrossShardCounts extends the manifest
+// determinism contract to the sharded runner: at a fixed batch size
+// the sharded sweep consumes the stream with the same NextBatch call
+// schedule as the sequential one, so the stripped manifests — span
+// call counts included — are deeply equal.
+func TestManifestDeterministicAcrossShardCounts(t *testing.T) {
+	ids := []string{"fig6"}
+	build := func(shards int) *obs.Manifest {
+		o := DefaultOptions()
+		o.Accesses = 20_000
+		o.Benchmarks = []string{"mcf", "art"}
+		o.Parallel = 2
+		o.Shards = shards
+		o.BatchSize = 512
+		o.Obs = obs.NewRun(nil)
+		for _, id := range ids {
+			if _, err := Run(id, o); err != nil {
+				t.Fatalf("shards=%d %s: %v", shards, id, err)
+			}
+		}
+		m := &obs.Manifest{
+			Tool:        "exp-test",
+			Workers:     o.Parallel,
+			Fingerprint: o.Fingerprint(),
+			Experiments: ids,
+			Params:      o.ManifestParams(),
+		}
+		m.Snapshot(o.Obs)
+		m.StripTimings()
+		return m
+	}
+	seq := build(0)
+	sharded := build(4)
+	if !reflect.DeepEqual(seq, sharded) {
+		t.Errorf("stripped manifests diverge between sequential and 4 shards:\n seq %+v\n sharded %+v", seq, sharded)
+	}
+	if len(seq.Cells) == 0 {
+		t.Fatal("manifest recorded no cells")
+	}
+}
+
+// TestCheckpointResumeAcrossShardCounts: Shards and BatchSize are
+// scheduling knobs excluded from the options fingerprint, so a
+// checkpoint written sequentially must replay — not re-run — under a
+// sharded resume, and render identical tables.
+func TestCheckpointResumeAcrossShardCounts(t *testing.T) {
+	o := ckOptions()
+	want := renderAll(t, "table6", o)
+
+	path := filepath.Join(t.TempDir(), CheckpointFile)
+	ck, err := OpenCheckpoint(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := o
+	seq.Checkpoint = ck
+	if got := renderAll(t, "table6", seq); got != want {
+		t.Fatal("checkpointed sequential run differs from plain run")
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := o
+	sharded.Shards = 4
+	sharded.BatchSize = 64
+	if sharded.Fingerprint() != o.Fingerprint() {
+		t.Fatal("Shards/BatchSize leaked into the options fingerprint")
+	}
+	ck2, err := OpenCheckpoint(path, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	sharded.Checkpoint = ck2
+	if got := renderAll(t, "table6", sharded); got != want {
+		t.Fatal("sharded resume differs from the sequential run")
+	}
+	if ck2.Recorded() != 0 {
+		t.Errorf("Recorded = %d, want 0 (every cell should replay)", ck2.Recorded())
+	}
+	if ck2.Replayed() != 10 {
+		t.Errorf("Replayed = %d, want 10", ck2.Replayed())
+	}
+}
+
+// TestOptionsValidateShardKnobs: the scheduling knobs get the same
+// eager validation as everything else in Options.
+func TestOptionsValidateShardKnobs(t *testing.T) {
+	ok := DefaultOptions()
+	for _, s := range []int{0, 1, 2, 128} {
+		o := ok
+		o.Shards = s
+		if err := o.Validate(); err != nil {
+			t.Errorf("Shards=%d rejected: %v", s, err)
+		}
+	}
+	for _, s := range []int{-1, 3, 6, 256} {
+		o := ok
+		o.Shards = s
+		err := o.Validate()
+		if err == nil || !strings.Contains(err.Error(), "Shards") {
+			t.Errorf("Shards=%d: err = %v, want Shards validation error", s, err)
+		}
+	}
+	o := ok
+	o.BatchSize = -1
+	if err := o.Validate(); err == nil {
+		t.Error("negative BatchSize accepted")
+	}
+}

@@ -82,7 +82,8 @@ type System struct {
 	// (the Table 2 "Compulsory Misses" column).
 	CompulsoryMisses uint64
 
-	seen map[mem.LineAddr]struct{}
+	seen     lineSet
+	batchBuf []trace.Record
 }
 
 // NewSystem builds a hierarchy with the paper's default L1D.
@@ -91,63 +92,125 @@ func NewSystem(l2 L2) *System {
 		L1D:     l1.New(l1.DefaultConfig()),
 		L2:      l2,
 		Classes: stats.NewHistogram("access classes", int(NumClasses)),
-		seen:    make(map[mem.LineAddr]struct{}),
+		seen:    newLineSet(),
 	}
 }
 
 // Do performs one processor access end to end and returns its class.
+// The compulsory-miss set is consulted only on L2 misses: lines enter
+// every L2 organization exclusively through this path, so a line's
+// first L2-reaching access always misses and records it — an L2 hit
+// therefore implies the line was already seen, and the hit paths skip
+// the hash probe entirely.
+//
+//ldis:noalloc
 func (s *System) Do(a mem.Access) Class {
 	s.Instructions += uint64(a.Instret)
 	s.DemandAccesses++
 	la, word, write := a.Line(), a.Word(), a.IsWrite()
-	_, touched := s.seen[la]
-	if !touched {
-		s.seen[la] = struct{}{}
-	}
 	if a.Kind == mem.IFetch {
 		// The trace carries the L1I *miss* stream directly, so fetches
 		// bypass the (not separately modelled) L1I and hit the L2.
+		//ldis:alloc-ok interface dispatch into the L2 organization; every implementation is annotated noalloc
 		class, _ := s.L2.AccessInstr(la, a.PC)
-		if class == L2Miss && !touched {
+		if class == L2Miss && !s.seen.testAndSet(la) {
 			s.CompulsoryMisses++
 		}
 		s.Classes.Add(int(class))
 		return class
 	}
-	if out := s.L1D.Access(la, word, write); out == l1.Hit {
+	out, ev, had := s.L1D.AccessEvict(la, word, write)
+	if out == l1.Hit {
 		s.Classes.Add(int(L1Hit))
 		return L1Hit
 	}
 	// Line miss or sector miss: the L1D victim's writeback (footprint +
 	// dirty words) is issued with the miss request, as from a victim
 	// buffer, so the L2 has the usage information before it distills.
-	if ev, had := s.L1D.EvictFor(la); had {
+	if had {
+		//ldis:alloc-ok interface dispatch into the L2 organization; every implementation is annotated noalloc
 		s.L2.WritebackFromL1(ev.Line, ev.Footprint, ev.Dirty)
 	}
 	// Consult the L2 (with the sector id, per Section 4.2 — our word
 	// index plays that role).
+	//ldis:alloc-ok interface dispatch into the L2 organization; every implementation is annotated noalloc
 	class, valid := s.L2.Access(la, word, a.PC, write)
-	if class == L2Miss && !touched {
+	if class == L2Miss && !s.seen.testAndSet(la) {
 		s.CompulsoryMisses++
 	}
-	if ev, had := s.L1D.Fill(la, valid, word, write); had {
-		s.L2.WritebackFromL1(ev.Line, ev.Footprint, ev.Dirty)
+	if out == l1.LineMiss {
+		// The line is absent (AccessEvict just said so), so the fill can
+		// skip the presence scan; it may displace a line whose slot was
+		// freed by an unrelated Invalidate.
+		if fev, fhad := s.L1D.FillNew(la, valid, word, write); fhad {
+			//ldis:alloc-ok interface dispatch into the L2 organization; every implementation is annotated noalloc
+			s.L2.WritebackFromL1(fev.Line, fev.Footprint, fev.Dirty)
+		}
+	} else {
+		// Sector fill: the line is present, so Fill merges valid bits and
+		// never evicts.
+		s.L1D.Fill(la, valid, word, write)
 	}
 	s.Classes.Add(int(class))
 	return class
 }
 
+// DoBatch drives one record block through the system: the bulk half of
+// the batched pipeline. The scalar Do stays as the compatibility entry
+// point (the CPU timing model still paces accesses one by one).
+//
+//ldis:noalloc
+func (s *System) DoBatch(recs []trace.Record) {
+	for i := range recs {
+		s.Do(recs[i])
+	}
+}
+
+// doBatchShard drives only the records owned by one shard — those
+// whose line address satisfies la&mask == shard — through the system.
+// Skipped records belong to (and are processed by) sibling shards, so
+// summing any counter across all shards reproduces the sequential
+// total exactly.
+//
+//ldis:noalloc
+func (s *System) doBatchShard(recs []trace.Record, mask, shard uint64) {
+	for i := range recs {
+		if uint64(recs[i].Line())&mask != shard {
+			continue
+		}
+		s.Do(recs[i])
+	}
+}
+
 // Run drives up to n accesses from the stream through the system (all
-// of them if n <= 0) and returns how many were performed.
+// of them if n <= 0) and returns how many were performed. The stream
+// is consumed through the batched bulk path, so every Run caller —
+// including the root facade and the CLIs — gets block-at-a-time record
+// filling for free.
 func (s *System) Run(st trace.Stream, n int) int {
+	return s.RunBatch(trace.Batched(st), n)
+}
+
+// RunBatch drives up to n accesses from the batch stream (all until
+// exhaustion if n <= 0) and returns how many were performed. It never
+// reads past n records, so chunked callers can keep consuming the same
+// stream afterwards.
+func (s *System) RunBatch(bs trace.BatchStream, n int) int {
+	if s.batchBuf == nil {
+		s.batchBuf = make([]trace.Record, trace.DefaultBatchSize)
+	}
 	done := 0
 	for n <= 0 || done < n {
-		a, ok := st.Next()
-		if !ok {
+		want := len(s.batchBuf)
+		if n > 0 && n-done < want {
+			want = n - done
+		}
+		got := bs.NextBatch(s.batchBuf[:want])
+		s.DoBatch(s.batchBuf[:got])
+		done += got
+		if got < want {
 			break
 		}
-		s.Do(a)
-		done++
 	}
 	return done
 }
@@ -183,6 +246,37 @@ func (w *Window) L2Accesses() uint64 { return w.sys.L2.Accesses() - w.startAcces
 // MPKI returns the window's misses per kilo-instruction.
 func (w *Window) MPKI() float64 { return stats.MPKI(w.Misses(), w.Instructions()) }
 
+// WindowTotals is a window's counter deltas in plain integer form, the
+// unit the sharded runner merges: per-shard deltas sum commutatively to
+// exactly the sequential deltas, so derived floats (MPKI) come out
+// byte-identical.
+type WindowTotals struct {
+	Instructions uint64
+	Misses       uint64
+	L2Accesses   uint64
+}
+
+// Totals snapshots the window's deltas.
+func (w *Window) Totals() WindowTotals {
+	return WindowTotals{
+		Instructions: w.Instructions(),
+		Misses:       w.Misses(),
+		L2Accesses:   w.L2Accesses(),
+	}
+}
+
+// Add folds another shard's deltas in.
+//
+//ldis:noalloc
+func (t *WindowTotals) Add(o WindowTotals) {
+	t.Instructions += o.Instructions
+	t.Misses += o.Misses
+	t.L2Accesses += o.L2Accesses
+}
+
+// MPKI returns the merged misses per kilo-instruction.
+func (t WindowTotals) MPKI() float64 { return stats.MPKI(t.Misses, t.Instructions) }
+
 // ---------------------------------------------------------------------
 // L2 adapters
 // ---------------------------------------------------------------------
@@ -195,13 +289,12 @@ type TradL2 struct {
 // NewTradL2 wraps a traditional cache.
 func NewTradL2(c *cache.Cache) *TradL2 { return &TradL2{C: c} }
 
-// Access implements L2.
+// Access implements L2. The fused lookup+install walks the set once on
+// the miss path; the cache counts the victim's writeback internally.
 func (t *TradL2) Access(la mem.LineAddr, word int, _ mem.Addr, write bool) (Class, mem.Footprint) {
-	if t.C.Access(la, word, write) {
+	if t.C.AccessInstall(la, word, write) {
 		return L2Hit, mem.FullFootprint
 	}
-	// The cache counts the victim's writeback internally.
-	t.C.Install(la, word, write)
 	return L2Miss, mem.FullFootprint
 }
 
@@ -211,12 +304,10 @@ func (t *TradL2) AccessInstr(la mem.LineAddr, pc mem.Addr) (Class, mem.Footprint
 	return t.Access(la, 0, pc, false)
 }
 
-// WritebackFromL1 implements L2.
+// WritebackFromL1 implements L2: one fused scan merges the footprint
+// and dirties the resident copy.
 func (t *TradL2) WritebackFromL1(la mem.LineAddr, footprint, dirty mem.Footprint) {
-	t.C.MergeFootprint(la, footprint.Or(dirty))
-	if dirty != 0 {
-		t.C.SetDirty(la)
-	}
+	t.C.MergeWriteback(la, footprint.Or(dirty), dirty)
 }
 
 // Misses implements L2.

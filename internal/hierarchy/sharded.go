@@ -1,0 +1,215 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ldis/internal/par"
+	"ldis/internal/trace"
+)
+
+// Intra-run sharding: one trace, k cache-state shards, byte-identical
+// results.
+//
+// The line-address low bits select both the shard and (a suffix of)
+// every cache's set index, so shard s owns exactly the sets whose
+// index is ≡ s (mod shards): no set is ever touched by two shards, and
+// each shard sees its sets' accesses in program order. For a
+// shard-exact organization (see merge.go) that per-set prefix property
+// makes every shard's state and counters identical to the sequential
+// run's restriction to those sets; summing the disjoint counters
+// reproduces the sequential totals exactly.
+//
+// The engine is a single-producer broadcast pipeline: task 0 fills
+// fixed-size record blocks from the batch stream and broadcasts each
+// block to every shard's channel; shard workers filter the block down
+// to their own lines. Blocks are refcounted and recycled through a
+// free pool, so the steady state allocates nothing.
+
+// MaxShards bounds the shard count: the smallest structure sharded is
+// the paper's 128-set L1D, and exactness needs every set owned by one
+// shard, so the mask may cover at most its 7 index bits.
+const MaxShards = 128
+
+// shardBlock is one record block in flight from the producer to the
+// shard workers.
+type shardBlock struct {
+	recs []trace.Record
+	n    int
+	// snapshotFirst marks the first block of the measurement phase:
+	// each worker snapshots its window immediately before processing
+	// it, which splits warmup from measurement at exactly the same
+	// record boundary as the sequential path.
+	snapshotFirst bool
+	refs          atomic.Int32
+}
+
+// ShardRun is the outcome of a sharded run. Systems[0] holds the
+// merged counters (MergeShard folds every sibling in before the run
+// returns); the full slice is retained so tests can inspect per-shard
+// state.
+type ShardRun struct {
+	Systems []*System
+	Window  WindowTotals
+	Done    int
+}
+
+// MPKI returns the measurement window's misses per kilo-instruction.
+func (r *ShardRun) MPKI() float64 { return r.Window.MPKI() }
+
+// shardResult is one par task's contribution: the producer reports the
+// record count, each worker its window deltas.
+type shardResult struct {
+	win  WindowTotals
+	done int
+}
+
+// RunSharded drives warmup+measure records from bs through shards
+// independent systems built by build (a pure function of its shard
+// index), snapshots each shard's measurement window at the warmup
+// boundary, and merges windows and counters. The batch stream is
+// consumed with exactly the same NextBatch call sequence as the
+// sequential windowed runner — ceil(warmup/batchSize) then
+// ceil(measure/batchSize) calls — so even span call counts in obs
+// manifests match the sequential path.
+//
+// The caller's build closure must not write captured state: it runs
+// once per shard on the caller's goroutine, but the systems it returns
+// are driven concurrently, and the purity contract (enforced by the
+// gridpure analyzer) keeps results independent of scheduling.
+func RunSharded(shards, batchSize, warmup, measure int, bs trace.BatchStream, build func(shard int) *System) (*ShardRun, error) {
+	if shards < 1 || shards > MaxShards || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("hierarchy: shard count %d must be a power of two in [1, %d]", shards, MaxShards)
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("hierarchy: batch size %d must be positive", batchSize)
+	}
+	if warmup < 0 || measure < 0 {
+		return nil, fmt.Errorf("hierarchy: negative window (warmup %d, measure %d)", warmup, measure)
+	}
+	systems := make([]*System, shards)
+	for i := range systems {
+		systems[i] = build(i)
+		if !Shardable(systems[i]) {
+			return nil, fmt.Errorf("hierarchy: L2 organization %T is not shard-exact", systems[i].L2)
+		}
+	}
+	mask := uint64(shards - 1)
+
+	// Block pool: enough blocks that the producer stays ahead of slow
+	// workers without unbounded buffering. The free channel holds every
+	// block, so returning one never blocks a worker.
+	nblocks := 2*shards + 4
+	if nblocks > 32 {
+		nblocks = 32
+	}
+	free := make(chan *shardBlock, nblocks)
+	for i := 0; i < nblocks; i++ {
+		free <- &shardBlock{recs: make([]trace.Record, batchSize)}
+	}
+	chans := make([]chan *shardBlock, shards)
+	for i := range chans {
+		chans[i] = make(chan *shardBlock, nblocks)
+	}
+
+	produce := func() (shardResult, error) {
+		// Closing every shard channel on the way out — panic included —
+		// guarantees the workers always terminate.
+		defer func() {
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
+		done := 0
+		for phase, total := range [2]int{warmup, measure} {
+			remaining := total
+			first := phase == 1
+			for remaining > 0 {
+				want := batchSize
+				if want > remaining {
+					want = remaining
+				}
+				blk := <-free
+				blk.n = bs.NextBatch(blk.recs[:want])
+				blk.snapshotFirst = first
+				first = false
+				blk.refs.Store(int32(shards))
+				for _, ch := range chans {
+					ch <- blk
+				}
+				done += blk.n
+				remaining -= blk.n
+				if blk.n < want {
+					// Stream exhausted mid-phase; workers snapshot at
+					// close if the measurement boundary never arrived,
+					// matching the sequential path's zero-delta window.
+					return shardResult{done: done}, nil
+				}
+			}
+		}
+		return shardResult{done: done}, nil
+	}
+
+	consume := func(shard int) (shardResult, error) {
+		sys := systems[shard]
+		ch := chans[shard]
+		// If this worker panics, a drainer goroutine keeps consuming
+		// (and releasing) its blocks so the producer and the sibling
+		// workers finish; the panic is then re-raised for par's
+		// recovery boundary.
+		defer func() {
+			if r := recover(); r != nil {
+				go drainBlocks(ch, free)
+				panic(r)
+			}
+		}()
+		var win *Window
+		for blk := range ch {
+			if blk.snapshotFirst {
+				win = sys.StartWindow()
+			}
+			sys.doBatchShard(blk.recs[:blk.n], mask, uint64(shard))
+			if blk.refs.Add(-1) == 0 {
+				free <- blk
+			}
+		}
+		if win == nil {
+			win = sys.StartWindow()
+		}
+		return shardResult{win: win.Totals()}, nil
+	}
+
+	// Task 0 is the producer, tasks 1..shards the workers. Asking for
+	// shards+1 workers over shards+1 tasks guarantees every task has a
+	// goroutine from the start — the pipeline deadlocks if the producer
+	// had to wait for a worker slot.
+	results, err := par.Map(shards+1, shards+1, func(i int) (shardResult, error) {
+		if i == 0 {
+			return produce()
+		}
+		return consume(i - 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	run := &ShardRun{Systems: systems, Done: results[0].done}
+	for _, r := range results[1:] {
+		run.Window.Add(r.win)
+	}
+	for _, sys := range systems[1:] {
+		systems[0].MergeShard(sys)
+	}
+	return run, nil
+}
+
+// drainBlocks releases the blocks of a dead worker until its channel
+// closes, keeping the refcount protocol (and therefore the producer)
+// alive.
+func drainBlocks(ch chan *shardBlock, free chan *shardBlock) {
+	for blk := range ch {
+		if blk.refs.Add(-1) == 0 {
+			free <- blk
+		}
+	}
+}

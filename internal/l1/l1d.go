@@ -99,6 +99,12 @@ type Cache struct {
 	cfg  Config
 	sets [][]line // MRU-first
 	st   Stats
+
+	// Set-indexing geometry, precomputed at construction so the access
+	// path does not rederive it (Config.Sets divides; LineAddr.Tag
+	// shift-loops) on every access.
+	setMask  uint64
+	tagShift uint
 }
 
 // New builds the L1D; panics on invalid config.
@@ -106,12 +112,22 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets())
+	numSets := cfg.Sets()
+	sets := make([][]line, numSets)
 	for i := range sets {
 		sets[i] = make([]line, cfg.Ways)
 	}
-	return &Cache{cfg: cfg, sets: sets}
+	c := &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1)}
+	for n := numSets; n > 1; n >>= 1 {
+		c.tagShift++
+	}
+	return c
 }
+
+// setIndexOf and tagOf are the precomputed equivalents of
+// mem.LineAddr.SetIndex/Tag for this cache's geometry.
+func (c *Cache) setIndexOf(la mem.LineAddr) int { return int(uint64(la) & c.setMask) }
+func (c *Cache) tagOf(la mem.LineAddr) uint64   { return uint64(la) >> c.tagShift }
 
 // Stats returns the live counters.
 func (c *Cache) Stats() *Stats { return &c.st }
@@ -122,9 +138,24 @@ func (c *Cache) Stats() *Stats { return &c.st }
 // Fill.
 func (c *Cache) Access(la mem.LineAddr, word int, write bool) Outcome {
 	c.st.Accesses++
-	set := c.sets[la.SetIndex(c.cfg.Sets())]
-	tag := la.Tag(c.cfg.Sets())
-	for pos := range set {
+	set := c.sets[c.setIndexOf(la)]
+	tag := c.tagOf(la)
+	// MRU fast path: a hit on way 0 needs no reordering, so it updates
+	// the line in place instead of copying it out and back.
+	if l := &set[0]; l.valid && l.tag == tag {
+		if !l.validBits.Has(word) {
+			c.st.SectorMisses++
+			// Keep LRU state untouched until the fill arrives.
+			return SectorMiss
+		}
+		c.st.Hits++
+		l.footprint = l.footprint.Set(word)
+		if write {
+			l.dirty = l.dirty.Set(word)
+		}
+		return Hit
+	}
+	for pos := 1; pos < len(set); pos++ {
 		if !set[pos].valid || set[pos].tag != tag {
 			continue
 		}
@@ -147,6 +178,70 @@ func (c *Cache) Access(la mem.LineAddr, word int, write bool) Outcome {
 	return LineMiss
 }
 
+// AccessEvict fuses Access with EvictFor's victim selection: one set
+// scan serves the hit/sector-miss paths, and a line miss in a full set
+// evicts the LRU way immediately — exactly the Access-then-EvictFor
+// sequence the hierarchy performs, without the second scan. The victim
+// (if any) must be written back to the L2 before the miss request, as
+// EvictFor's contract describes.
+//
+//ldis:noalloc
+func (c *Cache) AccessEvict(la mem.LineAddr, word int, write bool) (Outcome, Eviction, bool) {
+	c.st.Accesses++
+	si := c.setIndexOf(la)
+	set := c.sets[si]
+	tag := c.tagOf(la)
+	// MRU fast path, as in Access.
+	free := false
+	if l := &set[0]; l.valid && l.tag == tag {
+		if !l.validBits.Has(word) {
+			c.st.SectorMisses++
+			return SectorMiss, Eviction{}, false
+		}
+		c.st.Hits++
+		l.footprint = l.footprint.Set(word)
+		if write {
+			l.dirty = l.dirty.Set(word)
+		}
+		return Hit, Eviction{}, false
+	} else if !l.valid {
+		free = true
+	}
+	for pos := 1; pos < len(set); pos++ {
+		if !set[pos].valid {
+			free = true
+			continue
+		}
+		if set[pos].tag != tag {
+			continue
+		}
+		l := set[pos]
+		if !l.validBits.Has(word) {
+			c.st.SectorMisses++
+			return SectorMiss, Eviction{}, false
+		}
+		c.st.Hits++
+		l.footprint = l.footprint.Set(word)
+		if write {
+			l.dirty = l.dirty.Set(word)
+		}
+		copy(set[1:pos+1], set[0:pos])
+		set[0] = l
+		return Hit, Eviction{}, false
+	}
+	c.st.LineMisses++
+	if free {
+		return LineMiss, Eviction{}, false
+	}
+	v := set[len(set)-1]
+	set[len(set)-1] = line{}
+	c.st.Evictions++
+	if v.dirty != 0 {
+		c.st.Writebacks++
+	}
+	return LineMiss, Eviction{Line: c.lineFromTag(v.tag, si), Footprint: v.footprint, Dirty: v.dirty}, true
+}
+
 // Fill installs the response to a miss: the line with validBits valid
 // words (FullFootprint when served by the LOC or memory, possibly
 // partial when served by the WOC). word is the demand word — it is
@@ -158,9 +253,9 @@ func (c *Cache) Fill(la mem.LineAddr, validBits mem.Footprint, word int, write b
 	if !validBits.Has(word) {
 		panic(fmt.Sprintf("l1: fill of %v lacks demand word %d (valid %v)", la, word, validBits))
 	}
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	set := c.sets[si]
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	for pos := range set {
 		if set[pos].valid && set[pos].tag == tag {
 			l := set[pos]
@@ -193,6 +288,37 @@ func (c *Cache) Fill(la mem.LineAddr, validBits mem.Footprint, word int, write b
 	return ev, had
 }
 
+// FillNew installs a miss response for a line the caller knows is
+// absent (AccessEvict just returned LineMiss and nothing has touched
+// the set since), skipping Fill's presence scan. Semantics otherwise
+// match Fill's install path exactly.
+//
+//ldis:noalloc
+func (c *Cache) FillNew(la mem.LineAddr, validBits mem.Footprint, word int, write bool) (Eviction, bool) {
+	if !validBits.Has(word) {
+		panic(fmt.Sprintf("l1: fill of %v lacks demand word %d (valid %v)", la, word, validBits))
+	}
+	si := c.setIndexOf(la)
+	set := c.sets[si]
+	var ev Eviction
+	had := false
+	if v := set[len(set)-1]; v.valid {
+		c.st.Evictions++
+		if v.dirty != 0 {
+			c.st.Writebacks++
+		}
+		ev = Eviction{Line: c.lineFromTag(v.tag, si), Footprint: v.footprint, Dirty: v.dirty}
+		had = true
+	}
+	nl := line{valid: true, tag: c.tagOf(la), validBits: validBits, footprint: mem.FootprintOfWord(word)}
+	if write {
+		nl.dirty = mem.FootprintOfWord(word)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = nl
+	return ev, had
+}
+
 // EvictFor frees a slot for an incoming fill of la, returning the
 // victim's eviction record. It is a no-op when the line is already
 // present (sector fill) or its set has a free way. Callers use it to
@@ -200,9 +326,9 @@ func (c *Cache) Fill(la mem.LineAddr, validBits mem.Footprint, word int, write b
 // miss request, as a victim buffer would, so the LOC has the usage
 // information when it distills.
 func (c *Cache) EvictFor(la mem.LineAddr) (Eviction, bool) {
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	set := c.sets[si]
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	for pos := range set {
 		if !set[pos].valid || set[pos].tag == tag {
 			return Eviction{}, false // free way, or sector fill
@@ -221,9 +347,9 @@ func (c *Cache) EvictFor(la mem.LineAddr) (Eviction, bool) {
 // (footprint + dirty words) so the L2 still learns the usage. Used when
 // the L2 needs exclusivity (e.g. tests and future coherence hooks).
 func (c *Cache) Invalidate(la mem.LineAddr) (Eviction, bool) {
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	set := c.sets[si]
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	for pos := range set {
 		if set[pos].valid && set[pos].tag == tag {
 			v := set[pos]
@@ -237,8 +363,8 @@ func (c *Cache) Invalidate(la mem.LineAddr) (Eviction, bool) {
 
 // Present reports whether the line (any sector) is cached.
 func (c *Cache) Present(la mem.LineAddr) bool {
-	set := c.sets[la.SetIndex(c.cfg.Sets())]
-	tag := la.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(la)]
+	tag := c.tagOf(la)
 	for pos := range set {
 		if set[pos].valid && set[pos].tag == tag {
 			return true
@@ -249,8 +375,8 @@ func (c *Cache) Present(la mem.LineAddr) bool {
 
 // ValidBits returns the valid-word mask of the line (0 if absent).
 func (c *Cache) ValidBits(la mem.LineAddr) mem.Footprint {
-	set := c.sets[la.SetIndex(c.cfg.Sets())]
-	tag := la.Tag(c.cfg.Sets())
+	set := c.sets[c.setIndexOf(la)]
+	tag := c.tagOf(la)
 	for pos := range set {
 		if set[pos].valid && set[pos].tag == tag {
 			return set[pos].validBits
@@ -260,9 +386,18 @@ func (c *Cache) ValidBits(la mem.LineAddr) mem.Footprint {
 }
 
 func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
-	shift := 0
-	for n := c.cfg.Sets(); n > 1; n >>= 1 {
-		shift++
-	}
-	return mem.LineAddr(tag<<shift | uint64(setIdx))
+	return mem.LineAddr(tag<<c.tagShift | uint64(setIdx))
+}
+
+// Merge folds a sibling shard's counters into s: shards partition the
+// line-address space, so plain sums reproduce the sequential totals.
+//
+//ldis:noalloc
+func (s *Stats) Merge(o *Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.SectorMisses += o.SectorMisses
+	s.LineMisses += o.LineMisses
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
 }

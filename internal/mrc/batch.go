@@ -1,0 +1,18 @@
+package mrc
+
+import "ldis/internal/trace"
+
+// AccessBatch feeds a record block to the engine: data records enter
+// the Mattson stack, instruction fetches are skipped — the curves
+// model the data reference stream, matching the experiment driver's
+// per-access filter exactly.
+//
+//ldis:noalloc
+func (e *Engine) AccessBatch(recs []trace.Record) {
+	for i := range recs {
+		if !recs[i].Kind.IsData() {
+			continue
+		}
+		e.Access(recs[i].Line(), recs[i].Word())
+	}
+}

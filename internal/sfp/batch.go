@@ -1,0 +1,19 @@
+package sfp
+
+import "ldis/internal/trace"
+
+// AccessBatch drives a record block through the SFP cache as a
+// standalone L2, using each record's PC for the footprint predictor.
+// Instruction fetches are ordinary lines here — SFP predicts on the
+// fetch PC either way. It returns the number of hits.
+//
+//ldis:noalloc
+func (c *Cache) AccessBatch(recs []trace.Record) (hits int) {
+	for i := range recs {
+		hit, _ := c.Access(recs[i].Line(), recs[i].Word(), recs[i].PC, recs[i].IsWrite())
+		if hit {
+			hits++
+		}
+	}
+	return hits
+}

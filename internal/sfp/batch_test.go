@@ -1,0 +1,57 @@
+package sfp
+
+import (
+	"reflect"
+	"testing"
+
+	"ldis/internal/mem"
+	"ldis/internal/trace"
+)
+
+func batchRecords(n, lines int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		k := mem.Load
+		if i%5 == 0 {
+			k = mem.Store
+		}
+		recs[i] = trace.Record{
+			Addr: mem.LineAddr(i % lines).WordAddr(i % 8), Kind: k, Instret: 1,
+			PC: mem.Addr(0x400 + 4*(i%97)),
+		}
+	}
+	return recs
+}
+
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	cfg := Config{Name: "s", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8,
+		PredictorEntries: 256, TagsPerSet: 22, Seed: 3}
+	recs := batchRecords(10_000, 1024)
+
+	batched := New(cfg)
+	gotHits := batched.AccessBatch(recs)
+
+	scalar := New(cfg)
+	wantHits := 0
+	for i := range recs {
+		if hit, _ := scalar.Access(recs[i].Line(), recs[i].Word(), recs[i].PC, recs[i].IsWrite()); hit {
+			wantHits++
+		}
+	}
+	if gotHits != wantHits {
+		t.Errorf("AccessBatch hits = %d, scalar loop %d", gotHits, wantHits)
+	}
+	if !reflect.DeepEqual(batched.Stats(), scalar.Stats()) {
+		t.Errorf("stats diverged")
+	}
+}
+
+func TestAccessBatchZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "s", SizeBytes: 64 * 8 * mem.LineSize, Ways: 8,
+		PredictorEntries: 256, TagsPerSet: 22, Seed: 3})
+	recs := batchRecords(256, 1024)
+	c.AccessBatch(recs) // steady state: meta tables at capacity
+	if n := testing.AllocsPerRun(500, func() { c.AccessBatch(recs) }); n != 0 {
+		t.Errorf("AccessBatch allocates %.1f/op", n)
+	}
+}

@@ -95,9 +95,77 @@ type lineMeta struct {
 	lastUse  uint64
 }
 
+// metaEntry pairs a resident tag with its training state.
+type metaEntry struct {
+	tag uint64
+	m   lineMeta
+}
+
+// metaTable holds per-line training state as a linear-scan table, one
+// entry per resident line. Sets hold at most TagsPerSet lines (single
+// digits to low tens), so a scan beats a map lookup and — with the
+// table preallocated at full capacity — keeps the access path
+// allocation-free.
+type metaTable struct {
+	entries []metaEntry
+}
+
+//ldis:noalloc
+func (t *metaTable) find(tag uint64) int {
+	for i := range t.entries {
+		if t.entries[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// get returns the entry for tag, or the zero lineMeta when absent
+// (mirroring map-read semantics).
+//
+//ldis:noalloc
+func (t *metaTable) get(tag uint64) lineMeta {
+	if i := t.find(tag); i >= 0 {
+		return t.entries[i].m
+	}
+	return lineMeta{}
+}
+
+//ldis:noalloc
+func (t *metaTable) lookup(tag uint64) (lineMeta, bool) {
+	if i := t.find(tag); i >= 0 {
+		return t.entries[i].m, true
+	}
+	return lineMeta{}, false
+}
+
+// put overwrites tag's entry, appending one when absent. The table is
+// preallocated at the tag budget, so the append never grows it.
+//
+//ldis:noalloc
+func (t *metaTable) put(tag uint64, m lineMeta) {
+	if i := t.find(tag); i >= 0 {
+		t.entries[i].m = m
+		return
+	}
+	t.entries = append(t.entries, metaEntry{tag: tag, m: m})
+}
+
+// del removes tag's entry by swap-remove; order is immaterial.
+//
+//ldis:noalloc
+func (t *metaTable) del(tag uint64) {
+	if i := t.find(tag); i >= 0 {
+		t.entries[i] = t.entries[len(t.entries)-1]
+		t.entries = t.entries[:len(t.entries)-1]
+	}
+}
+
+func (t *metaTable) len() int { return len(t.entries) }
+
 type sfpSet struct {
 	store wordstore.Set
-	meta  map[uint64]lineMeta
+	meta  metaTable
 }
 
 // Stats counts SFP cache behaviour. Hole misses here are accesses to
@@ -126,6 +194,11 @@ type Cache struct {
 	st    Stats
 	rng   uint64
 	tick  uint64
+
+	// Set-indexing geometry, precomputed at construction so the access
+	// path does not rederive it per access.
+	setMask  uint64
+	tagShift uint
 }
 
 // New builds the cache; panics on invalid config.
@@ -133,10 +206,22 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, rng: cfg.Seed | 1}
-	c.sets = make([]sfpSet, cfg.Sets())
+	c := &Cache{cfg: cfg, rng: cfg.Seed | 1, setMask: uint64(cfg.Sets() - 1)}
+	for n := cfg.Sets(); n > 1; n >>= 1 {
+		c.tagShift++
+	}
+	// Per-set slices come from shared backing arrays (see
+	// wordstore.NewSets): construction cost scales with the number of
+	// arenas, not the number of sets.
+	numSets := cfg.Sets()
+	c.sets = make([]sfpSet, numSets)
+	stores := wordstore.NewSets(cfg.Ways, numSets)
+	metaArena := make([]metaEntry, numSets*cfg.TagsPerSet)
 	for i := range c.sets {
-		c.sets[i] = sfpSet{store: wordstore.NewSet(cfg.Ways), meta: make(map[uint64]lineMeta)}
+		c.sets[i] = sfpSet{
+			store: stores[i],
+			meta:  metaTable{entries: metaArena[i*cfg.TagsPerSet : i*cfg.TagsPerSet : (i+1)*cfg.TagsPerSet]},
+		}
 	}
 	c.table = make([]predEntry, cfg.PredictorEntries)
 	if cfg.Reverter {
@@ -171,6 +256,11 @@ func mix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// setIndexOf and tagOf are the precomputed equivalents of
+// mem.LineAddr.SetIndex/Tag for this cache's geometry.
+func (c *Cache) setIndexOf(la mem.LineAddr) int { return int(uint64(la) & c.setMask) }
+func (c *Cache) tagOf(la mem.LineAddr) uint64   { return uint64(la) >> c.tagShift }
+
 // predIndex hashes (pc, line) into the footprint history table; the
 // upper hash bits form the alias-filter tag.
 func (c *Cache) predIndex(pc mem.Addr, la mem.LineAddr) (int, uint8) {
@@ -204,9 +294,10 @@ func (c *Cache) train(pc mem.Addr, la mem.LineAddr, observed mem.Footprint) {
 // Access performs a demand access. The returned mask is the set of
 // words the L1D receives (the installed prediction on misses, which
 // always includes the demand word).
+//ldis:noalloc
 func (c *Cache) Access(la mem.LineAddr, word int, pc mem.Addr, write bool) (hit bool, valid mem.Footprint) {
 	c.st.Accesses++
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	s := &c.sets[si]
 	leader := false
 	forceFull := false
@@ -217,16 +308,16 @@ func (c *Cache) Access(la mem.LineAddr, word int, pc mem.Addr, write bool) (hit 
 		// the set behave like a traditional word-organized cache.
 		forceFull = !leader && !c.smp.Enabled()
 	}
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	if idx := s.store.Find(tag); idx >= 0 {
 		l := &s.store.Lines[idx]
-		m := s.meta[tag]
+		m := s.meta.get(tag)
 		if l.Words.Has(word) {
 			c.st.Hits++
 			c.tick++
 			m.observed = m.observed.Set(word)
 			m.lastUse = c.tick
-			s.meta[tag] = m
+			s.meta.put(tag, m)
 			if write {
 				l.Dirty = l.Dirty.Set(word)
 			}
@@ -243,7 +334,7 @@ func (c *Cache) Access(la mem.LineAddr, word int, pc mem.Addr, write bool) (hit 
 		if removed.Dirty != 0 {
 			c.st.Writebacks++
 		}
-		delete(s.meta, tag)
+		s.meta.del(tag)
 		c.train(m.pc, la, m.observed.Set(word))
 		return false, c.install(s, si, la, word, pc, write, forceFull)
 	}
@@ -255,13 +346,15 @@ func (c *Cache) Access(la mem.LineAddr, word int, pc mem.Addr, write bool) (hit 
 }
 
 // install fetches the line and places the predicted words.
+//
+//ldis:noalloc
 func (c *Cache) install(s *sfpSet, si int, la mem.LineAddr, word int, pc mem.Addr, write, forceFull bool) mem.Footprint {
 	fp := mem.FullFootprint
 	if !forceFull {
 		fp = c.predict(pc, la).Set(word)
 	}
 	nl := wordstore.Line{
-		Tag:   la.Tag(c.cfg.Sets()),
+		Tag:   c.tagOf(la),
 		Words: fp,
 		Slots: mem.Pow2WordsFor(fp.Count()),
 	}
@@ -281,15 +374,17 @@ func (c *Cache) install(s *sfpSet, si int, la mem.LineAddr, word int, pc mem.Add
 		c.evicted(s, si, ev)
 	}
 	c.tick++
-	s.meta[nl.Tag] = lineMeta{observed: mem.FootprintOfWord(word), pc: pc, lastUse: c.tick}
+	s.meta.put(nl.Tag, lineMeta{observed: mem.FootprintOfWord(word), pc: pc, lastUse: c.tick})
 	return fp
 }
 
 // lruIndex returns the index of the least-recently-used resident line.
+//
+//ldis:noalloc
 func (c *Cache) lruIndex(s *sfpSet) int {
 	best, bestUse := 0, ^uint64(0)
 	for i := range s.store.Lines {
-		if u := s.meta[s.store.Lines[i].Tag].lastUse; u < bestUse {
+		if u := s.meta.get(s.store.Lines[i].Tag).lastUse; u < bestUse {
 			best, bestUse = i, u
 		}
 	}
@@ -303,33 +398,30 @@ func (c *Cache) evicted(s *sfpSet, si int, l wordstore.Line) {
 	if l.Dirty != 0 {
 		c.st.Writebacks++
 	}
-	if m, ok := s.meta[l.Tag]; ok {
+	if m, ok := s.meta.lookup(l.Tag); ok {
 		c.train(m.pc, c.lineFromTag(l.Tag, si), m.observed)
-		delete(s.meta, l.Tag)
+		s.meta.del(l.Tag)
 	}
 }
 
 func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
-	shift := 0
-	for n := c.cfg.Sets(); n > 1; n >>= 1 {
-		shift++
-	}
-	return mem.LineAddr(tag<<shift | uint64(setIdx))
+	return mem.LineAddr(tag<<c.tagShift | uint64(setIdx))
 }
 
 // WritebackFromL1 accepts an L1D eviction notice, mirroring the distill
 // cache's interface: observed words train the residency, dirty words
 // for stored entries stay, unstored dirty words go to memory.
+//ldis:noalloc
 func (c *Cache) WritebackFromL1(la mem.LineAddr, footprint, dirty mem.Footprint) {
 	footprint = footprint.Or(dirty)
-	si := la.SetIndex(c.cfg.Sets())
+	si := c.setIndexOf(la)
 	s := &c.sets[si]
-	tag := la.Tag(c.cfg.Sets())
+	tag := c.tagOf(la)
 	if idx := s.store.Find(tag); idx >= 0 {
 		l := &s.store.Lines[idx]
-		m := s.meta[tag]
+		m := s.meta.get(tag)
 		m.observed = m.observed.Or(footprint & l.Words)
-		s.meta[tag] = m
+		s.meta.put(tag, m)
 		l.Dirty = l.Dirty.Or(dirty & l.Words)
 		if dirty&^l.Words != 0 {
 			c.st.Writebacks++
@@ -347,8 +439,8 @@ func (c *Cache) Present(la mem.LineAddr) bool { return c.StoredWords(la) != 0 }
 
 // StoredWords returns the stored-word mask of the line, or 0 if absent.
 func (c *Cache) StoredWords(la mem.LineAddr) mem.Footprint {
-	s := &c.sets[la.SetIndex(c.cfg.Sets())]
-	if idx := s.store.Find(la.Tag(c.cfg.Sets())); idx >= 0 {
+	s := &c.sets[c.setIndexOf(la)]
+	if idx := s.store.Find(c.tagOf(la)); idx >= 0 {
 		return s.store.Lines[idx].Words
 	}
 	return 0
@@ -370,12 +462,12 @@ func (c *Cache) CheckInvariants() error {
 			return fmt.Errorf("set %d: %d lines exceed tag budget %d", i, len(s.store.Lines), c.cfg.TagsPerSet)
 		}
 		for _, l := range s.store.Lines {
-			if _, ok := s.meta[l.Tag]; !ok {
+			if _, ok := s.meta.lookup(l.Tag); !ok {
 				return fmt.Errorf("set %d: line %x missing metadata", i, l.Tag)
 			}
 		}
-		if len(s.meta) != len(s.store.Lines) {
-			return fmt.Errorf("set %d: %d meta entries for %d lines", i, len(s.meta), len(s.store.Lines))
+		if s.meta.len() != len(s.store.Lines) {
+			return fmt.Errorf("set %d: %d meta entries for %d lines", i, s.meta.len(), len(s.store.Lines))
 		}
 	}
 	return nil

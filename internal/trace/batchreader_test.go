@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBatchReaderMatchesRead: streaming block decode must reproduce
+// the one-shot strict decode exactly, at any block size — including
+// sizes that straddle record boundaries oddly.
+func TestBatchReaderMatchesRead(t *testing.T) {
+	data := encodeTrace(t, 100)
+	want, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range []int{1, 3, 7, 64, 200} {
+		br, err := NewBatchReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("block %d: %v", block, err)
+		}
+		if br.Count() != 100 {
+			t.Fatalf("block %d: count = %d", block, br.Count())
+		}
+		var got []Record
+		buf := make([]Record, block)
+		for {
+			n := br.NextBatch(buf)
+			got = append(got, buf[:n]...)
+			if n < len(buf) {
+				break
+			}
+		}
+		if br.Err() != nil {
+			t.Fatalf("block %d: unexpected corruption: %v", block, br.Err())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("block %d: %d records, want %d", block, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d: record %d = %+v, want %+v", block, i, got[i], want[i])
+			}
+		}
+		// Exhausted reader keeps returning 0 without error.
+		if n := br.NextBatch(buf); n != 0 || br.Err() != nil {
+			t.Errorf("block %d: post-exhaustion NextBatch = %d, err %v", block, n, br.Err())
+		}
+	}
+}
+
+// TestBatchReaderScalarNext: the Stream compatibility shim yields the
+// same sequence one record at a time.
+func TestBatchReaderScalarNext(t *testing.T) {
+	data := encodeTrace(t, 9)
+	want, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBatchReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		rec, ok := br.Next()
+		if !ok {
+			t.Fatalf("stream dried up at record %d", i)
+		}
+		if rec != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want[i])
+		}
+	}
+	if _, ok := br.Next(); ok {
+		t.Error("Next yielded a record past the end")
+	}
+}
+
+// TestBatchReaderTruncation: a truncated trace yields exactly the
+// valid record prefix, then a positioned corruption error; further
+// calls stay short without looping.
+func TestBatchReaderTruncation(t *testing.T) {
+	data := encodeTrace(t, 5)
+	br, err := NewBatchReader(bytes.NewReader(data[:len(data)-recordSize-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Record, 16)
+	if n := br.NextBatch(buf); n != 3 {
+		t.Fatalf("prefix = %d records, want 3", n)
+	}
+	ce := br.Err()
+	if ce == nil || ce.Record != 3 {
+		t.Fatalf("Err() = %v, want corruption at record 3", ce)
+	}
+	if n := br.NextBatch(buf); n != 0 {
+		t.Errorf("NextBatch after corruption = %d", n)
+	}
+}
+
+// TestBatchReaderInvalidKind: mid-trace garbage stops decoding at the
+// corrupt record with its index in the error.
+func TestBatchReaderInvalidKind(t *testing.T) {
+	data := encodeTrace(t, 4)
+	data[headerSize+2*recordSize+16] = 99 // record 2's kind byte
+	br, err := NewBatchReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Record, 16)
+	if n := br.NextBatch(buf); n != 2 {
+		t.Fatalf("prefix = %d records, want 2", n)
+	}
+	if ce := br.Err(); ce == nil || ce.Record != 2 {
+		t.Fatalf("Err() = %v, want corruption at record 2", ce)
+	}
+}
+
+// TestBatchReaderHeaderErrors: header validation happens eagerly at
+// construction, mirroring the one-shot decoder's checks.
+func TestBatchReaderHeaderErrors(t *testing.T) {
+	good := encodeTrace(t, 1)
+	badMagic := append([]byte("NOPE"), good[4:]...)
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 9
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"short-header", good[:5]},
+		{"bad-magic", badMagic},
+		{"bad-version", badVersion},
+	} {
+		if _, err := NewBatchReader(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

@@ -125,6 +125,84 @@ func ReadLenient(r io.Reader) ([]mem.Access, *CorruptError) {
 	return accs, err.(*CorruptError)
 }
 
+// BatchReader decodes a trace incrementally, one record block at a
+// time, so CLIs can feed the batched simulation pipeline without
+// materializing the whole trace first. It implements BatchStream.
+type BatchReader struct {
+	br    *bufio.Reader
+	count uint64 // records promised by the header
+	read  uint64 // records decoded so far
+	err   *CorruptError
+}
+
+// NewBatchReader reads and validates the trace header of r. Record
+// decoding happens lazily in NextBatch.
+func NewBatchReader(r io.Reader) (*BatchReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, corruptHeader(0, "reading header: %v", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, corruptHeader(0, "bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != formatVer {
+		return nil, corruptHeader(4, "unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count > maxTraceLen {
+		return nil, corruptHeader(8, "implausible record count %d", count)
+	}
+	return &BatchReader{br: br, count: count}, nil
+}
+
+// Count returns the record count promised by the trace header.
+func (r *BatchReader) Count() uint64 { return r.count }
+
+// Err returns the corruption encountered mid-stream, if any; it is set
+// once NextBatch has returned a short count because of corruption
+// (rather than clean exhaustion).
+func (r *BatchReader) Err() *CorruptError { return r.err }
+
+// Next decodes a single record, satisfying Stream so scalar consumers
+// can replay a file directly; batch consumers reach the block path via
+// Batched, which detects the NextBatch method.
+func (r *BatchReader) Next() (Record, bool) {
+	var one [1]Record
+	if r.NextBatch(one[:]) == 0 {
+		return Record{}, false
+	}
+	return one[0], true
+}
+
+// NextBatch implements BatchStream: it decodes up to len(dst) records.
+// A short count means exhaustion or corruption; Err distinguishes.
+func (r *BatchReader) NextBatch(dst []Record) int {
+	var rec [recordSize]byte
+	for i := range dst {
+		if r.err != nil || r.read >= r.count {
+			return i
+		}
+		if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+			r.err = corruptRecord(r.read, "truncated (%d of %d records present): %v", r.read, r.count, err)
+			return i
+		}
+		kind := rec[16]
+		if kind > kindMaxValid {
+			r.err = corruptRecord(r.read, "invalid kind %d", kind)
+			return i
+		}
+		dst[i] = mem.Access{
+			Addr:    mem.Addr(binary.LittleEndian.Uint64(rec[0:8])),
+			PC:      mem.Addr(binary.LittleEndian.Uint64(rec[8:16])),
+			Kind:    mem.AccessKind(kind),
+			Instret: binary.LittleEndian.Uint32(rec[20:24]),
+		}
+		r.read++
+	}
+	return len(dst)
+}
+
 // decode reads the header and as many valid records as it can. On
 // corruption it returns the valid prefix plus a *CorruptError; strict
 // and lenient callers differ only in whether they keep the prefix.

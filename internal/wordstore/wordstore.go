@@ -34,6 +34,12 @@ type Line struct {
 type Set struct {
 	Lines []Line
 	occ   []mem.Footprint // per-way occupancy bitmap over the 8 slots
+	// heads mirrors, per way, the Start slot of every resident line, so
+	// the replacement scan answers "is this slot a head?" with one bit
+	// test instead of walking Lines. Maintained by RemoveAt/Clear/place;
+	// callers never move a line (they only touch Words/Dirty/LastUse),
+	// so the bitmap cannot go stale.
+	heads []mem.Footprint
 	// evictBuf backs the slices returned by Install/InstallLRU/Clear.
 	// Callers consume the returned lines before the next mutation, so
 	// reusing one buffer keeps the install path allocation-free.
@@ -53,7 +59,31 @@ func NewSet(ways int) Set {
 	return Set{
 		Lines: make([]Line, 0, ways*mem.WordsPerLine),
 		occ:   make([]mem.Footprint, ways),
+		heads: make([]mem.Footprint, ways),
 	}
+}
+
+// NewSets returns n empty sets with the given number of data ways,
+// carving every per-set slice out of three shared backing arrays. A
+// cache with thousands of sets constructs in 3 allocations instead of
+// 3n, and the contiguous layout keeps neighbouring sets on shared
+// pages. Full-slice expressions pin each set's Lines capacity to its
+// own region, so growth past the hard cap (which NewSet's sizing
+// already rules out) could never bleed into a neighbour.
+func NewSets(ways, n int) []Set {
+	sets := make([]Set, n)
+	lineCap := ways * mem.WordsPerLine
+	lines := make([]Line, n*lineCap)
+	occ := make([]mem.Footprint, n*ways)
+	heads := make([]mem.Footprint, n*ways)
+	for i := range sets {
+		sets[i] = Set{
+			Lines: lines[i*lineCap : i*lineCap : (i+1)*lineCap],
+			occ:   occ[i*ways : (i+1)*ways : (i+1)*ways],
+			heads: heads[i*ways : (i+1)*ways : (i+1)*ways],
+		}
+	}
+	return sets
 }
 
 // Ways returns the number of data ways.
@@ -73,6 +103,7 @@ func (s *Set) Find(tag uint64) int {
 func (s *Set) RemoveAt(i int) Line {
 	l := s.Lines[i]
 	s.occ[l.Way] &^= RegionMask(l.Start, l.Slots)
+	s.heads[l.Way] &^= RegionMask(l.Start, 1)
 	s.Lines[i] = s.Lines[len(s.Lines)-1]
 	s.Lines = s.Lines[:len(s.Lines)-1]
 	return l
@@ -86,6 +117,7 @@ func (s *Set) Clear() []Line {
 	s.Lines = s.Lines[:0]
 	for i := range s.occ {
 		s.occ[i] = 0
+		s.heads[i] = 0
 	}
 	return s.evictBuf
 }
@@ -230,13 +262,19 @@ func (s *Set) checkInstall(nl Line) {
 // The returned slice aliases the set's reusable eviction buffer.
 func (s *Set) place(nl Line, c candidate) []Line {
 	evicted := s.evictBuf[:0]
-	for i := 0; i < len(s.Lines); {
-		l := s.Lines[i]
-		if l.Way == c.way && l.Start >= c.start && l.Start < c.start+nl.Slots {
-			evicted = append(evicted, s.RemoveAt(i))
-			continue
+	// The head bitmap counts the lines starting inside the region, so a
+	// free-region placement skips the eviction walk entirely and an
+	// occupied one stops as soon as every victim is found.
+	if want := (s.heads[c.way] & RegionMask(c.start, nl.Slots)).Count(); want > 0 {
+		for i := 0; i < len(s.Lines) && want > 0; {
+			l := s.Lines[i]
+			if l.Way == c.way && l.Start >= c.start && l.Start < c.start+nl.Slots {
+				evicted = append(evicted, s.RemoveAt(i))
+				want--
+				continue
+			}
+			i++
 		}
-		i++
 	}
 	s.evictBuf = evicted
 	if s.occ[c.way]&RegionMask(c.start, nl.Slots) != 0 {
@@ -244,19 +282,15 @@ func (s *Set) place(nl Line, c candidate) []Line {
 	}
 	nl.Way, nl.Start = c.way, c.start
 	s.occ[c.way] |= RegionMask(c.start, nl.Slots)
+	s.heads[c.way] |= RegionMask(c.start, 1)
 	s.Lines = append(s.Lines, nl)
 	return evicted
 }
 
 // isHead reports whether (way, start) is the first slot of a resident
-// line.
+// line: one bit test against the maintained head bitmap.
 func (s *Set) isHead(way, start int) bool {
-	for i := range s.Lines {
-		if s.Lines[i].Way == way && s.Lines[i].Start == start {
-			return true
-		}
-	}
-	return false
+	return s.heads[way]&RegionMask(start, 1) != 0
 }
 
 // HasFreeRegion reports whether some aligned region of the given
@@ -285,6 +319,7 @@ func (s *Set) OccupiedSlots() int {
 // stress runs.
 func (s *Set) CheckInvariants() error {
 	occ := make([]mem.Footprint, len(s.occ))
+	heads := make([]mem.Footprint, len(s.occ))
 	for _, l := range s.Lines {
 		if l.Slots&(l.Slots-1) != 0 || l.Start%l.Slots != 0 {
 			return fmt.Errorf("line %x misaligned: start %d slots %d", l.Tag, l.Start, l.Slots)
@@ -300,10 +335,14 @@ func (s *Set) CheckInvariants() error {
 			return fmt.Errorf("line %x overlaps another line", l.Tag)
 		}
 		occ[l.Way] |= mask
+		heads[l.Way] |= RegionMask(l.Start, 1)
 	}
 	for w := range occ {
 		if occ[w] != s.occ[w] {
 			return fmt.Errorf("way %d occupancy %v, recorded %v", w, occ[w], s.occ[w])
+		}
+		if heads[w] != s.heads[w] {
+			return fmt.Errorf("way %d heads %v, recorded %v", w, heads[w], s.heads[w])
 		}
 	}
 	return nil

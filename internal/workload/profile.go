@@ -186,6 +186,22 @@ func (s *profileStream) Next() (mem.Access, bool) {
 	}, true
 }
 
+// NextBatch implements trace.BatchStream natively: the batched
+// pipeline calls the concrete Next in a loop, so the per-access
+// interface dispatch of the scalar Stream path disappears.
+//
+//ldis:noalloc
+func (s *profileStream) NextBatch(dst []mem.Access) int {
+	for i := range dst {
+		a, ok := s.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = a
+	}
+	return len(dst)
+}
+
 // registry of named profiles, populated in benchmarks.go.
 var registry = map[string]*Profile{}
 
