@@ -2,11 +2,24 @@
 #
 # `make check` is the tier-1 gate: build, vet, lint, tests.
 # `make lint` runs the project's own analyzer suite (cmd/ldislint):
-# noalloc, detrange, nowallclock, gridpure — the determinism and
-# zero-allocation invariants enforced at compile time.
+# noalloc, detrange, nowallclock, gridpure, sharddisjoint,
+# atomicplain, boundedgo — the determinism, zero-allocation, and
+# concurrency-safety invariants enforced at compile time.
+# `make lint-vet` runs the same suite through `go vet -vettool`, which
+# also analyzes _test.go files.
+# `make lint-json` writes lint-report.json (every diagnostic as one
+# JSON object per line, suppressed ones included); CI uploads it as
+# the lint-report artifact.
+# `make lint-fix-check` runs the stale-suppression sweep: any
+# justified //ldis:*-ok directive no analyzer needs anymore, or any
+# unknown //ldis: name, fails the target.
 # `make race` runs the test suite under the race detector (the
 # experiment engine fans (benchmark × configuration) cells out across
 # worker goroutines, so the suite doubles as a scheduler race test).
+# `make test-race` is the focused race gate CI runs as its own job:
+# the shard/batch equivalence matrix (internal/hierarchy), the
+# bounded-parallelism pools (internal/par), and the concurrent
+# observability registry (internal/obs).
 # `make bench-smoke` regenerates BENCH_throughput.json with a short run.
 # `make bench` writes a fresh throughput snapshot to benchmarks/latest;
 # `make bench-gate` fails if it regressed >$(BENCH_TOL) against the
@@ -32,7 +45,8 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-install test check race microbench bench \
+.PHONY: all build vet lint lint-vet lint-json lint-fix-check \
+	lint-install test check race test-race microbench bench \
 	bench-gate bench-promote bench-smoke chaos fuzz-smoke mrc-smoke \
 	obs-smoke govulncheck profile clean
 
@@ -57,6 +71,28 @@ vet:
 lint:
 	$(GO) run ./cmd/ldislint ./...
 
+# Vet driver mode: the suite through the go command's unitchecker
+# protocol. Cross-package facts are unavailable here (the standalone
+# driver is authoritative for those), but vet also analyzes _test.go
+# files, which the standalone driver does not see.
+lint-vet:
+	@mkdir -p bin
+	$(GO) build -o bin/ldislint ./cmd/ldislint
+	$(GO) vet -vettool=bin/ldislint ./...
+
+# JSON lint report: every diagnostic as one NDJSON record —
+# {"analyzer","pos","message","suppressed"[,"suppressed_by"]} —
+# including the suppressed ones text mode hides. Fails like lint.
+lint-json:
+	$(GO) run ./cmd/ldislint -json ./... > lint-report.json
+
+# Stale-suppression sweep: every justified //ldis:*-ok directive must
+# still silence a diagnostic, and every //ldis: name must be part of
+# the grammar. A suppression nothing needs is a lie about the code's
+# invariants — delete it.
+lint-fix-check:
+	$(GO) run ./cmd/ldislint -stale ./...
+
 # Install ldislint into GOBIN so `go vet -vettool=$$(command -v
 # ldislint) ./...` works from any checkout.
 lint-install:
@@ -69,6 +105,13 @@ check: build vet lint test
 
 race:
 	$(GO) test -race ./...
+
+# Focused race gate: the packages whose concurrency the sharddisjoint,
+# atomicplain, and boundedgo analyzers reason about, under the dynamic
+# detector. The shard/batch equivalence tests in internal/hierarchy
+# drive every worker count the static proofs cover.
+test-race:
+	$(GO) test -race ./internal/hierarchy/... ./internal/par/... ./internal/obs/...
 
 # Fault-injection (chaos) suite: the resilience tests across the
 # scheduler, checkpoint, trace-decode, and fault-injector layers, run
@@ -160,4 +203,4 @@ profile:
 	@echo "inspect with: go tool pprof profiles/cpu.prof"
 
 clean:
-	rm -rf profiles benchmarks/latest
+	rm -rf profiles benchmarks/latest bin lint-report.json

@@ -1,24 +1,39 @@
 // Ldislint is the simulator's static-analysis gate: a multichecker
 // over the analyzers in internal/analysis (noalloc, detrange,
-// nowallclock, gridpure) that enforces the determinism and
-// zero-allocation invariants the experiment engine depends on.
+// nowallclock, gridpure, sharddisjoint, atomicplain, boundedgo) that
+// enforces the determinism, zero-allocation, and concurrency-safety
+// invariants the experiment engine depends on.
 //
-// Two modes:
+// Two driver modes:
 //
-//	ldislint [packages]       standalone whole-module run (default
+//	ldislint [-json] [-stale] [packages]
+//	                          standalone whole-module run (default
 //	                          ./...); analyzes every module package in
-//	                          dependency order so cross-package noalloc
-//	                          facts are available. This is what `make
-//	                          lint` runs and it is the authoritative
-//	                          gate.
+//	                          dependency order so cross-package facts
+//	                          (noalloc clean summaries, sharddisjoint
+//	                          confinement, atomicplain locations) are
+//	                          available. This is what `make lint` runs
+//	                          and it is the authoritative gate.
 //
 //	go vet -vettool=$(command -v ldislint) ./...
 //	                          vet driver mode. The go command invokes
 //	                          ldislint once per package with a JSON
 //	                          config file (the unitchecker protocol);
 //	                          each package is checked in isolation, so
-//	                          cross-package noalloc verification is
-//	                          skipped in this mode.
+//	                          cross-package verification is skipped in
+//	                          this mode.
+//
+// Flags (standalone mode only):
+//
+//	-json   emit every diagnostic as one JSON object per line —
+//	        {"analyzer","pos","message","suppressed"[,"suppressed_by"]} —
+//	        including the suppressed ones text mode hides; CI uploads
+//	        this as the lint-report artifact. The exit code still counts
+//	        only unsuppressed diagnostics.
+//	-stale  run the stale-suppression sweep instead of the analyzers'
+//	        normal reporting: every justified //ldis:*-ok directive that
+//	        no analyzer consulted, and every unknown //ldis: name, is a
+//	        diagnostic. This is `make lint-fix-check`.
 //
 // Exit status: 0 clean, 1 usage or load failure, 2 diagnostics.
 package main
@@ -43,10 +58,10 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout io.Writer) int {
 	// The go command probes vettools before use: `-V=full` must print
 	// a version line carrying a build ID (it keys vet's result cache on
 	// it; a content hash of the executable serves), and `-flags` must
@@ -75,10 +90,12 @@ func run(args []string) int {
 	}
 
 	fs := flag.NewFlagSet("ldislint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON records (one object per line), including suppressed ones")
+	staleMode := fs.Bool("stale", false, "report stale suppression directives and unknown //ldis: names instead of analyzer diagnostics")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ldislint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: ldislint [-json] [-stale] [packages]\n\nAnalyzers:\n")
 		for _, a := range suite.All {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
 	if err := fs.Parse(args); err != nil {
@@ -93,14 +110,60 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
 		return 1
 	}
-	diags := analysis.Run(suite.All, pkgs)
-	for _, d := range diags {
-		fmt.Println(d)
+	var diags []analysis.Diagnostic
+	if *staleMode {
+		diags = analysis.StaleSuppressions(suite.All, pkgs)
+	} else {
+		diags = analysis.Run(suite.All, pkgs)
 	}
-	if len(diags) > 0 {
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "ldislint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range analysis.Unsuppressed(diags) {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(analysis.Unsuppressed(diags)) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// jsonDiag is the `-json` record shape: one object per line, stable
+// field names, so CI artifacts diff cleanly across runs.
+type jsonDiag struct {
+	Analyzer   string `json:"analyzer"`
+	Pos        string `json:"pos"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	// SuppressedBy is the position of the justifying //ldis: directive
+	// when Suppressed is set.
+	SuppressedBy string `json:"suppressed_by,omitempty"`
+}
+
+// writeJSON emits every diagnostic — suppressed ones included, which
+// is the point: the artifact shows what the directives are hiding —
+// as newline-delimited JSON.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		rec := jsonDiag{
+			Analyzer:   d.Analyzer,
+			Pos:        d.Pos.String(),
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+		if d.Suppressed {
+			rec.SuppressedBy = d.SupPos.String()
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // vetConfig is the JSON configuration the go command hands a vettool
@@ -196,7 +259,7 @@ func unitcheck(cfgPath string) int {
 		Types:      tpkg,
 		Info:       info,
 	}
-	diags := analysis.RunSingle(suite.All, pkg)
+	diags := analysis.Unsuppressed(analysis.RunSingle(suite.All, pkg))
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}

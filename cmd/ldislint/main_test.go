@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -10,8 +14,65 @@ import (
 // TestStandaloneClean runs the in-process driver against a package
 // known to be lint-clean.
 func TestStandaloneClean(t *testing.T) {
-	if code := run([]string{"ldis/internal/mem"}); code != 0 {
+	if code := run([]string{"ldis/internal/mem"}, io.Discard); code != 0 {
 		t.Fatalf("ldislint ldis/internal/mem exited %d, want 0", code)
+	}
+}
+
+// TestJSONMode checks the -json record shape against a package known
+// to carry suppressed diagnostics: every line must decode, suppressed
+// records must name their directive, and none of it may flip the exit
+// code.
+func TestJSONMode(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-json", "ldis/internal/hierarchy"}, &buf); code != 0 {
+		t.Fatalf("ldislint -json exited %d on a lint-clean package, want 0\n%s", code, buf.String())
+	}
+	var suppressed int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec struct {
+			Analyzer     string `json:"analyzer"`
+			Pos          string `json:"pos"`
+			Message      string `json:"message"`
+			Suppressed   bool   `json:"suppressed"`
+			SuppressedBy string `json:"suppressed_by"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if rec.Analyzer == "" || rec.Pos == "" || rec.Message == "" {
+			t.Errorf("record missing fields: %q", sc.Text())
+		}
+		if rec.Suppressed {
+			suppressed++
+			if rec.SuppressedBy == "" {
+				t.Errorf("suppressed record lacks suppressed_by: %q", sc.Text())
+			}
+		} else {
+			t.Errorf("unsuppressed diagnostic on a clean package: %q", sc.Text())
+		}
+	}
+	if suppressed == 0 {
+		t.Error("hierarchy's //ldis: suppressions produced no suppressed records; the artifact would hide what the directives hide")
+	}
+}
+
+// TestStaleMode runs the sweep against a fixture carrying a stale
+// suppression and a typo'd directive; both must be flagged, and a
+// clean package must pass.
+func TestStaleMode(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-stale", "./testdata/src/stale"}, &buf); code != 2 {
+		t.Fatalf("ldislint -stale exited %d on the stale fixture, want 2\n%s", code, buf.String())
+	}
+	for _, want := range []string{"stale suppression //ldis:alloc-ok", "unknown directive //ldis:aloc-ok"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stale output missing %q:\n%s", want, buf.String())
+		}
+	}
+	if code := run([]string{"-stale", "ldis/internal/mem"}, io.Discard); code != 0 {
+		t.Fatalf("ldislint -stale exited %d on a clean package, want 0", code)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Package stale is the -stale driver fixture: a justified suppression
+// no analyzer needs and a typo'd directive name, both of which the
+// sweep must flag. It lives under testdata so ./... never loads it.
+package stale
+
+//ldis:aloc-ok typo: neither suppresses nor errors without the sweep
+var X = 1
+
+// F allocates nowhere and is under no //ldis:noalloc root, so its
+// suppression silences nothing.
+func F() int {
+	//ldis:alloc-ok justified, but no diagnostic needs it
+	return 2
+}

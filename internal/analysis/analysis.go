@@ -33,15 +33,37 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// A Diagnostic is one reported problem.
+// A Diagnostic is one reported problem. A diagnostic silenced by a
+// justified suppression directive is still recorded — with Suppressed
+// set and SupPos naming the directive — so the JSON report can show
+// what the directives are hiding and the stale-suppression sweep can
+// prove every directive still earns its keep. Drivers filter
+// suppressed diagnostics out of text output and exit codes via
+// Unsuppressed.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	// SupPos is the position of the suppressing directive when
+	// Suppressed is set.
+	SupPos token.Position
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Unsuppressed returns the diagnostics not silenced by a directive —
+// the set that renders to text and drives exit codes.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -66,6 +88,7 @@ type Pass struct {
 	ModuleFacts bool
 
 	facts  *FactStore
+	used   *UsedDirectives
 	report func(Diagnostic)
 }
 
@@ -76,6 +99,64 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportfSup records a diagnostic at pos unless a justified suppression
+// directive of the given name covers the line; the suppressed
+// diagnostic is still recorded (Suppressed=true, SupPos naming the
+// directive) and the directive is marked used for the stale sweep.
+func (p *Pass) ReportfSup(pos token.Pos, dirName, format string, args ...any) {
+	d := Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if dir, ok := p.Directives.At(pos, dirName); ok && dir.Reason != "" {
+		d.Suppressed = true
+		d.SupPos = p.Fset.Position(dir.Pos)
+		p.used.Use(d.SupPos)
+	}
+	p.report(d)
+}
+
+// Suppressed reports whether a justified suppression directive of the
+// given name covers pos's line, marking the directive used. Analyzers
+// call this where suppression changes analysis facts (for example a
+// call-site //ldis:alloc-ok keeping a function's clean summary true)
+// rather than just silencing a report.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	dir, ok := p.Directives.At(pos, name)
+	if !ok || dir.Reason == "" {
+		return false
+	}
+	p.used.Use(p.Fset.Position(dir.Pos))
+	return true
+}
+
+// UsedDirectives records which suppression directives actually
+// silenced (or would have silenced) a diagnostic during a run, keyed
+// by the directive's position. The stale sweep reports every justified
+// suppression directive absent from this set: a suppression nothing
+// needs anymore is a lie about the code's invariants.
+type UsedDirectives struct {
+	m map[token.Position]bool
+}
+
+// NewUsedDirectives returns an empty usage set.
+func NewUsedDirectives() *UsedDirectives {
+	return &UsedDirectives{m: make(map[token.Position]bool)}
+}
+
+// Use marks the directive at pos as live. Nil-safe.
+func (u *UsedDirectives) Use(pos token.Position) {
+	if u != nil {
+		u.m[pos] = true
+	}
+}
+
+// Used reports whether the directive at pos silenced anything.
+func (u *UsedDirectives) Used(pos token.Position) bool {
+	return u != nil && u.m[pos]
 }
 
 // ExportFact records a named fact about a function (or other object)
@@ -96,6 +177,24 @@ func (p *Pass) ImportFact(obj types.Object, name string) (any, bool) {
 		return nil, false
 	}
 	return p.facts.get(ObjectKey(obj), name)
+}
+
+// ExportKeyedFact records a fact under an explicit key, for objects
+// ObjectKey cannot name unambiguously — struct fields, whose key must
+// carry the struct's type name ("pkgpath.Struct.field") because two
+// structs in one package may share a field name.
+func (p *Pass) ExportKeyedFact(key, name string, value any) {
+	if p.facts != nil {
+		p.facts.set(key, name, value)
+	}
+}
+
+// ImportKeyedFact retrieves a fact stored by ExportKeyedFact.
+func (p *Pass) ImportKeyedFact(key, name string) (any, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.get(key, name)
 }
 
 // ObjectKey returns a stable cross-package key for obj: the package

@@ -71,7 +71,11 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		}
 	}
 
-	diags := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	// Suppressed diagnostics are filtered like the drivers filter them:
+	// a fixture line with a justified suppression directive expects no
+	// // want comment, which is exactly the "fails without its
+	// suppression directive" golden property.
+	diags := analysis.Unsuppressed(analysis.Run([]*analysis.Analyzer{a}, pkgs))
 	var unexpected []string
 	for _, d := range diags {
 		matched := false

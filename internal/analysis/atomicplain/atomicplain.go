@@ -1,0 +1,266 @@
+// Package atomicplain enforces atomic-access consistency: once any
+// code accesses a variable or struct field through the function-style
+// sync/atomic API, every plain (non-atomic) read or write of that same
+// location anywhere in the module is a diagnostic.
+//
+// Mixed atomic/plain access is the classic half-fixed data race: the
+// atomic side establishes that the location is shared across
+// goroutines, and the plain side then races with it — a bug the race
+// detector only reports when the interleaving actually happens during
+// a test run. The typed atomics (atomic.Uint64 and friends, which the
+// simulator's obs counters already use) make this mistake
+// unrepresentable, so they need no analyzer; the function-style API
+// (atomic.AddUint64(&x, 1)) keeps the plain name accessible, and this
+// analyzer closes that gap for the code the planned ldisd service
+// layer will add.
+//
+// Locations are tracked cross-package through keyed facts
+// ("pkgpath.Struct.field" for fields, the object key for package-level
+// variables), so a package that plainly reads a counter its dependency
+// updates atomically is still caught — in dependency order only, like
+// every fact in this framework, and only under the standalone driver
+// (ModuleFacts); `go vet` mode checks each package against its own
+// atomic calls and its dependencies' exported facts.
+//
+// A deliberate plain access (for example a single-threaded teardown
+// path after the last Wait) is justified with
+// `//ldis:atomic-ok <why>`.
+package atomicplain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ldis/internal/analysis"
+)
+
+// Analyzer is the atomicplain analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicplain",
+	Doc:  "flags plain reads/writes of variables and fields that are elsewhere accessed via sync/atomic",
+	Run:  run,
+}
+
+const factAtomic = "atomic"
+
+type checker struct {
+	pass *analysis.Pass
+	// atomicFields holds "pkgpath.Struct.field" keys of fields passed
+	// by address to a sync/atomic function in this package.
+	atomicFields map[string]bool
+	// atomicVars holds package-level variables likewise passed to
+	// sync/atomic (keyed for export; locals are tracked by identity).
+	atomicVars map[*types.Var]bool
+	// spans are the source ranges of sync/atomic calls; accesses
+	// inside them are the sanctioned ones.
+	spans []span
+	// writes records which flagged positions are writes, for message
+	// wording.
+	writes map[token.Pos]bool
+}
+
+type span struct{ lo, hi token.Pos }
+
+func run(pass *analysis.Pass) error {
+	pass.Directives.CheckJustifications(pass, analysis.DirAtomicOK)
+	c := &checker{
+		pass:         pass,
+		atomicFields: make(map[string]bool),
+		atomicVars:   make(map[*types.Var]bool),
+		writes:       make(map[token.Pos]bool),
+	}
+	// Pass 1: find every function-style sync/atomic call and record
+	// which locations it addresses.
+	for _, f := range pass.Files {
+		c.collectAtomicCalls(f)
+	}
+	// Pass 2: flag every plain access of a recorded location outside
+	// the atomic call sites themselves.
+	for _, f := range pass.Files {
+		c.collectWrites(f)
+	}
+	for _, f := range pass.Files {
+		c.flagPlainAccesses(f)
+	}
+	return nil
+}
+
+// collectAtomicCalls records the target of every &operand passed to a
+// function-style sync/atomic call, and the call's source span.
+func (c *checker) collectAtomicCalls(f *ast.File) {
+	info := c.pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			// Typed atomics (atomic.Uint64 methods) are safe by
+			// construction: the plain value is not addressable.
+			return true
+		}
+		c.spans = append(c.spans, span{call.Pos(), call.End()})
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			c.recordTarget(un.X)
+		}
+		return true
+	})
+}
+
+// recordTarget marks the location behind one &expr atomic operand.
+func (c *checker) recordTarget(e ast.Expr) {
+	info := c.pass.TypesInfo
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if key, ok := fieldKey(sel); ok {
+				c.atomicFields[key] = true
+				c.pass.ExportKeyedFact(key, factAtomic, true)
+			}
+		}
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return
+		}
+		c.atomicVars[v] = true
+		if pkgLevel(v) {
+			c.pass.ExportKeyedFact(analysis.ObjectKey(v), factAtomic, true)
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: track the backing variable — element granularity
+		// would need alias analysis; whole-variable is the sound over-
+		// approximation.
+		c.recordTarget(x.X)
+	}
+}
+
+// collectWrites records the positions written by assignments and
+// inc/dec statements, so flagPlainAccesses can word reads and writes
+// differently.
+func (c *checker) collectWrites(f *ast.File) {
+	mark := func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			c.writes[x.Pos()] = true
+		case *ast.SelectorExpr:
+			c.writes[x.Sel.Pos()] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(s.X)
+		}
+		return true
+	})
+}
+
+func (c *checker) inAtomicCall(pos token.Pos) bool {
+	for _, s := range c.spans {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) atomicField(key string) bool {
+	if c.atomicFields[key] {
+		return true
+	}
+	v, ok := c.pass.ImportKeyedFact(key, factAtomic)
+	if !ok {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
+func (c *checker) atomicVar(v *types.Var) bool {
+	if c.atomicVars[v] {
+		return true
+	}
+	if !pkgLevel(v) {
+		return false
+	}
+	fv, ok := c.pass.ImportKeyedFact(analysis.ObjectKey(v), factAtomic)
+	if !ok {
+		return false
+	}
+	b, _ := fv.(bool)
+	return b
+}
+
+func (c *checker) flagPlainAccesses(f *ast.File) {
+	info := c.pass.TypesInfo
+	verb := func(pos token.Pos) string {
+		if c.writes[pos] {
+			return "write"
+		}
+		return "read"
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[x]
+			if !ok {
+				return true
+			}
+			key, ok := fieldKey(sel)
+			if !ok || !c.atomicField(key) || c.inAtomicCall(x.Sel.Pos()) {
+				return true
+			}
+			c.pass.ReportfSup(x.Sel.Pos(), analysis.DirAtomicOK,
+				"plain %s of atomic field %s, which is elsewhere accessed via sync/atomic; use the atomic API or justify with //ldis:atomic-ok", verb(x.Sel.Pos()), key)
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if !ok || v.IsField() || !c.atomicVar(v) || c.inAtomicCall(x.Pos()) {
+				return true
+			}
+			c.pass.ReportfSup(x.Pos(), analysis.DirAtomicOK,
+				"plain %s of atomic variable %q, which is elsewhere accessed via sync/atomic; use the atomic API or justify with //ldis:atomic-ok", verb(x.Pos()), v.Name())
+		}
+		return true
+	})
+}
+
+// fieldKey names a selected field as "pkgpath.Struct.field" via the
+// selection's receiver type.
+func fieldKey(sel *types.Selection) (string, bool) {
+	v, ok := sel.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	t := sel.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name(), true
+}
+
+func pkgLevel(v *types.Var) bool {
+	return v != nil && !v.IsField() && v.Pkg() != nil &&
+		v.Parent() == v.Pkg().Scope()
+}

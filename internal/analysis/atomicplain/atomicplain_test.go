@@ -1,0 +1,12 @@
+package atomicplain_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis/atest"
+	"ldis/internal/analysis/atomicplain"
+)
+
+func TestAtomicPlain(t *testing.T) {
+	atest.Run(t, atomicplain.Analyzer, "testdata/src/a")
+}

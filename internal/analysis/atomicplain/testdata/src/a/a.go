@@ -1,0 +1,46 @@
+// Package a is the atomicplain golden fixture: locations accessed via
+// the function-style sync/atomic API, their flagged plain accesses,
+// and the patterns the analyzer must accept (typed atomics, justified
+// suppressions).
+package a
+
+import "sync/atomic"
+
+// Counter mixes a function-style atomic field (n), a typed atomic
+// (safe), and a plain field (plain).
+type Counter struct {
+	n     uint64
+	safe  atomic.Uint64
+	plain uint64
+}
+
+// Inc establishes that n is accessed atomically.
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+	c.safe.Add(1)
+	c.plain++
+}
+
+func (c *Counter) Bad() uint64 {
+	c.n++      // want `plain write of atomic field .*Counter\.n`
+	return c.n // want `plain read of atomic field .*Counter\.n`
+}
+
+// Snapshot reads n plainly on a justified single-goroutine path.
+func (c *Counter) Snapshot() uint64 {
+	//ldis:atomic-ok fixture: single-goroutine teardown after the last Wait
+	return c.n
+}
+
+var gauge uint64
+
+func SetGauge(v uint64) { atomic.StoreUint64(&gauge, v) }
+
+func ReadGauge() uint64 {
+	return gauge // want `plain read of atomic variable "gauge"`
+}
+
+func Unjustified() uint64 {
+	//ldis:atomic-ok // want `//ldis:atomic-ok requires a justification`
+	return gauge // want `plain read of atomic variable "gauge"`
+}

@@ -1,0 +1,12 @@
+package boundedgo_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis/atest"
+	"ldis/internal/analysis/boundedgo"
+)
+
+func TestBoundedGo(t *testing.T) {
+	atest.Run(t, boundedgo.Analyzer, "testdata/src/a")
+}

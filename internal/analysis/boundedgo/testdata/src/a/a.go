@@ -1,0 +1,58 @@
+// Package a is the boundedgo golden fixture: WaitGroup-tracked
+// launches the analyzer must accept, untracked and half-tracked ones
+// it must flag, and the suppression forms.
+package a
+
+import "sync"
+
+// Tracked is the internal/par launch shape: Add before go, Done in
+// the goroutine, Wait before return.
+func Tracked(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// TrackedField joins through a struct-held WaitGroup.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) Run() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+	p.wg.Wait()
+}
+
+func Untracked() {
+	go leak() // want `go statement is not WaitGroup-tracked`
+}
+
+func leak() {}
+
+// HalfTracked Adds but never Waits: the goroutine is counted, not
+// joined.
+func HalfTracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `go statement is not WaitGroup-tracked`
+		defer wg.Done()
+	}()
+}
+
+func Suppressed() {
+	//ldis:goroutine-ok fixture: daemon bounded by channel close
+	go leak()
+}
+
+func Unjustified() {
+	//ldis:goroutine-ok // want `//ldis:goroutine-ok requires a justification`
+	go leak() // want `go statement is not WaitGroup-tracked`
+}

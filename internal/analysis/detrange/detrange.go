@@ -77,10 +77,7 @@ func run(pass *analysis.Pass) error {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if pass.Directives.Suppressed(rs.Pos(), analysis.DirNondetOK) {
-				return true
-			}
-			pass.Reportf(rs.Pos(), "range over map %s in deterministic-output package %s; iterate sorted keys instead, or annotate //ldis:nondet-ok with why the order cannot reach any output", types.ExprString(rs.X), pass.Pkg.Path())
+			pass.ReportfSup(rs.Pos(), analysis.DirNondetOK, "range over map %s in deterministic-output package %s; iterate sorted keys instead, or annotate //ldis:nondet-ok with why the order cannot reach any output", types.ExprString(rs.X), pass.Pkg.Path())
 			return true
 		})
 	}

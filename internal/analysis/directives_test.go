@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestParseDirectiveForms pins the comment forms the parser must get
+// right. The regression of record: a tab after the directive name
+// ("//ldis:alloc-ok\t") used to make the whole directive unparseable —
+// it neither suppressed nor tripped the justification check — and
+// block-comment forms were ignored entirely, so a bare
+// "/*ldis:alloc-ok*/" was an invisible no-op instead of a reported
+// bare suppression.
+func TestParseDirectiveForms(t *testing.T) {
+	tests := []struct {
+		comment string
+		ok      bool
+		name    string
+		reason  string
+	}{
+		// Line-comment forms.
+		{"//ldis:alloc-ok", true, "alloc-ok", ""},
+		{"//ldis:alloc-ok bounded scratch buffer", true, "alloc-ok", "bounded scratch buffer"},
+		{"//ldis:alloc-ok ", true, "alloc-ok", ""},                // trailing space: bare
+		{"//ldis:alloc-ok \t ", true, "alloc-ok", ""},             // trailing whitespace: bare
+		{"//ldis:alloc-ok\t", true, "alloc-ok", ""},               // tab right after the name
+		{"//ldis:alloc-ok\twhy not", true, "alloc-ok", "why not"}, // tab-separated justification
+		{"//ldis:nondet-ok why // commentary", true, "nondet-ok", "why"},
+		{"//ldis:nondet-ok // want `requires a justification`", true, "nondet-ok", ""},
+		{"//ldis:noalloc", true, "noalloc", ""},
+		// Block-comment forms.
+		{"/*ldis:alloc-ok*/", true, "alloc-ok", ""},
+		{"/*ldis:alloc-ok amortized growth*/", true, "alloc-ok", "amortized growth"},
+		{"/*ldis:nondet-ok sorted below */", true, "nondet-ok", "sorted below"},
+		// Non-directives.
+		{"// ldis:alloc-ok spaced marker is prose, not a directive", false, "", ""},
+		{"//plain comment", false, "", ""},
+		{"/* plain block */", false, "", ""},
+	}
+	for _, tt := range tests {
+		name, reason, ok := parseDirective(tt.comment)
+		if ok != tt.ok || name != tt.name || reason != tt.reason {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tt.comment, name, reason, ok, tt.name, tt.reason, tt.ok)
+		}
+	}
+}
+
+// TestBareDirectiveDoesNotSuppress proves the whitespace and block
+// forms land in the justification machinery: a bare directive in any
+// form must not suppress, and must be reported by
+// CheckJustifications — before the parsing fix those forms were
+// dropped on the floor and escaped both.
+func TestBareDirectiveDoesNotSuppress(t *testing.T) {
+	src := "package p\n\n" +
+		"func f() {\n" +
+		"\t_ = 0 //ldis:alloc-ok\t\n" + // line 4: tab-trailing bare form
+		"\t_ = 1 /*ldis:alloc-ok*/\n" + // line 5: block bare form
+		"\t_ = 2 //ldis:alloc-ok justified\n" + // line 6: real suppression
+		"}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := ParseDirectives(fset, []*ast.File{f})
+	if got := len(dirs.All()); got != 3 {
+		t.Fatalf("parsed %d directives, want 3: %+v", got, dirs.All())
+	}
+
+	posOnLine := func(line int) token.Pos {
+		for _, dir := range dirs.All() {
+			if fset.Position(dir.Pos).Line == line {
+				return dir.Pos
+			}
+		}
+		t.Fatalf("no directive on line %d", line)
+		return token.NoPos
+	}
+	for _, line := range []int{4, 5} {
+		if dirs.Suppressed(posOnLine(line), DirAllocOK) {
+			t.Errorf("bare directive on line %d suppresses; it must not", line)
+		}
+	}
+	if !dirs.Suppressed(posOnLine(6), DirAllocOK) {
+		t.Error("justified directive on line 6 does not suppress")
+	}
+
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   &Analyzer{Name: "test"},
+		Fset:       fset,
+		Directives: dirs,
+		used:       NewUsedDirectives(),
+		report:     func(d Diagnostic) { diags = append(diags, d) },
+	}
+	dirs.CheckJustifications(pass, DirAllocOK)
+	if len(diags) != 2 {
+		t.Fatalf("CheckJustifications reported %d bare directives, want 2 (lines 4 and 5): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Pos.Line != 4 && d.Pos.Line != 5 {
+			t.Errorf("unexpected justification diagnostic at line %d: %s", d.Pos.Line, d.Message)
+		}
+	}
+}

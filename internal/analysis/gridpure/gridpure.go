@@ -123,10 +123,7 @@ func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 // variables captured from outside it.
 func checkCell(pass *analysis.Pass, schedName string, lit *ast.FuncLit) {
 	report := func(pos token.Pos, obj *types.Var, how string) {
-		if pass.Directives.Suppressed(pos, analysis.DirNondetOK) {
-			return
-		}
-		pass.Reportf(pos, "%s cell function %s captured variable %q; cells must be pure functions of their index so results are byte-identical at any worker count", schedName, how, obj.Name())
+		pass.ReportfSup(pos, analysis.DirNondetOK, "%s cell function %s captured variable %q; cells must be pure functions of their index so results are byte-identical at any worker count", schedName, how, obj.Name())
 	}
 	captured := func(id *ast.Ident) *types.Var {
 		obj, _ := pass.TypesInfo.Uses[id].(*types.Var)

@@ -76,11 +76,26 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
 		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
-		}
 		byPath[p.ImportPath] = &p
 		order = append(order, p.ImportPath)
+	}
+
+	// Surface listing errors only after the full decode. A target
+	// package's DepsErrors is reported first: it names both the package
+	// the caller asked about and the dependency that failed, where the
+	// failing dependency's own entry is just a stub error with no
+	// context. Without export data for every import the type checker
+	// cannot run, so there is nothing useful to do but stop.
+	for _, path := range order {
+		p := byPath[path]
+		if !p.DepOnly && len(p.DepsErrors) > 0 {
+			return nil, fmt.Errorf("go list: %s: a dependency failed to build: %s\tanalysis needs compiled export data for every import; `go build %s` shows the full error", p.ImportPath, p.DepsErrors[0].Err, p.ImportPath)
+		}
+	}
+	for _, path := range order {
+		if p := byPath[path]; p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
 	}
 
 	fset := token.NewFileSet()

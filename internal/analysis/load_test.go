@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for loader error-path tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadOutsideModule(t *testing.T) {
+	// A directory that is not inside a module: go list -e reports a
+	// per-pattern error, which Load must surface with the go command
+	// named and the cause intact.
+	dir := t.TempDir()
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded outside a module")
+	}
+	for _, want := range []string{"go list", "main module"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+func TestLoadBadDir(t *testing.T) {
+	// A working directory that does not exist: the go command itself
+	// cannot start, and the error must name the command and patterns.
+	_, err := Load(filepath.Join(t.TempDir(), "missing"), []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded in a nonexistent directory")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error does not name the failing command: %v", err)
+	}
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module loadtest\n\ngo 1.21\n",
+	})
+	_, err := Load(dir, []string{"./nonexistent"})
+	if err == nil {
+		t.Fatal("Load succeeded on a nonexistent package pattern")
+	}
+	if !strings.Contains(err.Error(), "nonexistent") {
+		t.Errorf("error does not name the missing pattern: %v", err)
+	}
+}
+
+func TestLoadBrokenTargetPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module loadtest\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nfunc Bad() { undefinedIdent }\n",
+	})
+	_, err := Load(dir, []string{"./a"})
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a type error")
+	}
+	for _, want := range []string{"loadtest/a", "undefinedIdent"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+func TestLoadBrokenDependency(t *testing.T) {
+	// The named package is fine; its import is broken. The error must
+	// name the package the caller asked about, quote the dependency's
+	// failure, and say what to run next — not just the bare stub error
+	// of the unbuildable dep.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module loadtest\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nimport \"loadtest/b\"\n\nvar X = b.Y\n",
+		"b/b.go": "package b\n\nfunc Bad() { undefinedIdent }\n\nvar Y = 1\n",
+	})
+	_, err := Load(dir, []string{"./a"})
+	if err == nil {
+		t.Fatal("Load succeeded with an unbuildable dependency")
+	}
+	for _, want := range []string{"loadtest/a", "dependency failed to build", "undefinedIdent", "go build"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+func TestTypeCheckMissingExportData(t *testing.T) {
+	// When export data for an import cannot be opened, the type-check
+	// error must name both the importing package and the lookup
+	// failure. Exercised directly so the test does not depend on
+	// constructing a half-built go cache.
+	dir := writeModule(t, map[string]string{
+		"c.go": "package c\n\nimport \"fmt\"\n\nfunc F() { fmt.Println() }\n",
+	})
+	imp := failingImporter{err: fmt.Errorf("no export data for %q", "fmt")}
+	_, err := typeCheck(token.NewFileSet(), imp, &listPackage{
+		ImportPath: "loadtest/c",
+		Dir:        dir,
+		GoFiles:    []string{"c.go"},
+	})
+	if err == nil {
+		t.Fatal("typeCheck succeeded with no export data for imports")
+	}
+	for _, want := range []string{"type-checking loadtest/c", "no export data"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module loadtest\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nfunc Bad( {\n",
+	})
+	_, err := Load(dir, []string{"./a"})
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a syntax error")
+	}
+	if !strings.Contains(err.Error(), "a.go") {
+		t.Errorf("error does not name the unparseable file: %v", err)
+	}
+}
+
+// failingImporter is a types.Importer whose every lookup fails.
+type failingImporter struct{ err error }
+
+func (f failingImporter) Import(path string) (*types.Package, error) {
+	return nil, f.err
+}

@@ -139,7 +139,7 @@ func (c *checker) report(root, fn *funcData, reported map[*types.Func]bool) {
 		suffix = fmt.Sprintf(" (in %s, reachable from //ldis:noalloc %s)", fn.obj.Name(), root.obj.Name())
 	}
 	for _, f := range fn.findings {
-		c.pass.Reportf(f.pos, "%s%s", f.msg, suffix)
+		c.pass.ReportfSup(f.pos, analysis.DirAllocOK, "%s%s", f.msg, suffix)
 	}
 	for _, call := range fn.calls {
 		callee := call.callee
@@ -155,10 +155,7 @@ func (c *checker) report(root, fn *funcData, reported map[*types.Func]bool) {
 			// standalone driver is the authoritative gate.
 			continue
 		}
-		if c.pass.Directives.Suppressed(call.pos, analysis.DirAllocOK) {
-			continue
-		}
-		c.pass.Reportf(call.pos, "call to %s cannot be verified allocation-free%s", qualifiedName(callee), suffix)
+		c.pass.ReportfSup(call.pos, analysis.DirAllocOK, "call to %s cannot be verified allocation-free%s", qualifiedName(callee), suffix)
 	}
 }
 
@@ -195,7 +192,15 @@ func (c *checker) isClean(fn *types.Func) bool {
 		return data.clean
 	}
 	data.state = 1
-	clean := len(data.findings) == 0
+	// A suppressed finding keeps the summary clean; the full loop (no
+	// early break) marks every live suppression used for the stale
+	// sweep.
+	clean := true
+	for _, f := range data.findings {
+		if !c.pass.Suppressed(f.pos, analysis.DirAllocOK) {
+			clean = false
+		}
+	}
 	for _, call := range data.calls {
 		if !clean {
 			break
@@ -205,7 +210,7 @@ func (c *checker) isClean(fn *types.Func) bool {
 		} else if !c.callVerified(call.callee) {
 			// A call-site suppression keeps the function usable from
 			// noalloc contexts even though the callee is unverified.
-			clean = c.pass.Directives.Suppressed(call.pos, analysis.DirAllocOK)
+			clean = c.pass.Suppressed(call.pos, analysis.DirAllocOK)
 		}
 	}
 	data.state = 2
@@ -246,8 +251,12 @@ func (c *checker) scanBody(data *funcData) {
 		}
 		return false
 	}
+	// Suppression is NOT consulted here: findings are always recorded,
+	// isClean treats suppressed ones as clean (marking the directive
+	// used), and the report walk emits them with Suppressed set so the
+	// JSON report shows what each //ldis:alloc-ok hides.
 	add := func(pos token.Pos, format string, args ...any) {
-		if onPanicPath(pos) || c.pass.Directives.Suppressed(pos, analysis.DirAllocOK) {
+		if onPanicPath(pos) {
 			return
 		}
 		data.findings = append(data.findings, finding{pos, fmt.Sprintf(format, args...)})

@@ -78,10 +78,7 @@ func run(pass *analysis.Pass) error {
 		if msg == "" {
 			continue
 		}
-		if pass.Directives.Suppressed(id.Pos(), analysis.DirNondetOK) {
-			continue
-		}
-		pass.Reportf(id.Pos(), "%s", msg)
+		pass.ReportfSup(id.Pos(), analysis.DirNondetOK, "%s", msg)
 	}
 	return nil
 }

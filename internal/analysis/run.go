@@ -7,9 +7,20 @@ import "sort"
 // diagnostics for the target (non-DepOnly) packages sorted by
 // position. Packages loaded only as dependencies are still analyzed —
 // their facts feed dependent packages — but their diagnostics are
-// dropped, matching `go vet`'s per-target reporting.
+// dropped, matching `go vet`'s per-target reporting. Diagnostics
+// silenced by a justified suppression directive are included with
+// Suppressed set; filter with Unsuppressed for text output and exit
+// codes.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	diags, _ := RunWithUsage(analyzers, pkgs)
+	return diags
+}
+
+// RunWithUsage is Run plus the set of suppression directives the
+// analyzers actually consulted, the input to StaleSuppressions.
+func RunWithUsage(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, *UsedDirectives) {
 	facts := NewFactStore()
+	used := NewUsedDirectives()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		target := !pkg.DepOnly
@@ -24,6 +35,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 				Directives:  dirs,
 				ModuleFacts: true,
 				facts:       facts,
+				used:        used,
 				report: func(d Diagnostic) {
 					if target {
 						diags = append(diags, d)
@@ -42,7 +54,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 		}
 	}
 	sortDiagnostics(diags)
-	return diags
+	return diags, used
 }
 
 // RunSingle applies the analyzers to one package with no cross-package
@@ -60,6 +72,7 @@ func RunSingle(analyzers []*Analyzer, pkg *Package) []Diagnostic {
 			Directives:  dirs,
 			ModuleFacts: false,
 			facts:       NewFactStore(),
+			used:        NewUsedDirectives(),
 			report:      func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -67,6 +80,43 @@ func RunSingle(analyzers []*Analyzer, pkg *Package) []Diagnostic {
 				Analyzer: a.Name,
 				Message:  "internal error: " + err.Error(),
 			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// StaleSuppressions runs the analyzers over the loaded packages and
+// reports every suppression directive in a target package that no
+// analyzer consulted — the directive's diagnostic is gone, so the
+// suppression (and the invariant exception it documents) is stale —
+// plus every //ldis: directive whose name no analyzer knows (a typo
+// silently disables nothing but also enforces nothing). `make
+// lint-fix-check` fails on any such finding.
+func StaleSuppressions(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	_, used := RunWithUsage(analyzers, pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
+		dirs := ParseDirectives(pkg.Fset, pkg.Syntax)
+		for _, dir := range dirs.All() {
+			pos := pkg.Fset.Position(dir.Pos)
+			switch {
+			case !KnownDirective(dir.Name):
+				diags = append(diags, Diagnostic{
+					Analyzer: "stale",
+					Pos:      pos,
+					Message:  "unknown directive //ldis:" + dir.Name,
+				})
+			case SuppressionDirective(dir.Name) && dir.Reason != "" && !used.Used(pos):
+				diags = append(diags, Diagnostic{
+					Analyzer: "stale",
+					Pos:      pos,
+					Message:  "stale suppression //ldis:" + dir.Name + ": no analyzer diagnostic on this line needs it anymore; delete the directive",
+				})
+			}
 		}
 	}
 	sortDiagnostics(diags)

@@ -1,0 +1,763 @@
+// Package sharddisjoint proves the sharded runner's ownership
+// argument: functions reachable from hierarchy.RunSharded's shard
+// workers touch only state owned by their shard, and merge functions
+// fold sibling counters without ever writing the sibling.
+//
+// PR 6's intra-run sharding rests on a disjointness argument — shard s
+// owns exactly the lines with la&(shards-1)==s, so per-shard cache
+// state and counters never alias and summing them reproduces the
+// sequential totals. That argument was prose in sharded.go; one
+// package-level accumulator three calls below System.Do would
+// silently break it, and the race detector only notices when two
+// writes happen to collide during a test run. This analyzer makes the
+// argument a compile-time invariant:
+//
+//   - Shard confinement. Every function is summarized bottom-up as
+//     "confined" when its body touches only state reachable from its
+//     own receiver, parameters, and locals: writing any package-level
+//     variable, reading a package-level map (mutable and
+//     iteration-order-unstable), launching a goroutine, or making a
+//     dynamic call through anything not derived from the shard's own
+//     state all break confinement, as does calling an unconfined (or
+//     unverifiable) in-module function. Summaries are exported as
+//     facts, so the hierarchy roots verify transitively into the
+//     distill/cache/compress/sfp organization packages. Standard
+//     library calls are exempt: they cannot name module globals.
+//     Reads of non-map package-level variables are allowed — the tree
+//     uses them as frozen-after-init lookup tables, and writes are
+//     banned everywhere on shard paths, so they are constant there.
+//
+//   - Roots. hierarchy's doBatchShard (the per-shard worker body) and
+//     every merge function are verification roots; violations
+//     anywhere in their call graphs are reported with the root named,
+//     noalloc-style.
+//
+//   - Merge discipline. A merge function (MergeShard, or Merge whose
+//     parameter type equals its receiver type) may read the sibling
+//     and write the receiver, never the reverse: writing through the
+//     parameter would make merge order — and therefore worker
+//     scheduling — observable. Merge functions are also held to
+//     confinement, which is what "touches only disjoint counter
+//     fields" compiles down to: receiver-derived fields only.
+//
+//   - Shard-owned fields. A struct field annotated //ldis:shard-owned
+//     is a per-shard counter; only confined functions may write it.
+//     An unconfined writer is exactly the aliasing hazard the
+//     annotation documents against: code that mixes a per-shard
+//     counter with package-global state.
+//
+// `//ldis:shard-ok <why>` suppresses one diagnostic; the
+// justification is mandatory.
+package sharddisjoint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ldis/internal/analysis"
+)
+
+// Analyzer is the sharddisjoint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharddisjoint",
+	Doc:  "functions reachable from hierarchy.RunSharded shard workers touch only shard-owned state; merge functions write the receiver only",
+	Run:  run,
+}
+
+// Facts exported per function and per annotated field.
+const (
+	factConfined   = "confined"
+	factShardOwned = "shardowned"
+)
+
+// shardRoots names the shard worker entry points per package: the
+// functions whose whole call graphs must be shard-confined. Fixture
+// packages under this analyzer's testdata tree match by function name
+// alone, like the gridpure cell takers.
+var shardRoots = map[string]map[string]bool{
+	"ldis/internal/hierarchy": {
+		"doBatchShard": true,
+		"MergeShard":   true,
+	},
+}
+
+func isRoot(pkg string, fn *ast.FuncDecl) bool {
+	if names, ok := shardRoots[pkg]; ok {
+		return names[fn.Name.Name]
+	}
+	if strings.Contains(pkg, "/sharddisjoint/testdata/") {
+		for _, names := range shardRoots {
+			if names[fn.Name.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// fieldWrite records one selector write for the shard-owned check.
+type fieldWrite struct {
+	pos token.Pos
+	key string // "pkgpath.Struct.field"
+}
+
+type funcData struct {
+	decl        *ast.FuncDecl
+	obj         *types.Func
+	findings    []finding
+	calls       []callSite
+	fieldWrites []fieldWrite
+	// confined summary memoization: 0 unvisited, 1 in progress, 2 done.
+	state    int
+	confined bool
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	funcs map[*types.Func]*funcData
+	// ownedFields holds the //ldis:shard-owned field keys declared in
+	// this package (imported packages' keys come through facts).
+	ownedFields map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Directives.CheckJustifications(pass, analysis.DirShardOK)
+	c := &checker{
+		pass:        pass,
+		funcs:       make(map[*types.Func]*funcData),
+		ownedFields: make(map[string]bool),
+	}
+
+	// Pass 1: collect //ldis:shard-owned field annotations and export
+	// them as keyed facts for importing packages.
+	c.collectOwnedFields()
+
+	// Pass 2: collect and scan every function declaration.
+	var order []*funcData
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			data := &funcData{decl: fd, obj: obj}
+			c.funcs[obj] = data
+			order = append(order, data)
+		}
+	}
+	for _, data := range order {
+		c.scanBody(data)
+	}
+
+	// Pass 3: compute and export the confinement summary of every
+	// function, so importing packages verify cross-package calls.
+	for _, data := range order {
+		pass.ExportFact(data.obj, factConfined, c.isConfined(data.obj))
+	}
+
+	// Pass 4: report transitively from the shard roots and the merge
+	// functions, then apply the merge write discipline and the
+	// shard-owned field check.
+	reported := make(map[*types.Func]bool)
+	for _, data := range order {
+		if isRoot(pass.Pkg.Path(), data.decl) || isMergeFunc(pass.TypesInfo, data.decl) {
+			c.report(data, data, reported)
+		}
+	}
+	for _, data := range order {
+		if isMergeFunc(pass.TypesInfo, data.decl) {
+			c.checkMergeWrites(data)
+		}
+	}
+	for _, data := range order {
+		if c.isConfined(data.obj) {
+			continue
+		}
+		for _, fw := range data.fieldWrites {
+			if c.shardOwned(fw.key) {
+				c.pass.ReportfSup(fw.pos, analysis.DirShardOK,
+					"%s writes //ldis:shard-owned field %s but is not shard-confined; per-shard counters may only be written by code that touches no package-level state", data.obj.Name(), fw.key)
+			}
+		}
+	}
+	return nil
+}
+
+// collectOwnedFields records every struct field whose declaration
+// carries //ldis:shard-owned (doc comment, same line, or line above).
+func (c *checker) collectOwnedFields() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				annotated := analysis.DeclHas(field.Doc, analysis.DirShardOwned) ||
+					analysis.DeclHas(field.Comment, analysis.DirShardOwned)
+				if !annotated {
+					if _, ok := c.pass.Directives.At(field.Pos(), analysis.DirShardOwned); ok {
+						annotated = true
+					}
+				}
+				if !annotated {
+					continue
+				}
+				for _, name := range field.Names {
+					key := c.pass.Pkg.Path() + "." + ts.Name.Name + "." + name.Name
+					c.ownedFields[key] = true
+					c.pass.ExportKeyedFact(key, factShardOwned, true)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) shardOwned(key string) bool {
+	if c.ownedFields[key] {
+		return true
+	}
+	v, ok := c.pass.ImportKeyedFact(key, factShardOwned)
+	if !ok {
+		return false
+	}
+	owned, _ := v.(bool)
+	return owned
+}
+
+// fieldKey names a selected field as "pkgpath.Struct.field" using the
+// selection's receiver type, matching collectOwnedFields' keys for
+// direct (non-promoted) selections.
+func fieldKey(sel *types.Selection) (string, bool) {
+	v, ok := sel.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	t := sel.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	} else if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name(), true
+}
+
+// ---------------------------------------------------------------------
+// Body scanning
+// ---------------------------------------------------------------------
+
+func (c *checker) scanBody(data *funcData) {
+	info := c.pass.TypesInfo
+	der := newDerivedTracker(c.pass, data.decl)
+	add := func(pos token.Pos, format string, args ...any) {
+		data.findings = append(data.findings, finding{pos, fmt.Sprintf(format, args...)})
+	}
+
+	// flagged dedupes the package-level map check against write
+	// findings landing on the same identifier.
+	flagged := make(map[token.Pos]bool)
+
+	checkWrite := func(lhs ast.Expr) {
+		// Record selector writes for the shard-owned field check.
+		if selExpr, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			if sel, ok := info.Selections[selExpr]; ok {
+				if key, ok := fieldKey(sel); ok {
+					data.fieldWrites = append(data.fieldWrites, fieldWrite{selExpr.Sel.Pos(), key})
+				}
+			}
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		if v, ok := info.Uses[root].(*types.Var); ok && pkgLevel(v) {
+			flagged[root.Pos()] = true
+			add(root.Pos(), "writes package-level variable %q; shard workers must touch only state reachable from their own shard's parameters", v.Name())
+		}
+	}
+
+	ast.Inspect(data.decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if e.Tok == token.DEFINE {
+					continue
+				}
+				checkWrite(lhs)
+			}
+
+		case *ast.IncDecStmt:
+			checkWrite(e.X)
+
+		case *ast.GoStmt:
+			add(e.Pos(), "launches a goroutine; shard workers are scheduled by the runner and must stay single-threaded")
+
+		case *ast.CallExpr:
+			// Conversions and builtins are not calls: they cannot
+			// reach module state.
+			if tv, ok := info.Types[e.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+				return true
+			}
+			callee := staticCallee(info, e)
+			if callee == nil {
+				// Dynamic dispatch: sanctioned only through the shard's
+				// own state (an interface field of the shard's system,
+				// a parameter-derived func value) — the implementation
+				// then answers for its own confinement via facts.
+				if !der.derived(receiverOf(e)) {
+					add(e.Pos(), "dynamic call through %s, which is not derived from the shard's own state", types.ExprString(e.Fun))
+				}
+				return true
+			}
+			if callee.Pkg() == nil || !inModule(callee.Pkg().Path()) {
+				return true // stdlib cannot name module globals
+			}
+			data.calls = append(data.calls, callSite{e.Pos(), callee})
+		}
+		return true
+	})
+
+	// Package-level maps are mutable, shared, and iteration-unstable:
+	// even reads are off-limits on shard paths.
+	ast.Inspect(data.decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || flagged[id.Pos()] {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !pkgLevel(v) {
+			return true
+		}
+		if _, isMap := v.Type().Underlying().(*types.Map); isMap {
+			add(id.Pos(), "reads package-level map %q; map state is shared across shards and its iteration order is unstable", v.Name())
+		}
+		return true
+	})
+}
+
+// report emits the findings of fn (and, recursively, of its in-module
+// callees) in the context of the given verification root.
+func (c *checker) report(root, fn *funcData, reported map[*types.Func]bool) {
+	if reported[fn.obj] {
+		return
+	}
+	reported[fn.obj] = true
+	suffix := ""
+	if fn != root {
+		suffix = fmt.Sprintf(" (in %s, reachable from shard root %s)", fn.obj.Name(), root.obj.Name())
+	}
+	for _, f := range fn.findings {
+		c.pass.ReportfSup(f.pos, analysis.DirShardOK, "%s%s", f.msg, suffix)
+	}
+	for _, call := range fn.calls {
+		if data, ok := c.funcs[call.callee]; ok {
+			c.report(root, data, reported)
+			continue
+		}
+		if c.callConfined(call.callee) {
+			continue
+		}
+		if !c.pass.ModuleFacts && !samePackage(c.pass.Pkg, call.callee) {
+			// Unitchecker regime: no cross-package facts; the
+			// standalone driver is the authoritative gate.
+			continue
+		}
+		c.pass.ReportfSup(call.pos, analysis.DirShardOK, "call to %s cannot be verified shard-confined%s", qualifiedName(call.callee), suffix)
+	}
+}
+
+// checkMergeWrites enforces the merge write discipline: a merge
+// function folds the sibling's counters into the receiver; any write
+// through the parameter makes merge order observable and breaks the
+// commutativity the sharded runner's determinism rests on.
+func (c *checker) checkMergeWrites(data *funcData) {
+	info := c.pass.TypesInfo
+	params := make(map[*types.Var]bool)
+	if data.decl.Type.Params != nil {
+		for _, field := range data.decl.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+	checkWrite := func(lhs ast.Expr) {
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		// A write to the bare parameter itself (o = nil) is a local
+		// rebind, not a write through it.
+		if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+			return
+		}
+		if v, ok := info.Uses[root].(*types.Var); ok && params[v] {
+			c.pass.ReportfSup(lhs.Pos(), analysis.DirShardOK,
+				"merge function %s writes through its parameter %q; merges fold the sibling into the receiver only, so shard merges stay commutative", data.obj.Name(), v.Name())
+		}
+	}
+	ast.Inspect(data.decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			if e.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range e.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(e.X)
+		}
+		return true
+	})
+}
+
+// isMergeFunc reports whether fd is a merge function: a method named
+// MergeShard, or one named Merge whose (single) parameter's type
+// equals the receiver's type — the commutative fold shape the sharded
+// runner and the obs registry use.
+func isMergeFunc(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	switch fd.Name.Name {
+	case "MergeShard":
+		return true
+	case "Merge":
+		obj, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return false
+		}
+		sig := obj.Type().(*types.Signature)
+		if sig.Params().Len() != 1 || sig.Recv() == nil {
+			return false
+		}
+		return namedOf(sig.Params().At(0).Type()) != nil &&
+			namedOf(sig.Params().At(0).Type()) == namedOf(sig.Recv().Type())
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isConfined computes the bottom-up shard-confinement summary of fn.
+// Cycles are resolved optimistically, like noalloc's clean summary.
+func (c *checker) isConfined(fn *types.Func) bool {
+	data, ok := c.funcs[fn]
+	if !ok {
+		return c.callConfined(fn)
+	}
+	switch data.state {
+	case 1:
+		return true // optimistic on cycles
+	case 2:
+		return data.confined
+	}
+	data.state = 1
+	// The full loop (no early break) marks every live suppression used
+	// for the stale sweep.
+	confined := true
+	for _, f := range data.findings {
+		if !c.pass.Suppressed(f.pos, analysis.DirShardOK) {
+			confined = false
+		}
+	}
+	for _, call := range data.calls {
+		if !confined {
+			break
+		}
+		if sub, ok := c.funcs[call.callee]; ok {
+			confined = c.isConfined(sub.obj)
+		} else if !c.callConfined(call.callee) {
+			if !c.pass.ModuleFacts && !samePackage(c.pass.Pkg, call.callee) {
+				continue // unitchecker regime: degrade gracefully
+			}
+			confined = c.pass.Suppressed(call.pos, analysis.DirShardOK)
+		}
+	}
+	data.state = 2
+	data.confined = confined
+	return confined
+}
+
+// callConfined reports whether a callee without a local body is known
+// shard-confined via exported facts.
+func (c *checker) callConfined(callee *types.Func) bool {
+	v, ok := c.pass.ImportFact(callee, factConfined)
+	if !ok {
+		return false
+	}
+	confined, _ := v.(bool)
+	return confined
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+func inModule(path string) bool {
+	return path == "ldis" || strings.HasPrefix(path, "ldis/")
+}
+
+func samePackage(pkg *types.Package, fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkg.Path()
+}
+
+func qualifiedName(fn *types.Func) string {
+	return strings.TrimPrefix(analysis.ObjectKey(fn), "ldis/")
+}
+
+// pkgLevel reports whether v is a package-level variable (of this or
+// any imported package).
+func pkgLevel(v *types.Var) bool {
+	return v != nil && !v.IsField() && v.Pkg() != nil &&
+		v.Parent() == v.Pkg().Scope()
+}
+
+// rootIdent walks to the base identifier of an lvalue chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// receiverOf returns the expression a dynamic call dispatches through:
+// the selector base for method values, the call expression itself for
+// func values.
+func receiverOf(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return call.Fun
+}
+
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv().Underlying()) {
+				return nil // interface dispatch is dynamic
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return staticCallee(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return staticCallee(info, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Derivation tracking
+// ---------------------------------------------------------------------
+
+// derivedTracker decides whether an expression derives from the
+// function's own state: its receiver, parameters, named results,
+// locals built from those, and fresh literals. Dynamic dispatch is
+// sanctioned only through derived expressions — the object dispatched
+// on then belongs to the shard, and the implementation's own
+// confinement is enforced separately through facts.
+type derivedTracker struct {
+	pass  *analysis.Pass
+	owned map[*types.Var]bool
+	// assigns maps each local to every right-hand side assigned to it.
+	assigns map[*types.Var][]ast.Expr
+	lo, hi  token.Pos
+	memo    map[*types.Var]int // 0 new, 1 visiting, 2 ok, 3 bad
+}
+
+func newDerivedTracker(pass *analysis.Pass, decl *ast.FuncDecl) *derivedTracker {
+	t := &derivedTracker{
+		pass:    pass,
+		owned:   make(map[*types.Var]bool),
+		assigns: make(map[*types.Var][]ast.Expr),
+		lo:      decl.Pos(),
+		hi:      decl.End(),
+		memo:    make(map[*types.Var]int),
+	}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					t.owned[v] = true
+				}
+			}
+		}
+	}
+	collect(decl.Recv)
+	collect(decl.Type.Params)
+	collect(decl.Type.Results)
+
+	record := func(lhs, rhs ast.Expr) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v := t.varOf(id); v != nil {
+				t.assigns[v] = append(t.assigns[v], rhs)
+			}
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					record(lhs, s.Rhs[i])
+				}
+			} else if len(s.Rhs) == 1 {
+				// Comma-ok / multi-value: every LHS derives from the
+				// single RHS (m, ok := x.(Iface); v, err := f()).
+				for _, lhs := range s.Lhs {
+					record(lhs, s.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) {
+					record(name, s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return t
+}
+
+func (t *derivedTracker) varOf(id *ast.Ident) *types.Var {
+	if v, ok := t.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := t.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func (t *derivedTracker) derived(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := t.varOf(x)
+		if v == nil {
+			return false
+		}
+		return t.varDerived(v)
+	case *ast.SelectorExpr:
+		// A field of a derived value is derived; pkg.Var has a PkgName
+		// base, which is not a derived expression.
+		return t.derived(x.X)
+	case *ast.IndexExpr:
+		return t.derived(x.X)
+	case *ast.StarExpr:
+		return t.derived(x.X)
+	case *ast.UnaryExpr:
+		return t.derived(x.X)
+	case *ast.TypeAssertExpr:
+		return t.derived(x.X)
+	case *ast.CompositeLit, *ast.BasicLit:
+		return true // fresh values belong to the shard
+	case *ast.CallExpr:
+		// A conversion or builtin over derived operands yields a
+		// derived value (uint64(s.N), s.lines[i:j]).
+		if tv, ok := t.pass.TypesInfo.Types[x.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			for _, arg := range x.Args {
+				if !t.derived(arg) {
+					return false
+				}
+			}
+			return true
+		}
+		// The result of a method call on a derived receiver is derived
+		// (sys.StartWindow(), s.L1D.Stats()).
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if _, isSel := t.pass.TypesInfo.Selections[sel]; isSel {
+				return t.derived(sel.X)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// varDerived reports whether a variable derives from function-owned
+// state: a parameter/receiver/named result, or a local whose every
+// recorded assignment derives. A local with no recorded assignments
+// (range variables, zero-value declarations) is owned by construction.
+func (t *derivedTracker) varDerived(v *types.Var) bool {
+	if t.owned[v] {
+		return true
+	}
+	if v.Pos() < t.lo || v.Pos() > t.hi {
+		return false // captured from outside the function
+	}
+	switch t.memo[v] {
+	case 1, 2:
+		return true // optimistic on self-assignment cycles
+	case 3:
+		return false
+	}
+	rhss := t.assigns[v]
+	t.memo[v] = 1
+	ok := true
+	for _, rhs := range rhss {
+		if !t.derived(rhs) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		t.memo[v] = 2
+	} else {
+		t.memo[v] = 3
+	}
+	return ok
+}

@@ -1,0 +1,12 @@
+package sharddisjoint_test
+
+import (
+	"testing"
+
+	"ldis/internal/analysis/atest"
+	"ldis/internal/analysis/sharddisjoint"
+)
+
+func TestShardDisjoint(t *testing.T) {
+	atest.Run(t, sharddisjoint.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,103 @@
+// Package a is the sharddisjoint golden fixture: a fake shard worker
+// committing every confinement violation the analyzer must flag, the
+// merge write discipline, //ldis:shard-owned field protection, and the
+// sanctioned patterns the analyzer must accept.
+package a
+
+import (
+	b "ldis/internal/analysis/sharddisjoint/testdata/src/b"
+)
+
+var counter int
+var table = map[int]int{1: 2}
+var hook func(int) int
+
+// Org stands in for a cache organization dispatched through the
+// shard's own state.
+type Org interface {
+	Touch(n int)
+}
+
+// Shard is the per-worker state a shard worker owns.
+type Shard struct {
+	Org Org
+	N   int
+}
+
+// doBatchShard matches the hierarchy shard-worker root by name, so its
+// whole call graph is verified shard-confined.
+func doBatchShard(s *Shard, n int) {
+	counter++    // want `writes package-level variable "counter"`
+	_ = table[n] // want `reads package-level map "table"`
+	_ = hook(n)  // want `dynamic call through hook, which is not derived from the shard's own state`
+	go spin()    // want `launches a goroutine`
+
+	s.Org.Touch(n) // dispatch through shard-owned state: accepted
+	s.N += n       // write through the shard's own parameter: accepted
+	helper(s)
+
+	_ = b.Confined(n) // verified via the exported fact: no diagnostic
+	_ = b.Tainted(n)  // want `call to internal/analysis/sharddisjoint/testdata/src/b\.Tainted cannot be verified shard-confined`
+
+	//ldis:shard-ok fixture: frozen-after-init gauge, single writer
+	counter = n
+}
+
+func spin() {}
+
+// helper is unannotated but reachable from the shard worker, so its
+// body is checked transitively.
+func helper(s *Shard) {
+	counter++ // want `writes package-level variable "counter".*\(in helper, reachable from shard root doBatchShard\)`
+	s.N++
+}
+
+// Stats is a merge-discipline target: MergeShard folds the sibling
+// into the receiver.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// MergeShard reads the sibling and writes the receiver — except for
+// the one flagged line that zeroes the sibling, which would make merge
+// order observable.
+func (s *Stats) MergeShard(o *Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	o.Hits = 0 // want `merge function MergeShard writes through its parameter "o"`
+}
+
+// Merge has the merge shape (parameter type equals receiver type), is
+// held to the same discipline, and passes it.
+func (s *Stats) Merge(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
+// ShardState carries an annotated per-shard counter.
+type ShardState struct {
+	Hits uint64 //ldis:shard-owned
+	// Misses is annotated through its doc comment instead.
+	//
+	//ldis:shard-owned
+	Misses uint64
+}
+
+// bump is shard-confined, so it may write the owned counters.
+func bump(s *ShardState) {
+	s.Hits++
+	s.Misses++
+}
+
+// Leak writes a package-level variable, so it is not shard-confined —
+// and therefore may not touch a //ldis:shard-owned counter.
+func Leak(s *ShardState, n int) {
+	counter += n
+	s.Hits++ // want `Leak writes //ldis:shard-owned field .*ShardState\.Hits but is not shard-confined`
+}
+
+func Unjustified() {
+	//ldis:shard-ok // want `//ldis:shard-ok requires a justification`
+	counter++
+}

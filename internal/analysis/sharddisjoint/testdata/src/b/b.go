@@ -1,0 +1,17 @@
+// Package b exercises sharddisjoint's cross-package facts: package a
+// calls both functions, and the confinement summary exported here is
+// what lets the analyzer accept one call and reject the other.
+package b
+
+var total int
+
+// Confined touches only its own state; its exported confined fact
+// lets shard workers in importing packages call it.
+func Confined(x int) int { return x * 2 }
+
+// Tainted accumulates into a package-level variable, so it can never
+// appear under a shard worker.
+func Tainted(x int) int {
+	total += x
+	return total
+}

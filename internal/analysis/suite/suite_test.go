@@ -22,7 +22,24 @@ func TestTreeIsLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
-	for _, d := range analysis.Run(suite.All, pkgs) {
+	for _, d := range analysis.Unsuppressed(analysis.Run(suite.All, pkgs)) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestTreeHasNoStaleSuppressions runs the stale-suppression sweep,
+// exactly as `make lint-fix-check` does: every justified //ldis:*-ok
+// directive in the tree must still silence a diagnostic, and every
+// //ldis: name must be part of the grammar.
+func TestTreeHasNoStaleSuppressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	pkgs, err := analysis.Load("../../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range analysis.StaleSuppressions(suite.All, pkgs) {
 		t.Errorf("%s", d)
 	}
 }

@@ -61,11 +61,11 @@ type Line struct {
 
 // Stats aggregates the cache's behaviour.
 type Stats struct {
-	Accesses   uint64
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	Writebacks uint64
+	Accesses   uint64 //ldis:shard-owned
+	Hits       uint64 //ldis:shard-owned
+	Misses     uint64 //ldis:shard-owned
+	Evictions  uint64 //ldis:shard-owned
+	Writebacks uint64 //ldis:shard-owned
 
 	// WordsUsedAtEvict histograms footprint popcounts of evicted lines
 	// (buckets 0..8); bucket 0 stays empty because installs mark the

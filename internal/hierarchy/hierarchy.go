@@ -73,14 +73,14 @@ type System struct {
 	L2  L2
 
 	// Instructions counts retired instructions (from Instret fields).
-	Instructions uint64
+	Instructions uint64 //ldis:shard-owned
 	// Classes histograms accesses by service class.
 	Classes *stats.Histogram
 	// DemandAccesses counts processor-side references.
-	DemandAccesses uint64
+	DemandAccesses uint64 //ldis:shard-owned
 	// CompulsoryMisses counts L2 misses to never-before-touched lines
 	// (the Table 2 "Compulsory Misses" column).
-	CompulsoryMisses uint64
+	CompulsoryMisses uint64 //ldis:shard-owned
 
 	seen     lineSet
 	batchBuf []trace.Record

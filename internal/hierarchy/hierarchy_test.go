@@ -132,6 +132,7 @@ func TestRunStopsAtStreamEnd(t *testing.T) {
 
 func TestClassStrings(t *testing.T) {
 	want := map[Class]string{L1Hit: "l1-hit", L2Hit: "l2-hit", L2WOCHit: "l2-woc-hit", L2Miss: "l2-miss", Class(9): "invalid"}
+	//ldis:nondet-ok iteration order only affects t.Errorf attribution, not any experiment output
 	for c, s := range want {
 		if c.String() != s {
 			t.Errorf("%d.String() = %q", c, c.String())

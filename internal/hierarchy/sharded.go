@@ -159,6 +159,7 @@ func RunSharded(shards, batchSize, warmup, measure int, bs trace.BatchStream, bu
 		// recovery boundary.
 		defer func() {
 			if r := recover(); r != nil {
+				//ldis:goroutine-ok drainer is bounded by the producer closing ch; joining it here would deadlock the panic path
 				go drainBlocks(ch, free)
 				panic(r)
 			}

@@ -63,6 +63,7 @@ func StartServer(addr string, run *Run) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &Server{run: run, ln: ln, srv: &http.Server{Handler: mux}}
+	//ldis:goroutine-ok deliberate daemon: Serve runs until Close, whose shutdown joins it via the listener error
 	go s.srv.Serve(ln)
 	return s, nil
 }
