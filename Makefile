@@ -42,13 +42,16 @@
 # `make chaos` runs the fault-injection suite: seeded panics, corrupt
 # traces, and kill-mid-sweep checkpoints driven through the full
 # engine (see DESIGN.md §8).
+# `make ldisd-smoke` drives the ldisd service end to end against a
+# real process: start, submit, stream the result, verify the manifest,
+# SIGTERM-drain (see DESIGN.md §12).
 
 GO ?= go
 
 .PHONY: all build vet lint lint-vet lint-json lint-fix-check \
 	lint-install test check race test-race microbench bench \
 	bench-gate bench-promote bench-smoke chaos fuzz-smoke mrc-smoke \
-	obs-smoke govulncheck profile clean
+	obs-smoke ldisd-smoke govulncheck profile clean
 
 # Allowed fractional slowdown per experiment before bench-gate fails.
 BENCH_TOL ?= 0.05
@@ -111,21 +114,28 @@ race:
 # detector. The shard/batch equivalence tests in internal/hierarchy
 # drive every worker count the static proofs cover.
 test-race:
-	$(GO) test -race ./internal/hierarchy/... ./internal/par/... ./internal/obs/...
+	$(GO) test -race ./internal/hierarchy/... ./internal/par/... ./internal/obs/... \
+		./internal/server/...
 
 # Fault-injection (chaos) suite: the resilience tests across the
-# scheduler, checkpoint, trace-decode, and fault-injector layers, run
-# under the race detector so injected panics can't hide a data race.
+# scheduler, checkpoint, trace-decode, fault-injector, and service
+# layers, run under the race detector so injected panics can't hide a
+# data race. The internal/server leg covers the ldisd chaos gate:
+# injected worker panics, corrupt uploads, queue-full shedding, and
+# kill-mid-sweep resume.
 chaos:
-	$(GO) test -race -run 'Chaos|Checkpoint|Panic|Policy|Fault|Corrupt|Lenient' \
-		./internal/exp ./internal/par ./internal/trace ./internal/faultinject
+	$(GO) test -race -run 'Chaos|Checkpoint|Panic|Policy|Fault|Corrupt|Lenient|Sheds|KillMidSweep|Drain' \
+		./internal/exp ./internal/par ./internal/trace ./internal/faultinject \
+		./internal/server
 
 # Short fuzz runs over the committed seed corpora: the trace codec
-# (internal/trace/testdata/fuzz) and the checkpoint record scanner
-# (internal/exp/testdata/fuzz). Sized for CI.
+# (internal/trace/testdata/fuzz), the checkpoint record scanner
+# (internal/exp/testdata/fuzz), and the ldisd job-spec decoder
+# (internal/server/testdata/fuzz). Sized for CI.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointScan -fuzztime 10s ./internal/exp
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSpec -fuzztime 10s ./internal/server
 
 # Miss-ratio-curve validation: the acceptance gate for internal/mrc.
 # The tests assert the SHARDS curve within 0.02 absolute error of the
@@ -152,6 +162,16 @@ obs-smoke:
 	@grep -q '"stage": "simulate"' obs-smoke-out/manifest.json
 	@rm -rf obs-smoke-out
 	@echo "obs-smoke: manifest verified"
+
+# End-to-end service smoke: builds the real ldisd binary and drives it
+# through its full lifecycle with the Go smoke driver — start on an
+# ephemeral port, submit a fig6 job, long-poll the streamed result and
+# require the "done" trailer, verify the per-job manifest, then
+# SIGTERM and require a clean graceful-drain exit.
+ldisd-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/ldisd ./cmd/ldisd
+	$(GO) run ./cmd/ldisdsmoke -bin bin/ldisd
 
 # Advisory vulnerability scan: runs only if govulncheck is installed
 # (it is not vendored; `go install golang.org/x/vuln/cmd/govulncheck@latest`

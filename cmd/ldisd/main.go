@@ -1,0 +1,88 @@
+// Command ldisd serves the line-distillation experiment engine and
+// trace replay as a hardened HTTP API.
+//
+// Usage:
+//
+//	ldisd -addr 127.0.0.1:8080 -data ./ldisd-data
+//
+// Endpoints (see DESIGN.md §12 and the README "Service" section):
+//
+//	GET  /healthz                   liveness + queue occupancy
+//	GET  /v1/experiments            registered experiment ids
+//	POST /v1/jobs                   submit a job spec (JSON)
+//	GET  /v1/jobs                   list jobs
+//	GET  /v1/jobs/{id}              job status
+//	GET  /v1/jobs/{id}/result       stream results (?wait=1 long-polls)
+//	GET  /v1/jobs/{id}/manifest     per-job run manifest
+//	POST /v1/traces                 upload a binary trace
+//	GET  /v1/traces/{id}            stored trace metadata
+//
+// The first SIGINT/SIGTERM drains gracefully (stop admitting, shed
+// queued jobs as retryable, finish in-flight work under -drain-timeout,
+// then close the listener); a second signal forces a fast exit with
+// checkpoints preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ldis/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile       = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts driving -addr :0)")
+		dataDir        = flag.String("data", "ldisd-data", "data directory for job checkpoints, manifests, and uploaded traces")
+		queueDepth     = flag.Int("queue", 0, "admission queue depth; beyond it jobs are shed with 429 (0 = default 8)")
+		workers        = flag.Int("workers", 0, "concurrent job executors (0 = default 2)")
+		parallel       = flag.Int("parallel", 0, "per-job cell worker cap (0 = GOMAXPROCS)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline for in-flight jobs on SIGINT/SIGTERM")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request handler deadline (0 = default 60s)")
+		maxBodyBytes   = flag.Int64("max-body-bytes", 0, "trace-upload body cap in bytes (0 = default 64 MiB)")
+		maxAccesses    = flag.Int("max-accesses", 0, "admission cap on a job's per-cell access count (0 = default 5,000,000)")
+		faultSeed      = flag.Uint64("fault-seed", 0, "chaos-testing seed: deterministically panic a seeded subset of jobs (0 = off)")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		DataDir:        *dataDir,
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		CellWorkers:    *parallel,
+		MaxAccesses:    *maxAccesses,
+		MaxBodyBytes:   *maxBodyBytes,
+		RequestTimeout: *requestTimeout,
+		FaultSeed:      *faultSeed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := s.Start(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		// Write-then-rename so a watcher never reads a half-written
+		// address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	server.RunSignals(s, sig, *drainTimeout, os.Exit)
+}

@@ -1,7 +1,7 @@
 // Package boundedgo enforces the simulator's goroutine discipline:
-// under internal/, every `go` statement must be join-tracked — its
-// enclosing function Adds to and Waits on a sync.WaitGroup — or carry
-// a justified //ldis:goroutine-ok directive.
+// under internal/ and cmd/, every `go` statement must be join-tracked
+// — its enclosing function Adds to and Waits on a sync.WaitGroup — or
+// carry a justified //ldis:goroutine-ok directive.
 //
 // The determinism and observability contracts both assume goroutine
 // lifetimes nest inside the call that launched them: RunSharded and
@@ -16,6 +16,10 @@
 // same function, or justify the exception where a daemon really is
 // intended (the obs HTTP listener, the sharded runner's draining
 // goroutine whose channel close bounds it).
+//
+// cmd/ entered the scope when ldisd arrived: a long-running service's
+// listener and drainer goroutines carry exactly the leak risks the
+// internal/ discipline exists for, so commands no longer get a pass.
 //
 // Test files are exempt: `go vet` analyzes *_test.go too, and tests
 // legitimately launch helper goroutines bounded by the test's own
@@ -33,7 +37,7 @@ import (
 // Analyzer is the boundedgo analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "boundedgo",
-	Doc:  "every go statement under internal/ is WaitGroup-tracked in its enclosing function or justified with //ldis:goroutine-ok",
+	Doc:  "every go statement under internal/ and cmd/ is WaitGroup-tracked in its enclosing function or justified with //ldis:goroutine-ok",
 	Run:  run,
 }
 
@@ -52,10 +56,13 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// inScope limits the discipline to internal/: commands own the
-// process lifetime, so a daemon goroutine in main is not a leak.
+// inScope covers internal/ and cmd/. Commands used to get a pass on
+// the theory that main owns the process lifetime; ldisd ended that —
+// a service binary's goroutines outlive any one request, and a leaked
+// one is exactly as racy there as in the engine.
 func inScope(path string) bool {
 	return strings.HasPrefix(path, "ldis/internal/") ||
+		strings.HasPrefix(path, "ldis/cmd/") ||
 		strings.Contains(path, "/boundedgo/testdata/")
 }
 

@@ -6,6 +6,19 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
+)
+
+// Slowloris guards for the observability listener: a client must send
+// its headers promptly and cannot hold an idle connection forever.
+// WriteTimeout stays generous because /debug/pprof/profile and
+// /debug/pprof/trace stream for their requested duration (30s by
+// default) before the first meaningful byte.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = time.Minute
+	writeTimeout      = 5 * time.Minute
+	idleTimeout       = 2 * time.Minute
 )
 
 // Server serves a run's live state over HTTP: progress and ETA,
@@ -62,7 +75,13 @@ func StartServer(addr string, run *Run) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{run: run, ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{run: run, ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}}
 	//ldis:goroutine-ok deliberate daemon: Serve runs until Close, whose shutdown joins it via the listener error
 	go s.srv.Serve(ln)
 	return s, nil

@@ -1,0 +1,38 @@
+package obs
+
+// This file is an internal (package obs) test: the regression it pins
+// — the -obs-addr listener carrying slowloris-safe timeouts — lives on
+// the unexported http.Server inside Server, which the external
+// obs_test package cannot see.
+
+import "testing"
+
+// TestServerHasTimeouts guards against the observability listener
+// regressing to a timeout-less http.Server, where one slow client
+// could hold connections (and their goroutines) open indefinitely.
+func TestServerHasTimeouts(t *testing.T) {
+	s, err := StartServer("127.0.0.1:0", NewRun(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set: header-dribbling clients are unbounded")
+	}
+	if s.srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout not set: slow request bodies are unbounded")
+	}
+	if s.srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout not set: stalled readers hold responses forever")
+	}
+	if s.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set: idle keep-alive connections never close")
+	}
+	// The profile endpoints stream for up to their requested duration
+	// (default 30s) before completing; the write timeout must not be so
+	// tight that it kills a default CPU profile mid-stream.
+	if s.srv.WriteTimeout < readTimeout {
+		t.Errorf("WriteTimeout %v tighter than ReadTimeout %v: pprof profile streams would be cut off",
+			s.srv.WriteTimeout, s.srv.ReadTimeout)
+	}
+}

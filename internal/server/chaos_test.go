@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ldis/internal/faultinject"
+	"ldis/internal/mem"
+	"ldis/internal/trace"
+)
+
+// fig6Benches is the chaos grid: fig6 (4 configuration columns) over
+// four benchmarks, 16 cells.
+var fig6Benches = []string{"ammp", "mcf", "swim", "health"}
+
+// findCellFaultSeed scans for a fault seed whose injected panics hit at
+// least one fig6 cell but not all of them, so a faulted run both fails
+// and checkpoints healthy cells. Site() is a pure function of (seed,
+// key), so the scan is exact, not probabilistic.
+func findCellFaultSeed(t *testing.T) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed < 10_000; seed++ {
+		inj := faultinject.NewDefault(seed)
+		faulty := 0
+		for _, b := range fig6Benches {
+			for col := 0; col < 4; col++ {
+				if f, _ := inj.Site(fmt.Sprintf("fig6/%s/%d", b, col)); f {
+					faulty++
+				}
+			}
+		}
+		if faulty > 0 && faulty < len(fig6Benches)*4 {
+			return seed
+		}
+	}
+	t.Fatal("no usable cell fault seed in scan range")
+	return 0
+}
+
+// TestInjectedJobPanicIsStructuredFailure drives the worker panic
+// boundary: a chaos seed chosen to panic a specific job must yield a
+// structured job failure (the par.TaskError rendering, with the
+// injection site named) while the server keeps serving and completes a
+// subsequent clean job.
+func TestInjectedJobPanicIsStructuredFailure(t *testing.T) {
+	cfg := testConfig(t).withDefaults()
+	doomed := smallSpec(t, &cfg, "mcf")
+	key := "job/" + doomed.ID()
+	seed := uint64(0)
+	for c := uint64(1); c < 10_000; c++ {
+		if f, _ := faultinject.NewDefault(c).Site(key); f {
+			seed = c
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no fault seed hits the job site in scan range")
+	}
+	cfg.FaultSeed = seed
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	j, _, err := s.Submit(doomed, "r-doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateFailed)
+	_, _, errMsg, _ := j.progress(0)
+	if !strings.Contains(errMsg, "panicked") || !strings.Contains(errMsg, "injected panic at "+key) {
+		t.Errorf("panic failure not structured: %q", errMsg)
+	}
+
+	// The panic must not have taken a worker down with it: a clean job
+	// submitted afterwards still completes.
+	clean, _, err := s.Submit(smallSpec(t, &s.cfg, "swim"), "r-clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, clean, StateDone)
+}
+
+// TestQueueFullSheds429 pins the admission-control contract over real
+// HTTP: with one worker pinned and the queue full, the next submission
+// is shed with 429 + Retry-After and a retryable JSON body — and after
+// the backlog clears, the identical spec is admitted cleanly (the shed
+// registration left no ghost behind).
+func TestQueueFullSheds429(t *testing.T) {
+	cfg := testConfig(t) // QueueDepth 2, Workers 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHold = make(chan struct{})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	base := "http://" + s.Addr()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	post := func(bench string) *http.Response {
+		t.Helper()
+		body := fmt.Sprintf(`{"kind":"exp","experiments":["fig6"],"benchmarks":[%q],"accesses":20000}`, bench)
+		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for i, bench := range []string{"mcf", "health", "swim"} {
+		resp := post(bench)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d, want 202", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+		if i == 0 {
+			waitQueueDrained(t, s) // worker holds job 0; jobs 1,2 fill the queue
+		}
+	}
+
+	resp := post("ammp")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submission: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+	var e struct {
+		Error      string `json:"error"`
+		Retryable  bool   `json:"retryable"`
+		RetryAfter int    `json:"retry_after_seconds"`
+		RequestID  string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("429 body not structured JSON: %v", err)
+	}
+	if !e.Retryable || e.RetryAfter <= 0 || e.Error == "" || e.RequestID == "" {
+		t.Errorf("429 body incomplete: %+v", e)
+	}
+
+	// Clear the backlog, then the shed spec must be admitted fresh.
+	close(s.testHold)
+	for i := 0; i < 1000; i++ {
+		q, r, _, _ := s.store.counts()
+		if q+r == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp2 := post("ammp")
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("post-backoff resubmit: status %d, want 202 (body %s)", resp2.StatusCode, b)
+	}
+}
+
+// TestCorruptUploadRejectedStructured pins the upload door: a
+// bit-flipped trace is refused with a 400 whose body carries the
+// decoder's structured diagnosis (offset, record, reason) — never
+// stored, never an empty error.
+func TestCorruptUploadRejectedStructured(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	base := "http://" + s.Addr()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	accs := make([]mem.Access, 8)
+	for i := range accs {
+		accs[i] = mem.Access{Addr: mem.Addr(0x1000 + i*64), Kind: mem.Load}
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, accs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Header is 16 bytes, records 24; the kind byte sits 16 bytes into
+	// a record. Poison record 1's kind.
+	data[16+24+16] = 0xFF
+
+	resp, err := client.Post(base+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt upload: status %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error   string `json:"error"`
+		Corrupt *struct {
+			Offset int64  `json:"offset"`
+			Record int64  `json:"record"`
+			Reason string `json:"reason"`
+		} `json:"corrupt"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("400 body not structured JSON: %v", err)
+	}
+	if e.Corrupt == nil {
+		t.Fatalf("corrupt upload response missing corruption info: %+v", e)
+	}
+	if e.Corrupt.Record != 1 || e.Corrupt.Offset != 16+24 || e.Corrupt.Reason == "" {
+		t.Errorf("corruption not pinned to record 1 at offset 40: %+v", *e.Corrupt)
+	}
+}
+
+// TestKillMidSweepResumesByteIdentical is the chaos gate's recovery
+// leg. A seeded fault kills part of a fig6 sweep (server A); the
+// failed job's result stream still carries the error trailer. A clean
+// respin of the same spec on a fresh server over the same data
+// directory (server B — the restart) must replay the surviving cells
+// from the checkpoint and render output byte-identical to a
+// never-faulted run on a pristine directory (server C).
+func TestKillMidSweepResumesByteIdentical(t *testing.T) {
+	seed := findCellFaultSeed(t)
+	mkSpec := func(cfg *Config, faultSeed uint64) *Spec {
+		s := &Spec{Kind: "exp", Experiments: []string{"fig6"}, Benchmarks: fig6Benches,
+			Accesses: 20_000, KeepGoing: true, FaultSeed: faultSeed}
+		if err := s.Validate(cfg); err != nil {
+			t.Fatalf("spec: %v", err)
+		}
+		return s
+	}
+
+	dataDir := t.TempDir()
+	cfgA := testConfig(t)
+	cfgA.DataDir = dataDir
+	a, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	faulted, _, err := a.Submit(mkSpec(&a.cfg, seed), "r-faulted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, faulted, StateFailed)
+	st := faulted.status()
+	if st.FailedCells == 0 || st.FailedCells == len(fig6Benches)*4 {
+		t.Fatalf("faulted run failed %d/16 cells; the seed scan promised a partial failure", st.FailedCells)
+	}
+
+	// No partial response without an error trailer: the failed job's
+	// stream must end with status "failed" and a non-empty error.
+	client := &http.Client{}
+	resp, err := client.Get("http://" + a.Addr() + "/v1/jobs/" + faulted.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	client.CloseIdleConnections()
+	if got := resp.Trailer.Get("X-Ldisd-Status"); got != string(StateFailed) {
+		t.Errorf("failed job result trailer status %q, want failed", got)
+	}
+	if resp.Trailer.Get("X-Ldisd-Error") == "" {
+		t.Errorf("failed job result stream has no error trailer; body:\n%s", body)
+	}
+	// Kill server A mid-story (drain; the job already failed).
+	if err := a.Shutdown(context.Background()); err != nil {
+		t.Fatalf("server A shutdown: %v", err)
+	}
+
+	// Server B: the restart over the same data directory. The clean
+	// respin shares the work directory (fault seed is excluded from the
+	// work key) and must resume from the checkpoint.
+	cfgB := testConfig(t)
+	cfgB.DataDir = dataDir
+	b, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := b.Submit(mkSpec(&b.cfg, 0), "r-resumed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, resumed, StateDone)
+	if got := resumed.status().ReplayedCells; got == 0 {
+		t.Error("resumed job replayed no checkpointed cells; expected the faulted run's surviving work to be reused")
+	}
+	resumedOut, _, _, _ := resumed.progress(0)
+	if err := b.Shutdown(context.Background()); err != nil {
+		t.Fatalf("server B shutdown: %v", err)
+	}
+
+	// Server C: the same clean spec on a pristine directory.
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	pristine, _, err := c.Submit(mkSpec(&c.cfg, 0), "r-pristine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, pristine, StateDone)
+	if got := pristine.status().ReplayedCells; got != 0 {
+		t.Errorf("pristine run replayed %d cells from an empty directory", got)
+	}
+	pristineOut, _, _, _ := pristine.progress(0)
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("server C shutdown: %v", err)
+	}
+
+	if len(resumedOut) != 1 || len(pristineOut) != 1 {
+		t.Fatalf("result counts: resumed %d, pristine %d, want 1 each", len(resumedOut), len(pristineOut))
+	}
+	if resumedOut[0].Text != pristineOut[0].Text {
+		t.Errorf("resumed output differs from pristine run:\n--- resumed ---\n%s\n--- pristine ---\n%s",
+			resumedOut[0].Text, pristineOut[0].Text)
+	}
+}
+
+// TestLifecycleLeavesNoGoroutines pins that a full start → work →
+// drain cycle returns the process to its original goroutine count: the
+// worker pool, listener, and drain helpers are all joined, not leaked.
+func TestLifecycleLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 2; cycle++ {
+		s, err := New(testConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		j, _, err := s.Submit(smallSpec(t, &s.cfg, "mcf"), "r-leak")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, StateDone)
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatalf("cycle %d shutdown: %v", cycle, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after two lifecycles", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig returns a small, fast server config rooted in a temp dir.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		DataDir:         t.TempDir(),
+		QueueDepth:      2,
+		Workers:         1,
+		DefaultAccesses: 20_000,
+		Log:             log.New(new(strings.Builder), "", 0),
+	}
+}
+
+// smallSpec is a fast two-benchmark fig6 job; vary bench to get
+// distinct jobs (distinct ids and work directories).
+func smallSpec(t *testing.T, cfg *Config, bench string) *Spec {
+	t.Helper()
+	s := &Spec{Kind: "exp", Experiments: []string{"fig6"}, Benchmarks: []string{bench}, Accesses: 20_000}
+	if err := s.Validate(cfg); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	return s
+}
+
+// waitState polls until the job reaches a terminal state.
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		_, state, errMsg, _ := j.progress(0)
+		if state == want {
+			return
+		}
+		if state.terminal() {
+			t.Fatalf("job %s reached %s (%s), want %s", j.ID, state, errMsg, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", j.ID, want)
+}
+
+// waitQueueDrained polls until the (single) worker has pulled the next
+// job off the channel, so subsequent submissions deterministically fill
+// the queue rather than racing the dequeue.
+func waitQueueDrained(t *testing.T, s *Server) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if len(s.queue) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("worker never drained the queue")
+}
+
+// TestShutdownDrainsInFlight pins the graceful-drain contract: the
+// in-flight job runs to completion, the queued-but-unstarted job is
+// rejected with a retryable status, and submissions during the drain
+// are refused with ErrDraining.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHold = make(chan struct{})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	inflight, _, err := s.Submit(smallSpec(t, &s.cfg, "mcf"), "r-inflight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single worker pulls the job and parks on testHold — in
+	// flight, not yet running.
+	waitQueueDrained(t, s)
+	queued, _, err := s.Submit(smallSpec(t, &s.cfg, "health"), "r-queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain with the worker still parked: the shed loop must reject the
+	// queued job without touching the in-flight one.
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	waitState(t, queued, StateRejected)
+	_, _, errMsg, _ := queued.progress(0)
+	if !queued.status().Retryable {
+		t.Errorf("shed job not marked retryable (err %q)", errMsg)
+	}
+
+	if _, _, err := s.Submit(smallSpec(t, &s.cfg, "swim"), "r-late"); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit during drain: err = %v, want ErrDraining", err)
+	}
+
+	// Release the worker: the in-flight job must now run to completion
+	// inside the drain window.
+	close(s.testHold)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	results, state, errMsg, _ := inflight.progress(0)
+	if state != StateDone || len(results) != 1 {
+		t.Fatalf("in-flight job: state %s err %q results %d, want done with 1 result", state, errMsg, len(results))
+	}
+}
+
+// TestShutdownTwiceErrors pins that a second Shutdown reports instead
+// of double-closing the queue.
+func TestShutdownTwiceErrors(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("second Shutdown should error")
+	}
+}
+
+// TestRunSignalsCleanDrain pins exit code 0 for a first-signal drain
+// with nothing in flight.
+func TestRunSignalsCleanDrain(t *testing.T) {
+	s, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 2)
+	codes := make(chan int, 1)
+	sig <- os.Interrupt
+	RunSignals(s, sig, 30*time.Second, func(code int) { codes <- code })
+	if code := <-codes; code != 0 {
+		t.Fatalf("clean drain exit code %d, want 0", code)
+	}
+}
+
+// TestRunSignalsSecondSignalForcesExit pins the fast-exit path: with a
+// job pinned in flight the drain cannot finish, and a second signal
+// must exit code 2 immediately (abandoning, not waiting out, the
+// drain).
+func TestRunSignalsSecondSignalForcesExit(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHold = make(chan struct{})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit(smallSpec(t, &s.cfg, "mcf"), "r-pinned"); err != nil {
+		t.Fatal(err)
+	}
+	waitQueueDrained(t, s)
+
+	sig := make(chan os.Signal, 2)
+	codes := make(chan int, 2)
+	ret := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunSignals(s, sig, time.Hour, func(code int) { codes <- code })
+		close(ret)
+	}()
+	sig <- os.Interrupt
+	sig <- os.Interrupt
+	if code := <-codes; code != 2 {
+		t.Fatalf("second-signal exit code %d, want 2", code)
+	}
+	if !s.abandoned() {
+		t.Error("second signal should set the abandon flag")
+	}
+	// Unpark the worker so the background drain can finish and
+	// RunSignals can join it; the abandoned job must fail retryable at
+	// its first experiment boundary, not complete.
+	close(s.testHold)
+	select {
+	case <-ret:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunSignals did not return after the drain unblocked")
+	}
+	wg.Wait()
+	select {
+	case extra := <-codes:
+		t.Fatalf("exit called twice (second code %d)", extra)
+	default:
+	}
+}

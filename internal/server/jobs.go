@@ -1,0 +1,301 @@
+package server
+
+import (
+	"sort"
+	"sync"
+)
+
+// JobState is a job's position in its lifecycle. Transitions are
+// queued → running → done|failed, with queued → rejected when a
+// draining server sheds the job before it ever starts. rejected and
+// failed-with-retryable carry Retryable=true: the work is intact (any
+// checkpoint survives) and an identical resubmission picks it back up.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateRejected JobState = "rejected"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateRejected
+}
+
+// ExpResult is one experiment's rendered output within a job, appended
+// as soon as that experiment completes so the result endpoint can
+// stream it while later experiments are still running.
+type ExpResult struct {
+	ID   string `json:"id"`
+	Text string `json:"-"`
+}
+
+// Job is one admitted unit of work. The immutable identity fields are
+// set at admission; everything mutable is guarded by mu and published
+// to pollers through the changed channel (closed and replaced on every
+// update — a broadcast that never blocks the writer).
+type Job struct {
+	ID        string
+	Seq       int
+	RequestID string
+	Spec      *Spec
+	dir       string
+	workKey   string
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	retryable bool
+	results   []ExpResult
+	replayed  int
+	failures  int
+	changed   chan struct{}
+}
+
+func newJob(spec *Spec, seq int, requestID, dir string) *Job {
+	return &Job{
+		ID: spec.ID(), Seq: seq, RequestID: requestID, Spec: spec,
+		dir: dir, workKey: spec.workKey(),
+		state: StateQueued, changed: make(chan struct{}),
+	}
+}
+
+// notifyLocked wakes every waiter; callers hold j.mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// begin moves the job queued → running. It returns false when the job
+// was rejected between admission and pickup (the shutdown drain path),
+// in which case the worker must not run it.
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.notifyLocked()
+	return true
+}
+
+// finish moves the job to a terminal state with a structured outcome.
+func (j *Job) finish(state JobState, errMsg string, retryable bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.retryable = retryable
+	j.notifyLocked()
+}
+
+// reject sheds a still-queued job with a retryable status; it is a
+// no-op once the job has started.
+func (j *Job) reject(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRejected
+	j.err = reason
+	j.retryable = true
+	j.notifyLocked()
+	return true
+}
+
+// appendResult publishes one completed experiment's rendered tables.
+func (j *Job) appendResult(id, text string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = append(j.results, ExpResult{ID: id, Text: text})
+	j.notifyLocked()
+}
+
+// setReplayed records how many cells the job's checkpoint served.
+func (j *Job) setReplayed(n int) {
+	j.mu.Lock()
+	j.replayed = n
+	j.mu.Unlock()
+}
+
+// setFailures records the keep-going failure count.
+func (j *Job) setFailures(n int) {
+	j.mu.Lock()
+	j.failures = n
+	j.mu.Unlock()
+}
+
+// progress returns the results appended since index from, the current
+// state, and the channel that closes on the next change — everything
+// the streaming result handler needs to either emit or wait.
+func (j *Job) progress(from int) (fresh []ExpResult, state JobState, errMsg string, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.results) {
+		fresh = append(fresh, j.results[from:]...)
+	}
+	return fresh, j.state, j.err, j.changed
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID            string   `json:"id"`
+	State         JobState `json:"state"`
+	Kind          string   `json:"kind"`
+	RequestID     string   `json:"request_id,omitempty"`
+	Experiments   []string `json:"experiments,omitempty"`
+	Completed     []string `json:"completed,omitempty"`
+	Error         string   `json:"error,omitempty"`
+	Retryable     bool     `json:"retryable,omitempty"`
+	ReplayedCells int      `json:"replayed_cells,omitempty"`
+	FailedCells   int      `json:"failed_cells,omitempty"`
+	ResultURL     string   `json:"result_url"`
+	ManifestURL   string   `json:"manifest_url"`
+}
+
+// status snapshots the job for JSON rendering.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, State: j.state, Kind: j.Spec.Kind, RequestID: j.RequestID,
+		Experiments: j.Spec.Experiments, Error: j.err, Retryable: j.retryable,
+		ReplayedCells: j.replayed, FailedCells: j.failures,
+		ResultURL:   "/v1/jobs/" + j.ID + "/result",
+		ManifestURL: "/v1/jobs/" + j.ID + "/manifest",
+	}
+	for _, r := range j.results {
+		st.Completed = append(st.Completed, r.ID)
+	}
+	return st
+}
+
+// store is the in-memory job registry. Work directories are exclusive
+// while a job holding them is live: two jobs whose specs map to the
+// same checkpoint may not run concurrently (their appends would
+// interleave), so admission returns a conflict instead.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string          // insertion order, for deterministic listings
+	dirs  map[string]string // workKey → live job id
+	seq   int
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*Job), dirs: make(map[string]string)}
+}
+
+// ConflictError reports a submission whose work directory is held by a
+// live equivalent job.
+type ConflictError struct{ ActiveID string }
+
+func (e *ConflictError) Error() string {
+	return "an equivalent job is already in flight: " + e.ActiveID
+}
+
+// admit registers the job, enforcing id idempotency and work-directory
+// exclusivity. It returns (existing, nil) when an identical live or
+// completed job already exists — submission is idempotent — and
+// replaces terminally failed or rejected entries so a retry actually
+// reruns.
+func (st *store) admit(spec *Spec, requestID, dir string) (*Job, bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id := spec.ID()
+	if cur, ok := st.jobs[id]; ok {
+		cur.mu.Lock()
+		state := cur.state
+		cur.mu.Unlock()
+		if state == StateDone || !state.terminal() {
+			return cur, false, nil
+		}
+		// failed or rejected: fall through and replace with a fresh run.
+	}
+	key := spec.workKey()
+	if holder, busy := st.dirs[key]; busy && holder != id {
+		return nil, false, &ConflictError{ActiveID: holder}
+	}
+	st.seq++
+	j := newJob(spec, st.seq, requestID, dir)
+	if _, known := st.jobs[id]; !known {
+		st.order = append(st.order, id)
+	}
+	st.jobs[id] = j
+	st.dirs[key] = id
+	return j, true, nil
+}
+
+// forget removes a just-admitted job that never made the queue (the
+// load-shedding path), so a post-backoff retry is admitted cleanly.
+func (st *store) forget(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dirs[j.workKey] == j.ID {
+		delete(st.dirs, j.workKey)
+	}
+	if st.jobs[j.ID] == j {
+		delete(st.jobs, j.ID)
+		if n := len(st.order); n > 0 && st.order[n-1] == j.ID {
+			st.order = st.order[:n-1]
+		}
+	}
+}
+
+// release frees the job's work directory once it reaches a terminal
+// state.
+func (st *store) release(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dirs[j.workKey] == j.ID {
+		delete(st.dirs, j.workKey)
+	}
+}
+
+// get looks a job up by id.
+func (st *store) get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list returns every job in submission order.
+func (st *store) list() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.jobs[id])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// counts tallies jobs by lifecycle bucket for the health endpoint.
+func (st *store) counts() (queued, running, done, failed int) {
+	for _, j := range st.list() {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		switch state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateFailed, StateRejected:
+			failed++
+		}
+	}
+	return
+}

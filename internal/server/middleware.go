@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+)
+
+// ctxKey keys request-scoped values.
+type ctxKey int
+
+const ctxRequestID ctxKey = iota
+
+// requestID returns the id assigned to r by the middleware chain.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxRequestID).(string)
+	return id
+}
+
+// statusWriter records the response status so the recovery middleware
+// knows whether a panic escaped before or after the header was sent,
+// and the access log can report what actually went out. Flush is
+// forwarded so the streaming result handler keeps working through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// apiError is the structured error body every non-2xx response
+// carries: the service never answers with an empty error page, and
+// the request id lets a client line its failure up with the server
+// log.
+type apiError struct {
+	Error      string `json:"error"`
+	RequestID  string `json:"request_id,omitempty"`
+	Retryable  bool   `json:"retryable,omitempty"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+	// Corrupt pins upload corruption to its location, straight from
+	// the hardened trace decoder.
+	Corrupt *corruptInfo `json:"corrupt,omitempty"`
+}
+
+type corruptInfo struct {
+	Offset int64  `json:"offset"`
+	Record int64  `json:"record"`
+	Reason string `json:"reason"`
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders a structured error; retryAfter > 0 additionally
+// sets the Retry-After header (the load-shedding contract).
+func writeError(w http.ResponseWriter, r *http.Request, code int, e apiError) {
+	e.RequestID = requestID(r)
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(e.RetryAfter))
+		e.Retryable = true
+	}
+	writeJSON(w, code, e)
+}
+
+// withRequestID assigns every request an id (honouring a well-formed
+// inbound X-Request-Id so callers can thread their own correlation
+// keys), reflects it in the response, and writes the access log line.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = fmt.Sprintf("r%d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(context.WithValue(r.Context(), ctxRequestID, id))
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.logf("req %s %s %s -> %d", id, r.Method, r.URL.Path, sw.status)
+	})
+}
+
+// sanitizeRequestID accepts only short, log-safe inbound ids.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// withRecovery converts a panicking handler into a structured 500 —
+// stack to the log under the request id, never to the client — so one
+// bad request cannot take a connection's goroutine down with an
+// unhandled panic.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("req %s handler panicked: %v\n%s", requestID(r), rec, debug.Stack())
+				if sw, ok := w.(*statusWriter); !ok || sw.status == 0 {
+					writeError(w, r, http.StatusInternalServerError,
+						apiError{Error: fmt.Sprintf("internal error: %v", rec)})
+				}
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withPathGuard bounds request-path length and depth before any
+// routing happens — a hostile path never reaches a handler, the
+// filesystem, or the mux's pattern matcher.
+func (s *Server) withPathGuard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(r.URL.Path) > s.cfg.MaxPathBytes {
+			writeError(w, r, http.StatusRequestURITooLong,
+				apiError{Error: fmt.Sprintf("path longer than %d bytes", s.cfg.MaxPathBytes)})
+			return
+		}
+		if depth := strings.Count(r.URL.Path, "/"); depth > s.cfg.MaxPathDepth {
+			writeError(w, r, http.StatusBadRequest,
+				apiError{Error: fmt.Sprintf("path deeper than %d segments", s.cfg.MaxPathDepth)})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit caps request bodies: the large allowance on the trace
+// upload endpoint, the small one everywhere else. MaxBytesReader makes
+// an oversized body a read error inside the handler rather than an
+// unbounded allocation.
+func (s *Server) withBodyLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			limit := s.cfg.MaxSpecBytes
+			if r.URL.Path == "/v1/traces" {
+				limit = s.cfg.MaxBodyBytes
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline attaches the per-request deadline. Handlers that wait
+// (the result long-poll) select on the context, so a stuck client or a
+// never-finishing job cannot pin a handler goroutine forever.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

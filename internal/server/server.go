@@ -1,0 +1,420 @@
+// Package server implements ldisd, the cache-analysis service: the
+// experiment engine, miss-ratio-curve machinery, and trace replay that
+// were previously reachable only through ldisexp flags, served as a
+// long-running HTTP API.
+//
+// The robustness layer is the point, not an afterthought:
+//
+//   - Admission control. Jobs land on a bounded queue; when it is full
+//     the server sheds load with 429 + Retry-After instead of growing
+//     an unbounded backlog, and per-request body, path-depth, and
+//     deadline limits bound what any one connection can cost.
+//   - Structured failure. A panicking job worker never takes the
+//     process down: the panic is recovered into a *par.TaskError — the
+//     same structured failure type the cell scheduler uses — and
+//     reported through the job's status with its request id, while the
+//     stack goes to the log.
+//   - Graceful drain. Shutdown stops admitting, sheds
+//     queued-but-unstarted jobs with a retryable status, drains
+//     in-flight jobs under a deadline (long sweeps checkpoint every
+//     completed cell through the CRC-guarded checkpoint log, so even an
+//     abandoned drain loses no finished work), and only then closes the
+//     listener.
+//   - Deterministic recovery. Job work directories are keyed by the
+//     result-relevant spec fingerprint; a killed-mid-sweep job respun
+//     after restart replays its checkpointed cells and renders
+//     byte-identical output — the chaos tests pin exactly that.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldis/internal/faultinject"
+	"ldis/internal/par"
+)
+
+// Config sizes the service. The zero value of every field means "use
+// the default"; DataDir is the only field without one.
+type Config struct {
+	// DataDir roots all persistent state: job work directories (with
+	// their checkpoints and manifests) under jobs/, uploaded traces
+	// under traces/.
+	DataDir string
+
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// shed with 429. Default 8.
+	QueueDepth int
+	// Workers is the number of concurrent job executors. Default 2.
+	Workers int
+	// CellWorkers caps each job's (benchmark × configuration) fan-out
+	// inside the experiment engine; 0 means GOMAXPROCS.
+	CellWorkers int
+
+	// MaxAccesses is the admission cap on a job's per-cell access
+	// count. Default 5,000,000.
+	MaxAccesses int
+	// DefaultAccesses is used when a spec leaves accesses zero.
+	// Default 120,000.
+	DefaultAccesses int
+
+	// MaxBodyBytes caps trace-upload bodies. Default 64 MiB.
+	MaxBodyBytes int64
+	// MaxSpecBytes caps job-spec bodies. Default 1 MiB.
+	MaxSpecBytes int64
+	// MaxPathBytes and MaxPathDepth cap request-path length and
+	// segment count — cheap DoS guards ahead of routing. Defaults 256
+	// bytes, 6 segments.
+	MaxPathBytes int
+	MaxPathDepth int
+
+	// RequestTimeout is the per-request handler deadline; it also
+	// bounds result long-polls. Default 60s.
+	RequestTimeout time.Duration
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout, and IdleTimeout
+	// harden the listener against slowloris-style clients. Defaults
+	// 5s, 2m, 5m, 2m.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+
+	// FaultSeed, when nonzero, deterministically panics a seeded
+	// subset of job executions via internal/faultinject — the
+	// chaos-testing hook for the worker panic boundary. 0 disables it.
+	FaultSeed uint64
+
+	// Log receives request and job lines; nil means standard error.
+	Log *log.Logger
+}
+
+// withDefaults fills every unset field.
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.QueueDepth, 8)
+	def(&c.Workers, 2)
+	def(&c.MaxAccesses, 5_000_000)
+	def(&c.DefaultAccesses, 120_000)
+	def(&c.MaxPathBytes, 256)
+	def(&c.MaxPathDepth, 6)
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxSpecBytes == 0 {
+		c.MaxSpecBytes = 1 << 20
+	}
+	defDur := func(v *time.Duration, d time.Duration) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	defDur(&c.RequestTimeout, 60*time.Second)
+	defDur(&c.ReadHeaderTimeout, 5*time.Second)
+	defDur(&c.ReadTimeout, 2*time.Minute)
+	defDur(&c.WriteTimeout, 5*time.Minute)
+	defDur(&c.IdleTimeout, 2*time.Minute)
+	if c.Log == nil {
+		c.Log = log.New(os.Stderr, "ldisd: ", log.LstdFlags)
+	}
+	return c
+}
+
+// Server is the ldisd service instance.
+type Server struct {
+	cfg   Config
+	store *store
+	inj   *faultinject.Injector
+
+	mu       sync.Mutex // guards queue admission against close
+	queue    chan *Job
+	draining bool
+
+	workerWG sync.WaitGroup
+	serveWG  sync.WaitGroup
+	abandon  atomic.Bool // drain deadline passed: jobs stop between experiments
+
+	httpSrv *http.Server
+	ln      net.Listener
+	reqSeq  atomic.Uint64
+
+	// testHold, when non-nil, makes workers block on it before picking
+	// up each job — the tests' way of pinning jobs in the queue.
+	testHold chan struct{}
+}
+
+// New builds a server over cfg and prepares its data directories.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: Config.DataDir is required")
+	}
+	cfg = cfg.withDefaults()
+	for _, d := range []string{cfg.DataDir, filepath.Join(cfg.DataDir, "jobs"), filepath.Join(cfg.DataDir, "traces")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: newStore(),
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	if cfg.FaultSeed != 0 {
+		s.inj = faultinject.NewDefault(cfg.FaultSeed)
+	}
+	return s, nil
+}
+
+// logf writes one log line.
+func (s *Server) logf(format string, args ...any) {
+	s.cfg.Log.Printf(format, args...)
+}
+
+// Start listens on addr and serves until Shutdown. The worker pool and
+// the listener goroutine are all joined by Shutdown, so a completed
+// Start/Shutdown cycle leaves no goroutines behind.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		ErrorLog:          s.cfg.Log,
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		//ldis:goroutine-ok worker pool is joined by Shutdown via workerWG after the queue closes
+		go func() {
+			defer s.workerWG.Done()
+			s.worker()
+		}()
+	}
+	s.serveWG.Add(1)
+	//ldis:goroutine-ok listener daemon is joined by Shutdown via serveWG once httpSrv.Shutdown unblocks Serve
+	go func() {
+		defer s.serveWG.Done()
+		s.httpSrv.Serve(ln)
+	}()
+	s.logf("listening on http://%s/ (queue %d, workers %d)", ln.Addr(), s.cfg.QueueDepth, s.cfg.Workers)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Admission errors, mapped to HTTP statuses by the submit handler.
+var (
+	// ErrQueueFull sheds load when the bounded queue is at capacity.
+	ErrQueueFull = fmt.Errorf("server: job queue full")
+	// ErrDraining refuses new work during graceful shutdown.
+	ErrDraining = fmt.Errorf("server: draining, not admitting new jobs")
+)
+
+// Submit validates admission and enqueues the job. It returns the job
+// (possibly an existing one — submission is idempotent on the spec)
+// and whether this call enqueued fresh work.
+func (s *Server) Submit(spec *Spec, requestID string) (*Job, bool, error) {
+	dir := filepath.Join(s.cfg.DataDir, "jobs", spec.workKey())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	j, fresh, err := s.store.admit(spec, requestID, dir)
+	if err != nil || !fresh {
+		return j, false, err
+	}
+	select {
+	case s.queue <- j:
+		return j, true, nil
+	default:
+		// Shed: undo the registration so a retry after Retry-After is
+		// admitted cleanly rather than conflicting with a ghost entry.
+		s.store.forget(j)
+		return nil, false, ErrQueueFull
+	}
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Server) worker() {
+	for j := range s.queue {
+		if s.testHold != nil {
+			<-s.testHold
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob is the worker panic boundary: any panic escaping a job —
+// injected by the chaos hook or real — is recovered into a structured
+// *par.TaskError on the job, with the stack logged under the job's
+// request id. The server itself never goes down with a job.
+func (s *Server) runJob(j *Job) {
+	if !j.begin() {
+		s.store.release(j) // rejected between admission and pickup
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			te := &par.TaskError{Index: j.Seq, Attempts: 1, Panic: r, Stack: debug.Stack()}
+			s.logf("job %s req %s panicked: %v\n%s", j.ID, j.RequestID, r, te.Stack)
+			j.finish(StateFailed, te.Error(), false)
+		}
+		s.store.release(j)
+	}()
+	if s.inj != nil {
+		s.inj.MaybePanic("job/" + j.ID)
+	}
+	var err error
+	var retryable bool
+	switch j.Spec.Kind {
+	case "tracesim":
+		err = s.runTraceSim(j)
+	default:
+		err, retryable = s.runExperiments(j)
+	}
+	if err != nil {
+		s.logf("job %s req %s failed: %v", j.ID, j.RequestID, err)
+		j.finish(StateFailed, err.Error(), retryable)
+		return
+	}
+	s.logf("job %s req %s done", j.ID, j.RequestID)
+	j.finish(StateDone, "", false)
+}
+
+// Shutdown drains the server gracefully: stop admitting, shed queued
+// jobs with a retryable status, drain in-flight jobs until ctx
+// expires (after which they are asked to stop at the next experiment
+// boundary — every completed cell is already checkpointed), then close
+// the listener. It returns nil on a complete drain and an error
+// naming the abandoned jobs otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.draining = true
+	// Shed everything still queued. Workers pulling concurrently are
+	// fine: whoever wins the receive decides, and begin()/reject()
+	// serialize on the job's own lock.
+	shed := 0
+	for {
+		select {
+		case j := <-s.queue:
+			if j.reject("server draining before job started; resubmit to retry") {
+				shed++
+			}
+			s.store.release(j)
+		default:
+			goto drained
+		}
+	}
+drained:
+	close(s.queue)
+	s.mu.Unlock()
+	if shed > 0 {
+		s.logf("drain: shed %d queued job(s) with retryable status", shed)
+	}
+
+	workersDone := make(chan struct{})
+	//ldis:goroutine-ok bounded by worker completion: workerWG.Wait returns once the closed queue drains, and a completed drain reaches the select below
+	go func() {
+		s.workerWG.Wait()
+		close(workersDone)
+	}()
+	var drainErr error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		// Deadline passed: ask in-flight jobs to stop at their next
+		// experiment boundary and give them one short grace period.
+		s.abandon.Store(true)
+		select {
+		case <-workersDone:
+		case <-time.After(2 * time.Second):
+			_, running, _, _ := s.store.counts()
+			drainErr = fmt.Errorf("server: drain deadline exceeded with %d job(s) still in flight (checkpoints preserved; resubmit after restart)", running)
+		}
+	}
+
+	// Close the listener last so clients can poll job status for the
+	// whole drain window.
+	if s.httpSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.httpSrv.Shutdown(sctx); err != nil {
+			s.httpSrv.Close()
+		}
+		s.serveWG.Wait()
+	}
+	if drainErr == nil {
+		s.logf("drain complete")
+	} else {
+		s.logf("%v", drainErr)
+	}
+	return drainErr
+}
+
+// abandoned reports whether the drain deadline has passed and
+// in-flight jobs should stop at the next safe point.
+func (s *Server) abandoned() bool { return s.abandon.Load() }
+
+// RunSignals runs the standard ldisd signal protocol over an already
+// Started server: the first signal begins a graceful drain bounded by
+// drainTimeout; a second signal while draining forces a fast exit.
+// exit is called with 0 on a clean drain, 1 on a drain error, and 2 on
+// a forced fast exit; it is a parameter (rather than os.Exit) so the
+// protocol is testable under -race.
+func RunSignals(s *Server, sig <-chan os.Signal, drainTimeout time.Duration, exit func(code int)) {
+	<-sig
+	s.logf("signal received: draining (timeout %v; second signal forces exit)", drainTimeout)
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			exit(1)
+		} else {
+			exit(0)
+		}
+	case <-sig:
+		s.logf("second signal: forcing fast exit (checkpoints preserved)")
+		s.abandon.Store(true)
+		exit(2)
+	}
+	// A real exit never returns; the test fake does, so join the drain
+	// goroutine before leaving (it finishes promptly once abandon is
+	// set and the workers wind down).
+	wg.Wait()
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSpec hammers the job-spec decoder — the first thing ldisd
+// does with untrusted bytes — with hostile input. Invariants:
+//
+//   - DecodeSpec never panics and never returns (nil, nil);
+//   - whatever decodes also survives Validate (the semantic pass must
+//     tolerate any syntactically valid spec);
+//   - accepted specs have stable identities: canonical(), ID(), and
+//     workKey() are pure, and a decode → canonical round trip is
+//     deterministic.
+//
+// Run via `make fuzz-smoke`; the seed corpus under
+// testdata/fuzz/FuzzDecodeSpec is committed.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add(`{"kind":"exp","experiments":["fig6"]}`)
+	f.Add(`{"kind":"tracesim","trace":"t0123456789abcdef","cache":"distill"}`)
+	f.Add(`{"kind":"exp","experiments":["fig6","table5"],"accesses":60000,"warmup_frac":0.25,` +
+		`"benchmarks":["mcf"],"keep_going":true,"retries":2,"format":"csv","fault_seed":7}`)
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`null`)
+	f.Add(`{"kind":"exp"} trailing`)
+	f.Add(`{"unknown_field":true}`)
+	f.Add(`{"accesses":1e309}`)
+	f.Add(`[1,2,3]`)
+	f.Add(strings.Repeat(`{"kind":`, 64))
+
+	cfg := Config{DataDir: "unused"}.withDefaults()
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := DecodeSpec(strings.NewReader(input))
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error %v with non-nil spec", err)
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		// Validate must diagnose, never panic, on any decoded spec; it
+		// normalizes in place, so identity is taken afterwards.
+		vErr := spec.Validate(&cfg)
+		c1, c2 := spec.canonical(), spec.canonical()
+		if c1 != c2 {
+			t.Fatalf("canonical not deterministic: %q vs %q", c1, c2)
+		}
+		if vErr != nil {
+			return
+		}
+		if id := spec.ID(); len(id) != 17 || !jobIDPattern.MatchString(id) {
+			t.Fatalf("malformed job id %q from valid spec", id)
+		}
+		if wk := spec.workKey(); len(wk) != 17 || !bytes.HasPrefix([]byte(wk), []byte("w")) {
+			t.Fatalf("malformed work key %q from valid spec", wk)
+		}
+	})
+}
