@@ -45,25 +45,39 @@
 # `make ldisd-smoke` drives the ldisd service end to end against a
 # real process: start, submit, stream the result, verify the manifest,
 # SIGTERM-drain (see DESIGN.md §12).
+# `make examples` builds every example program (compile gate).
+# `make partition-smoke` validates the partition controller end to end:
+# UCP must not lose to the static equal split on any bundled scenario,
+# the online-SHARDS allocator must agree with exact Mattson within one
+# way on >=90% of epochs, the word-grain policy must change at least
+# one allocation, and a short ldisexp partition run must succeed (see
+# DESIGN.md §13).
 
 GO ?= go
 
 .PHONY: all build vet lint lint-vet lint-json lint-fix-check \
 	lint-install test check race test-race microbench bench \
 	bench-gate bench-promote bench-smoke chaos fuzz-smoke mrc-smoke \
-	obs-smoke ldisd-smoke govulncheck profile clean
+	obs-smoke ldisd-smoke partition-smoke examples govulncheck profile \
+	clean
 
 # Allowed fractional slowdown per experiment before bench-gate fails.
 BENCH_TOL ?= 0.05
 # The pinned gate workload: the four headline experiments, single
 # worker (so decode CPU time equals its wall share), three repeats
 # with the median reported.
-BENCH_FLAGS = -accesses 200000 -parallel 1 -bench-repeats 3 fig6 fig7 fig8 table5
+BENCH_FLAGS = -accesses 200000 -parallel 1 -bench-repeats 3 fig6 fig7 fig8 table5 partition
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# Compile gate for the example programs: examples are documentation
+# that must keep building, but `go build ./...` does not reach them
+# (each is its own main package under examples/).
+examples:
+	$(GO) build -o /dev/null ./examples/...
 
 vet:
 	$(GO) vet ./...
@@ -163,6 +177,17 @@ obs-smoke:
 	@rm -rf obs-smoke-out
 	@echo "obs-smoke: manifest verified"
 
+# Partition smoke: the acceptance gate for internal/partition (see
+# DESIGN.md §13). The three gate tests pin the smoke properties on the
+# bundled scenarios; the CLI run exercises the experiment end to end
+# on one custom tenant mix.
+partition-smoke:
+	$(GO) test -run 'TestPartitionUCPBeatsStatic|TestPartitionShardsAgreesWithExact|TestPartitionLDISAwareDiffers' \
+		-count=1 ./internal/exp
+	$(GO) test -count=1 ./internal/partition
+	$(GO) run ./cmd/ldisexp -accesses 60000 -tenants twolf,mcf -epoch 6000 partition > /dev/null
+	@echo "partition-smoke: gates passed"
+
 # End-to-end service smoke: builds the real ldisd binary and drives it
 # through its full lifecycle with the Go smoke driver — start on an
 # ephemeral port, submit a fig6 job, long-poll the streamed result and
@@ -211,7 +236,7 @@ bench-promote:
 # Sized to finish in well under a minute on one core.
 bench-smoke:
 	$(GO) run ./cmd/ldisexp -accesses 200000 -throughput BENCH_throughput.json \
-		fig6 fig7 fig8 table5 > /dev/null
+		fig6 fig7 fig8 table5 partition > /dev/null
 	@tail -n +2 BENCH_throughput.json | head -n 12
 
 # CPU + heap profiles of the headline experiment, written to ./profiles.

@@ -51,6 +51,9 @@ func main() {
 	mrcMaxSamples := flag.Int("mrc-max-samples", 0, "mrc experiment: SHARDS fixed-size bound on concurrently tracked lines (0 = default 16384)")
 	mrcResolution := flag.Int("mrc-resolution", 0, "mrc experiment: curve capacity step in bytes (0 = default 64KB)")
 	mrcMax := flag.Int("mrc-max", 0, "mrc experiment: largest curve capacity in bytes (0 = default 4MB)")
+	tenants := flag.String("tenants", "", "partition experiment: comma-separated co-running benchmarks sharing the cache (default: the bundled scenarios)")
+	partitionPolicy := flag.String("partition-policy", "", "partition experiment: restrict to one policy column (static, ucp, or ldis; default all)")
+	epoch := flag.Int("epoch", 0, "partition experiment: controller epoch length in accesses (0 = default 10000)")
 	obsAddr := flag.String("obs-addr", "", "serve live progress, metric snapshots, and net/http/pprof on this address (e.g. localhost:6060)")
 	manifestPath := flag.String("manifest", "", "write the versioned run manifest to this path (default: <out>/"+obs.ManifestFile+" with -out, else ./"+obs.ManifestFile+")")
 	verifyManifest := flag.Bool("verify-manifest", false, "after writing the manifest, read it back through the validating parser")
@@ -85,6 +88,11 @@ func main() {
 	o.MRCMaxSamples = *mrcMaxSamples
 	o.MRCResolution = *mrcResolution
 	o.MRCMaxBytes = *mrcMax
+	o.PartitionPolicy = *partitionPolicy
+	o.EpochAccesses = *epoch
+	if *tenants != "" {
+		o.Tenants = strings.Split(*tenants, ",")
+	}
 	if *benchmarks != "" {
 		o.Benchmarks = strings.Split(*benchmarks, ",")
 	}

@@ -1,52 +1,134 @@
-// Sharedcache: two programs sharing one L2, a scenario the paper's
-// single-core study does not cover but the library supports directly —
-// trace.Interleave round-robins two benchmark streams into a single
-// hierarchy. A low-spatial-locality pointer chaser (health) running
-// beside a streaming FP code (wupwise) shows that distillation's
-// capacity recovery survives (and helps under) cache sharing.
+// Sharedcache: two programs sharing one L2 under an online partition
+// controller (internal/partition). The controller samples each
+// tenant's reference stream through SHARDS miss-ratio-curve engines
+// and, every epoch, re-divides the 16 ways by marginal utility; the
+// cache enforces the quotas in victim selection. Running the same mix
+// under all three policies — static equal split, line-grain UCP, and
+// the word-grain LDIS-aware allocator on a distilling cache — shows
+// where online curves beat a fixed split, and where distillation's
+// word-grain view changes the decision again.
 package main
 
 import (
 	"fmt"
 
-	"ldis"
+	"ldis/internal/cache"
+	"ldis/internal/distill"
+	"ldis/internal/partition"
 	"ldis/internal/trace"
 	"ldis/internal/workload"
 )
 
+const (
+	accesses  = 1_000_000
+	sizeBytes = 1 << 20
+	ways      = 16
+	wayBytes  = sizeBytes / ways
+	wocWays   = 4
+	epoch     = 20_000
+)
+
 func main() {
-	const accesses = 1_000_000
+	tenants := []string{"health", "wupwise"}
 
-	mix := func() trace.Stream {
-		a, err := workload.ByName("health")
-		if err != nil {
-			panic(err)
-		}
-		b, err := workload.ByName("wupwise")
-		if err != nil {
-			panic(err)
-		}
-		return trace.NewInterleave(a.Stream(), b.Stream())
+	fmt.Printf("shared 1MB 16-way L2: %s + %s, %d accesses, %d-access epochs\n\n",
+		tenants[0], tenants[1], accesses, epoch)
+	fmt.Println("policy  agg miss  final ways  rebalances")
+	fmt.Println("------------------------------------------")
+	for _, policyName := range partition.PolicyNames {
+		miss, alloc, rebal := run(tenants, policyName)
+		fmt.Printf("%-7s %.4f    %-11s %d\n", policyName, miss, alloc, rebal)
 	}
-
-	base := mustNew(ldis.WithTraditional(1<<20, 8)).RunStream("health+wupwise", mix(), accesses)
-	dist := mustNew(ldis.WithDistill(ldis.DefaultDistillConfig())).RunStream("health+wupwise", mix(), accesses)
-
-	fmt.Println("shared 1MB L2, interleaved health + wupwise")
-	fmt.Printf("  baseline: %s\n", base)
-	fmt.Printf("  distill:  %s\n", dist)
-	fmt.Printf("\nMPKI %.2f -> %.2f (%.1f%% fewer misses under sharing)\n",
-		base.MPKI, dist.MPKI, 100*(base.MPKI-dist.MPKI)/base.MPKI)
-	fmt.Println("\nwupwise streams full lines (nothing to distill, nothing lost);")
-	fmt.Println("health's 2-word lines pack 4-8x denser in the WOC, so the")
-	fmt.Println("chaser keeps its working set despite the streaming neighbour.")
+	fmt.Println("\nhealth chases pointers through 2-word lines; wupwise streams")
+	fmt.Println("full ones. UCP moves ways to whoever's miss curve pays for")
+	fmt.Println("them; the ldis policy prices health at its distilled word")
+	fmt.Println("footprint, so the same demand frees ways for the streamer.")
 }
 
-// mustNew builds a simulator from a known-good option set.
-func mustNew(opts ...ldis.Option) *ldis.Sim {
-	sim, err := ldis.New(opts...)
+// run drives the tenant mix under one policy and returns the aggregate
+// miss ratio, the final allocation, and the rebalance count.
+func run(tenants []string, policyName string) (missRatio float64, alloc string, rebalances int) {
+	n := len(tenants)
+	streams := make([]trace.Stream, n)
+	var seed uint64 = 0x5eed
+	for i, name := range tenants {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		streams[i] = prof.Stream()
+		seed = seed*31 ^ prof.Seed
+	}
+	policy, _ := partition.ByName(policyName)
+	ctrl, err := partition.NewController(partition.Config{
+		Tenants:       n,
+		TotalWays:     ways,
+		WayBytes:      wayBytes,
+		EpochAccesses: epoch,
+		Policy:        policy,
+		SampleRate:    0.5,
+		Seed:          seed,
+		AccessBudget:  accesses,
+	})
 	if err != nil {
 		panic(err)
 	}
-	return sim
+
+	// The word-grain policy partitions the distilling organization;
+	// the line-grain policies partition a conventional cache.
+	var (
+		conv     *cache.Cache
+		dist     *distill.Cache
+		locQuota = make([]int, n)
+		wocMask  = make([]uint64, n)
+	)
+	if policy.Grain() == partition.GrainWord {
+		dist = distill.New(distill.Config{
+			Name: "ldis", SizeBytes: sizeBytes, Ways: ways, WOCWays: wocWays, Seed: seed,
+		})
+	} else {
+		conv = cache.New(cache.Config{Name: policyName, SizeBytes: sizeBytes, Ways: ways})
+	}
+	apply := func() {
+		if conv != nil {
+			conv.SetPartition(ctrl.Alloc())
+			return
+		}
+		partition.ScaleAlloc(ctrl.Alloc(), ways-wocWays, 1, locQuota)
+		partition.WayMasks(ctrl.Alloc(), wocWays, wocMask)
+		dist.SetPartition(locQuota, wocMask)
+	}
+	apply()
+
+	in := trace.NewInterleave(streams...)
+	var refs, misses uint64
+	for i := 0; i < accesses; i++ {
+		a, ok := in.Next()
+		if !ok {
+			break
+		}
+		tenant := i % n // profiles are infinite; round-robin never skips
+		var miss bool
+		if conv != nil {
+			miss = !conv.AccessInstallTenant(a.Line(), a.Word(), a.IsWrite(), tenant)
+		} else {
+			miss = dist.AccessTenant(a.Line(), a.Word(), a.IsWrite(), tenant).Outcome.IsMiss()
+		}
+		refs++
+		if miss {
+			misses++
+		}
+		if ctrl.Observe(tenant, a.Line(), a.Word()) {
+			apply()
+		}
+	}
+
+	parts := ""
+	for i, w := range ctrl.Alloc() {
+		if i > 0 {
+			parts += "/"
+		}
+		parts += fmt.Sprint(w)
+	}
+	return float64(misses) / float64(refs), parts, ctrl.Rebalances()
 }

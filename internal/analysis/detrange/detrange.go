@@ -11,7 +11,9 @@
 // the miss-ratio-curve engine whose SHARDS sampling must be a pure
 // function of (address, seed) (internal/mrc), and the observability
 // layer whose manifests must diff clean at any worker count
-// (internal/obs), a
+// (internal/obs), and the partition controller whose per-epoch
+// allocation decisions feed experiment tables directly
+// (internal/partition), a
 // `for ... range m` over a map is therefore banned
 // outright: either iterate a sorted key slice, or annotate the site
 // with `//ldis:nondet-ok <why>` proving the order cannot reach any
@@ -39,12 +41,16 @@ var Packages = []string{
 	// The shard scheduler and merge path: per-shard results must merge
 	// identically at any scheduling, so map iteration is off-limits.
 	"ldis/internal/hierarchy",
+	// The partition controller: epoch decisions (allocations, agreement
+	// counters) land in rendered tables, so iteration order is output
+	// order.
+	"ldis/internal/partition",
 }
 
 // Analyzer is the detrange analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
-	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc, internal/obs, internal/hierarchy) unless annotated //ldis:nondet-ok",
+	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc, internal/obs, internal/hierarchy, internal/partition) unless annotated //ldis:nondet-ok",
 	Run:  run,
 }
 

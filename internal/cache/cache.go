@@ -48,15 +48,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// MaxPartitionTenants bounds the tenants a partitioned cache can
+// distinguish; way-quota bookkeeping fits fixed stack arrays at this
+// size, keeping the enforcement path allocation-free.
+const MaxPartitionTenants = 8
+
 // Line is one tag entry. MaxFPPos tracks the maximum recency position
 // the line occupied at any access that changed its footprint — the
-// statistic behind the paper's Figure 2.
+// statistic behind the paper's Figure 2. Tenant records which sharer
+// installed the line (always 0 outside partitioned mode).
 type Line struct {
 	Valid     bool
 	Dirty     bool
 	Tag       uint64
 	Footprint mem.Footprint
 	MaxFPPos  uint8
+	Tenant    uint8
 }
 
 // Stats aggregates the cache's behaviour.
@@ -96,6 +103,12 @@ type Cache struct {
 	// shift-loops) on every access.
 	setMask  uint64
 	tagShift uint
+
+	// Per-tenant way quotas (nil when unpartitioned). Installed by
+	// SetPartition and consulted only on the AccessInstallTenant miss
+	// path: hits are never restricted, matching way-partitioned
+	// hardware, where partitioning constrains replacement, not lookup.
+	quota []int32
 
 	// Observability handles, registered once at construction; nil when
 	// the config carries no obs cell.
@@ -269,6 +282,145 @@ func (c *Cache) AccessInstall(line mem.LineAddr, word int, write bool) bool {
 func (c *Cache) promote(set []Line, pos int, l Line) {
 	copy(set[1:pos+1], set[0:pos])
 	set[0] = l
+}
+
+// SetPartition installs per-tenant way quotas for AccessInstallTenant.
+// quota[t] is the number of ways tenant t may occupy per set; the sum
+// must not exceed the associativity. A nil or empty quota disables
+// partitioning. Quotas may change at any time (the epoch re-balancer
+// does): lines installed under the old allocation drain out through
+// the over-quota victim rule rather than being flushed.
+func (c *Cache) SetPartition(quota []int) {
+	if len(quota) == 0 {
+		c.quota = nil
+		return
+	}
+	if len(quota) > MaxPartitionTenants {
+		panic(fmt.Sprintf("cache %q: %d tenants exceed MaxPartitionTenants", c.cfg.Name, len(quota)))
+	}
+	sum := 0
+	for t, q := range quota {
+		if q < 0 {
+			panic(fmt.Sprintf("cache %q: negative quota %d for tenant %d", c.cfg.Name, q, t))
+		}
+		sum += q
+	}
+	if sum > c.cfg.Ways {
+		panic(fmt.Sprintf("cache %q: quota sum %d exceeds %d ways", c.cfg.Name, sum, c.cfg.Ways))
+	}
+	if c.quota == nil {
+		c.quota = make([]int32, 0, MaxPartitionTenants)
+	}
+	c.quota = c.quota[:0]
+	for _, q := range quota {
+		c.quota = append(c.quota, int32(q))
+	}
+}
+
+// AccessInstallTenant is AccessInstall with way-partition enforcement:
+// the hit path is identical (any tenant hits any resident line), but a
+// miss selects its victim under the quotas installed by SetPartition —
+// a tenant at or over its quota evicts its own LRU-most line, a tenant
+// under it evicts the LRU-most line of an over-quota tenant. Without a
+// partition installed it degenerates to plain LRU.
+//
+//ldis:noalloc
+func (c *Cache) AccessInstallTenant(line mem.LineAddr, word int, write bool, tenant int) bool {
+	st := &c.st
+	st.Accesses++
+	si := c.setIndexOf(line)
+	set := c.sets[si]
+	tag := c.tagOf(line)
+	// MRU fast path, as in Access. Hits never transfer ownership: the
+	// installing tenant keeps the line against its quota.
+	if l := &set[0]; l.Valid && l.Tag == tag {
+		st.Hits++
+		l.Footprint = l.Footprint.Set(word)
+		if write {
+			l.Dirty = true
+		}
+		return true
+	}
+	for pos := 1; pos < len(set); pos++ {
+		if !set[pos].Valid || set[pos].Tag != tag {
+			continue
+		}
+		st.Hits++
+		l := set[pos]
+		if !l.Footprint.Has(word) {
+			l.Footprint = l.Footprint.Set(word)
+			if uint8(pos) > l.MaxFPPos {
+				l.MaxFPPos = uint8(pos)
+			}
+		}
+		if write {
+			l.Dirty = true
+		}
+		c.promote(set, pos, l)
+		return true
+	}
+	st.Misses++
+	victimPos := c.partitionVictim(set, tenant)
+	if v := set[victimPos]; v.Valid {
+		st.Evictions++
+		c.obsEvictions.Inc()
+		st.WordsUsedAtEvict.Add(v.Footprint.Count())
+		st.FPChangePos.Add(int(v.MaxFPPos))
+		if v.Dirty {
+			st.Writebacks++
+			c.obsWritebacks.Inc()
+		}
+	}
+	c.promote(set, victimPos, Line{
+		Valid:     true,
+		Dirty:     write,
+		Tag:       tag,
+		Footprint: mem.FootprintOfWord(word),
+		Tenant:    uint8(tenant),
+	})
+	return false
+}
+
+// partitionVictim picks the way to replace for a missing tenant under
+// the installed quotas (plain LRU when unpartitioned). Invalid ways
+// fill first; then the quota rule above. The global-LRU fallbacks are
+// unreachable when quotas sum to the associativity and every tenant's
+// quota is at least one, but a transient quota shrink can leave every
+// other tenant exactly at its new quota — falling back to global LRU
+// keeps the install total even then.
+//
+//ldis:noalloc
+func (c *Cache) partitionVictim(set []Line, tenant int) int {
+	if c.quota == nil {
+		return len(set) - 1
+	}
+	var occ [MaxPartitionTenants]int32
+	invalid := -1
+	for pos := range set {
+		if !set[pos].Valid {
+			invalid = pos
+			continue
+		}
+		occ[set[pos].Tenant]++
+	}
+	if invalid >= 0 {
+		return invalid
+	}
+	if tenant < len(c.quota) && occ[tenant] >= c.quota[tenant] {
+		for pos := len(set) - 1; pos >= 0; pos-- {
+			if int(set[pos].Tenant) == tenant {
+				return pos
+			}
+		}
+		return len(set) - 1 // quota 0 and no resident line: take global LRU
+	}
+	for pos := len(set) - 1; pos >= 0; pos-- {
+		t := set[pos].Tenant
+		if int(t) >= len(c.quota) || occ[t] > c.quota[t] {
+			return pos
+		}
+	}
+	return len(set) - 1
 }
 
 // Install fills a line (after a miss) as MRU with the demand word's

@@ -83,8 +83,15 @@ func (s *Stats) Misses() uint64 { return s.HoleMisses + s.LineMisses }
 // Hits returns the total hit count.
 func (s *Stats) Hits() uint64 { return s.LOCHits + s.WOCHits }
 
+// maxTenants bounds the tenants a partitioned distill cache can
+// distinguish; it matches cache.MaxPartitionTenants so the two
+// organizations accept the same controller allocations.
+const maxTenants = 8
+
 // locEntry is a LOC tag entry: tag, per-word footprint and dirty mask,
-// and the Figure-2 recency instrumentation.
+// and the Figure-2 recency instrumentation. tenant records which
+// sharer installed the line (always 0 outside partitioned mode) and
+// follows the line into the WOC to pick its install-way mask.
 type locEntry struct {
 	valid    bool
 	instr    bool // instruction lines are never distilled (Section 4)
@@ -92,6 +99,7 @@ type locEntry struct {
 	fp       mem.Footprint
 	dirty    mem.Footprint
 	maxFPPos uint8
+	tenant   uint8
 }
 
 // set is one distill-cache set. In distill mode loc has LOCWays entries
@@ -117,6 +125,12 @@ type Cache struct {
 	// path does not rederive it per access.
 	setMask  uint64
 	tagShift uint
+
+	// Way-partition state (nil when unpartitioned): per-tenant LOC way
+	// quotas enforced at victim selection, and per-tenant WOC way masks
+	// threaded into the distilled-line installs. See SetPartition.
+	locQuota []int32
+	wocMask  []uint64
 
 	// Observability handles, registered once at construction; all nil
 	// (and therefore no-ops) when the config carries no obs cell. They
@@ -214,7 +228,17 @@ func (c *Cache) nextRand() uint64 {
 //
 //ldis:noalloc
 func (c *Cache) Access(la mem.LineAddr, word int, write bool) AccessResult {
-	return c.access(la, word, write, false)
+	return c.access(la, word, write, false, 0)
+}
+
+// AccessTenant is Access tagged with the requesting tenant: hits are
+// never restricted, but LOC victim selection respects the quotas
+// installed by SetPartition and the victim's distilled words go to the
+// tenant's own WOC ways. Without a partition installed it is Access.
+//
+//ldis:noalloc
+func (c *Cache) AccessTenant(la mem.LineAddr, word int, write bool, tenant int) AccessResult {
+	return c.access(la, word, write, false, tenant)
 }
 
 // AccessInstruction performs an instruction-fetch access. Instruction
@@ -224,7 +248,7 @@ func (c *Cache) Access(la mem.LineAddr, word int, write bool) AccessResult {
 //
 //ldis:noalloc
 func (c *Cache) AccessInstruction(la mem.LineAddr, word int, write bool) AccessResult {
-	return c.access(la, word, write, true)
+	return c.access(la, word, write, true, 0)
 }
 
 // setIndexOf and tagOf are the precomputed equivalents of
@@ -232,7 +256,7 @@ func (c *Cache) AccessInstruction(la mem.LineAddr, word int, write bool) AccessR
 func (c *Cache) setIndexOf(la mem.LineAddr) int { return int(uint64(la) & c.setMask) }
 func (c *Cache) tagOf(la mem.LineAddr) uint64   { return uint64(la) >> c.tagShift }
 
-func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResult {
+func (c *Cache) access(la mem.LineAddr, word int, write, instr bool, tenant int) AccessResult {
 	c.st.Accesses++
 	si := c.setIndexOf(la)
 	s := &c.sets[si]
@@ -303,7 +327,7 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 			if leader {
 				c.smp.RecordPolicyMiss(si)
 			}
-			c.installLOC(s, si, tag, word, write, instr, removed.Dirty)
+			c.installLOC(s, si, tag, word, write, instr, removed.Dirty, tenant)
 			return AccessResult{Outcome: HoleMiss, ValidBits: mem.FullFootprint}
 		}
 	}
@@ -313,7 +337,7 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool) AccessResul
 	if leader {
 		c.smp.RecordPolicyMiss(si)
 	}
-	c.installLOC(s, si, tag, word, write, instr, 0)
+	c.installLOC(s, si, tag, word, write, instr, 0, tenant)
 	return AccessResult{Outcome: LineMiss, ValidBits: mem.FullFootprint}
 }
 
@@ -323,21 +347,26 @@ func (c *Cache) lineFromTag(tag uint64, setIdx int) mem.LineAddr {
 }
 
 // installLOC fills the line as MRU in the LOC, distilling the LRU
-// victim if the set is full. mergedDirty carries dirty words recovered
+// victim if the set is full (under the tenant's way quota when a
+// partition is installed). mergedDirty carries dirty words recovered
 // from a hole-missed WOC copy.
-func (c *Cache) installLOC(s *set, si int, tag uint64, word int, write, instr bool, mergedDirty mem.Footprint) {
+func (c *Cache) installLOC(s *set, si int, tag uint64, word int, write, instr bool, mergedDirty mem.Footprint, tenant int) {
 	victimPos := len(s.loc) - 1
+	if c.locQuota != nil {
+		victimPos = c.locVictim(s.loc, tenant)
+	}
 	if v := s.loc[victimPos]; v.valid {
 		tok := c.obsSpans.Begin(obs.StageDistillEvict)
 		c.evictLOC(s, si, v)
 		c.obsSpans.End(obs.StageDistillEvict, tok)
 	}
 	e := locEntry{
-		valid: true,
-		instr: instr,
-		tag:   tag,
-		fp:    mem.FootprintOfWord(word).Or(mergedDirty),
-		dirty: mergedDirty,
+		valid:  true,
+		instr:  instr,
+		tag:    tag,
+		fp:     mem.FootprintOfWord(word).Or(mergedDirty),
+		dirty:  mergedDirty,
+		tenant: uint8(tenant),
 	}
 	if write {
 		e.dirty = e.dirty.Set(word)
@@ -391,19 +420,24 @@ func (c *Cache) evictLOC(s *set, si int, v locEntry) {
 		//ldis:alloc-ok Slots is an ablation extension hook; configs that install one own its allocation behaviour
 		slots = c.cfg.Slots(c.lineFromTag(v.tag, si), v.fp)
 	}
-	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots})
+	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots}, v.tenant)
 }
 
 // installWOC places a distilled line and accounts for displaced lines.
-func (c *Cache) installWOC(s *set, wl wordstore.Line) {
+// Under a partition the line is confined to its owning tenant's WOC
+// ways, so tenants evict only their own distilled words.
+func (c *Cache) installWOC(s *set, wl wordstore.Line, tenant uint8) {
 	c.st.Distilled++
 	c.obsDistilled.Inc()
 	c.tick++
 	wl.LastUse = c.tick
 	var evicted []wordstore.Line
-	if c.cfg.WOCLRU {
+	switch {
+	case c.cfg.WOCLRU:
 		evicted = s.woc.InstallLRU(wl)
-	} else {
+	case c.wocMask != nil && int(tenant) < len(c.wocMask):
+		evicted = s.woc.InstallMasked(wl, c.nextRand(), c.wocMask[tenant])
+	default:
 		evicted = s.woc.Install(wl, c.nextRand())
 	}
 	for _, ev := range evicted {
@@ -412,6 +446,92 @@ func (c *Cache) installWOC(s *set, wl wordstore.Line) {
 		if ev.Dirty != 0 {
 			c.st.Writebacks++
 		}
+	}
+}
+
+// locVictim picks the LOC way to replace for a missing tenant under
+// the installed quotas: invalid ways fill first, a tenant at or over
+// its quota evicts its own LRU-most line, one under it evicts the
+// LRU-most line of an over-quota tenant. The global-LRU fallbacks
+// mirror cache.(*Cache).partitionVictim: unreachable when quotas sum
+// to the LOC associativity with every tenant granted at least one way,
+// but a transient quota shrink mid-drain lands there safely.
+//
+//ldis:noalloc
+func (c *Cache) locVictim(loc []locEntry, tenant int) int {
+	var occ [maxTenants]int32
+	invalid := -1
+	for pos := range loc {
+		if !loc[pos].valid {
+			invalid = pos
+			continue
+		}
+		occ[loc[pos].tenant]++
+	}
+	if invalid >= 0 {
+		return invalid
+	}
+	if tenant < len(c.locQuota) && occ[tenant] >= c.locQuota[tenant] {
+		for pos := len(loc) - 1; pos >= 0; pos-- {
+			if int(loc[pos].tenant) == tenant {
+				return pos
+			}
+		}
+		return len(loc) - 1
+	}
+	for pos := len(loc) - 1; pos >= 0; pos-- {
+		t := loc[pos].tenant
+		if int(t) >= len(c.locQuota) || occ[t] > c.locQuota[t] {
+			return pos
+		}
+	}
+	return len(loc) - 1
+}
+
+// SetPartition installs per-tenant LOC way quotas and WOC way masks
+// for the AccessTenant path. locQuota[t] is the number of LOC ways
+// tenant t may occupy per set (sum at most the LOC associativity);
+// wocMask[t] is the bitmask of WOC data ways its distilled lines may
+// occupy (zero means all ways). Empty slices disable partitioning.
+// Partitioning composes with neither the reverter (whose mode switches
+// resize the LOC under the quotas) nor WOCLRU (whose age scan ignores
+// masks); both combinations panic rather than silently mis-enforce.
+func (c *Cache) SetPartition(locQuota []int, wocMask []uint64) {
+	if len(locQuota) == 0 {
+		c.locQuota, c.wocMask = nil, nil
+		return
+	}
+	if c.cfg.Reverter {
+		panic(fmt.Sprintf("distill %q: SetPartition with the reverter enabled is unsupported", c.cfg.Name))
+	}
+	if c.cfg.WOCLRU {
+		panic(fmt.Sprintf("distill %q: SetPartition with WOCLRU is unsupported", c.cfg.Name))
+	}
+	if len(locQuota) > maxTenants {
+		panic(fmt.Sprintf("distill %q: %d tenants exceed %d", c.cfg.Name, len(locQuota), maxTenants))
+	}
+	if len(wocMask) != len(locQuota) {
+		panic(fmt.Sprintf("distill %q: %d WOC masks for %d LOC quotas", c.cfg.Name, len(wocMask), len(locQuota)))
+	}
+	sum := 0
+	for t, q := range locQuota {
+		if q < 0 {
+			panic(fmt.Sprintf("distill %q: negative quota %d for tenant %d", c.cfg.Name, q, t))
+		}
+		sum += q
+	}
+	if sum > c.cfg.LOCWays() {
+		panic(fmt.Sprintf("distill %q: quota sum %d exceeds %d LOC ways", c.cfg.Name, sum, c.cfg.LOCWays()))
+	}
+	if c.locQuota == nil {
+		c.locQuota = make([]int32, 0, maxTenants)
+		c.wocMask = make([]uint64, 0, maxTenants)
+	}
+	c.locQuota = c.locQuota[:0]
+	c.wocMask = c.wocMask[:0]
+	for i, q := range locQuota {
+		c.locQuota = append(c.locQuota, int32(q))
+		c.wocMask = append(c.wocMask, wocMask[i])
 	}
 }
 
@@ -471,7 +591,7 @@ func (c *Cache) evictLOCNarrow(s *set, si int, v locEntry) {
 		//ldis:alloc-ok Slots is an ablation extension hook; configs that install one own its allocation behaviour
 		slots = c.cfg.Slots(c.lineFromTag(v.tag, si), v.fp)
 	}
-	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots})
+	c.installWOC(s, wordstore.Line{Tag: v.tag, Words: v.fp, Dirty: v.dirty, Slots: slots}, v.tenant)
 }
 
 // admit applies the configured distillation threshold: the running

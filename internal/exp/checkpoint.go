@@ -83,6 +83,10 @@ func (o Options) Fingerprint() uint64 {
 	// options share a fingerprint.
 	fmt.Fprintf(&b, "|mrc=%g/%d/%d/%d",
 		o.mrcSampleRate(), o.mrcMaxSamples(), o.mrcResolution(), o.mrcMaxBytes())
+	// Partition knobs change the partition experiment's scenarios,
+	// columns, and epoch cadence.
+	fmt.Fprintf(&b, "|tenants=%s|partition=%s/%d",
+		strings.Join(o.Tenants, ","), o.PartitionPolicy, o.epochAccesses())
 	h := uint64(14695981039346656037)
 	for i := 0; i < b.Len(); i++ {
 		h ^= uint64(b.String()[i])

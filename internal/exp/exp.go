@@ -15,6 +15,7 @@ import (
 	"ldis/internal/distill"
 	"ldis/internal/hierarchy"
 	"ldis/internal/obs"
+	"ldis/internal/partition"
 	"ldis/internal/sampler"
 	"ldis/internal/stats"
 	"ldis/internal/trace"
@@ -93,6 +94,18 @@ type Options struct {
 	// default (4MB).
 	MRCMaxBytes int
 
+	// Tenants selects the co-running benchmarks of the partition
+	// experiment's tenant mix (2..partition.MaxTenants workload names);
+	// empty means the experiment's bundled scenarios. Other
+	// experiments ignore it.
+	Tenants []string
+	// PartitionPolicy restricts the partition experiment to one policy
+	// column ("static", "ucp", or "ldis"); empty runs all three.
+	PartitionPolicy string
+	// EpochAccesses is the partition controller's epoch length in
+	// accesses; 0 means the default (see epochAccesses).
+	EpochAccesses int
+
 	// expID is the registry id of the experiment being run, set by
 	// Run; it keys checkpoint records and failure rows.
 	expID string
@@ -162,6 +175,16 @@ func (o Options) mrcMaxBytes() int {
 	return o.MRCMaxBytes
 }
 
+func (o Options) epochAccesses() int {
+	if o.EpochAccesses == 0 {
+		// ~10 epochs inside a default 100k-access smoke run: enough
+		// decisions for the agreement gate to be meaningful, short
+		// enough that the controller adapts within a test trace.
+		return 10_000
+	}
+	return o.EpochAccesses
+}
+
 // OptionError is one diagnosed problem with an Options value: the
 // offending field plus a human-readable message. Validate returns all
 // of them joined, so callers (both CLIs) can print the complete
@@ -221,6 +244,24 @@ func (o *Options) Validate() error {
 		if _, err := workload.ByName(b); err != nil {
 			problems = append(problems, err)
 		}
+	}
+	if len(o.Tenants) > 0 {
+		if len(o.Tenants) < 2 || len(o.Tenants) > partition.MaxTenants {
+			bad("Tenants", "a tenant mix needs 2..%d workloads, got %d", partition.MaxTenants, len(o.Tenants))
+		}
+		for _, b := range o.Tenants {
+			if _, err := workload.ByName(b); err != nil {
+				problems = append(problems, err)
+			}
+		}
+	}
+	if o.PartitionPolicy != "" {
+		if _, ok := partition.ByName(o.PartitionPolicy); !ok {
+			bad("PartitionPolicy", "unknown policy %q (have %s)", o.PartitionPolicy, strings.Join(partition.PolicyNames, ", "))
+		}
+	}
+	if o.EpochAccesses < 0 {
+		bad("EpochAccesses", "must be >= 0, got %d", o.EpochAccesses)
 	}
 	return errors.Join(problems...)
 }
@@ -451,12 +492,15 @@ func Run(id string, o Options) ([]*stats.Table, error) {
 // cannot change results — mirroring the Fingerprint field set.
 func (o Options) ManifestParams() map[string]string {
 	return map[string]string{
-		"accesses":        fmt.Sprint(o.Accesses),
-		"warmup_frac":     fmt.Sprint(o.WarmupFrac),
-		"benchmarks":      strings.Join(o.benchmarks(), ","),
-		"mrc_sample_rate": fmt.Sprint(o.mrcSampleRate()),
-		"mrc_max_samples": fmt.Sprint(o.mrcMaxSamples()),
-		"mrc_resolution":  fmt.Sprint(o.mrcResolution()),
-		"mrc_max_bytes":   fmt.Sprint(o.mrcMaxBytes()),
+		"accesses":         fmt.Sprint(o.Accesses),
+		"warmup_frac":      fmt.Sprint(o.WarmupFrac),
+		"benchmarks":       strings.Join(o.benchmarks(), ","),
+		"mrc_sample_rate":  fmt.Sprint(o.mrcSampleRate()),
+		"mrc_max_samples":  fmt.Sprint(o.mrcMaxSamples()),
+		"mrc_resolution":   fmt.Sprint(o.mrcResolution()),
+		"mrc_max_bytes":    fmt.Sprint(o.mrcMaxBytes()),
+		"tenants":          strings.Join(o.Tenants, ","),
+		"partition_policy": o.PartitionPolicy,
+		"epoch_accesses":   fmt.Sprint(o.epochAccesses()),
 	}
 }

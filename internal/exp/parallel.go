@@ -50,26 +50,44 @@ const cellSep = "/"
 // builds, so the cache/distill/mrc counters land on the right
 // (experiment × benchmark × column) coordinates in the manifest.
 func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int, co *obs.Cell) (T, error)) ([]string, [][]T, error) {
-	names := o.benchmarks()
+	return runNamedGrid(o, o.benchmarks(), cols, func(row, col int, co *obs.Cell) (T, error) {
+		prof, err := workload.ByName(o.benchmarks()[row])
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn(prof, col, co)
+	})
+}
+
+// runNamedGrid is the engine under runGrid with the row vocabulary
+// generalized: rows are arbitrary names (single benchmarks for the
+// classic figure sweeps, tenant-mix scenarios for the partition
+// experiment), and fn receives the row index instead of a resolved
+// workload profile. All the grid machinery — span wrapping, fault
+// injection, checkpoint replay/record keyed (expID, name, col), panic
+// isolation, fail-fast/keep-going row pruning — lives here, so every
+// grid-shaped experiment shares one deterministic fan-out path.
+func runNamedGrid[T any](o Options, names []string, cols int, fn func(row, col int, co *obs.Cell) (T, error)) ([]string, [][]T, error) {
 	sim := fn
-	cell := func(prof *workload.Profile, col int, co *obs.Cell) (T, error) {
+	cell := func(row, col int, co *obs.Cell) (T, error) {
 		tok := co.Spans().Begin(obs.StageSimulate)
-		v, err := sim(prof, col, co)
+		v, err := sim(row, col, co)
 		co.Spans().End(obs.StageSimulate, tok)
 		return v, err
 	}
 	if o.FaultSeed != 0 {
 		inj := faultinject.NewDefault(o.FaultSeed)
 		inner := cell
-		cell = func(prof *workload.Profile, col int, co *obs.Cell) (T, error) {
-			inj.MaybePanic(o.expID + cellSep + prof.Name + cellSep + fmt.Sprint(col))
-			return inner(prof, col, co)
+		cell = func(row, col int, co *obs.Cell) (T, error) {
+			inj.MaybePanic(o.expID + cellSep + names[row] + cellSep + fmt.Sprint(col))
+			return inner(row, col, co)
 		}
 	}
 	if o.Checkpoint != nil {
 		inner := cell
-		cell = func(prof *workload.Profile, col int, co *obs.Cell) (T, error) {
-			if data, ok := o.Checkpoint.lookup(o.expID, prof.Name, col); ok {
+		cell = func(row, col int, co *obs.Cell) (T, error) {
+			if data, ok := o.Checkpoint.lookup(o.expID, names[row], col); ok {
 				var v T
 				if err := decodeCell(data, &v); err == nil {
 					co.MarkReplayed()
@@ -78,7 +96,7 @@ func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int
 				// Undecodable but CRC-valid record (e.g. a row type
 				// changed shape): fall through and re-simulate.
 			}
-			v, err := inner(prof, col, co)
+			v, err := inner(row, col, co)
 			if err != nil {
 				return v, err
 			}
@@ -87,7 +105,7 @@ func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int
 				return v, err
 			}
 			tok := co.Spans().Begin(obs.StageCheckpointWrite)
-			err = o.Checkpoint.record(o.expID, prof.Name, col, data)
+			err = o.Checkpoint.record(o.expID, names[row], col, data)
 			co.Spans().End(obs.StageCheckpointWrite, tok)
 			return v, err
 		}
@@ -96,13 +114,8 @@ func runGrid[T any](o Options, cols int, fn func(prof *workload.Profile, col int
 	o.Obs.Progress().AddTotal(len(names) * cols)
 	p := par.Policy{Retries: o.Retries, FailFast: !o.KeepGoing, Budget: o.FailBudget, Obs: o.Obs.Sched()}
 	grid, errs := par.GridPolicy(p, o.Parallel, len(names), cols, func(row, col int) (T, error) {
-		prof, err := workload.ByName(names[row])
-		if err != nil {
-			var zero T
-			return zero, err
-		}
 		co := o.Obs.StartCell(o.expID, names[row], col)
-		v, err := cell(prof, col, co)
+		v, err := cell(row, col, co)
 		status := obs.StatusOK
 		switch {
 		case err != nil:

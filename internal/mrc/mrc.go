@@ -329,6 +329,77 @@ func (e *Engine) ResetCounts() {
 	e.tracked = 0
 }
 
+// DecayCounts scales the histograms and reference counters by alpha in
+// (0, 1], aging the accumulated distances toward the recent past while
+// keeping the stack state (recency order, footprints, sample set)
+// intact. The partition controller calls it at every epoch boundary:
+// the curves become exponentially-weighted sliding windows — recent
+// epochs dominate allocation decisions, yet the curve never empties
+// between epochs the way ResetCounts would leave it.
+func (e *Engine) DecayCounts(alpha float64) {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("mrc: decay factor %g outside [0, 1]", alpha))
+	}
+	for i := range e.histLine {
+		e.histLine[i] *= alpha
+		e.histWord[i] *= alpha
+	}
+	e.cold *= alpha
+	e.refs *= alpha
+	e.tracked *= alpha
+}
+
+// FillLineMissRatios writes the line-grain miss ratio at capacity
+// i*stepBytes into dst[i] for every i, without allocating — the
+// partition controller's per-epoch decision path reads whole curves
+// this way instead of materializing Curve values. At capacities inside
+// the curve's domain the values match Series.At on the corresponding
+// Curve when stepBytes is a multiple of the resolution; dst[0]
+// (capacity zero) is the all-miss ratio rather than At's clamp to the
+// first point. With no references observed every entry is 1 (no
+// information: everything is a predicted miss).
+//
+//ldis:noalloc
+func (e *Engine) FillLineMissRatios(dst []float64, stepBytes int) {
+	e.fillMissRatios(dst, stepBytes, e.histLine)
+}
+
+// FillWordMissRatios is FillLineMissRatios at the distilled word grain.
+//
+//ldis:noalloc
+func (e *Engine) FillWordMissRatios(dst []float64, stepBytes int) {
+	e.fillMissRatios(dst, stepBytes, e.histWord)
+}
+
+//ldis:noalloc
+func (e *Engine) fillMissRatios(dst []float64, stepBytes int, hist []float64) {
+	if stepBytes <= 0 {
+		panic(fmt.Sprintf("mrc: non-positive fill step %d", stepBytes))
+	}
+	if e.refs == 0 {
+		for i := range dst {
+			dst[i] = 1
+		}
+		return
+	}
+	// Walk capacities high to low, accumulating the suffix sum of
+	// distance buckets beyond each one — the same recurrence curve()
+	// uses, restated over the caller's capacity grid.
+	beyond := e.cold + hist[e.buckets+1]
+	j := e.buckets // next bucket to fold in once capacity drops below j*resolution
+	for i := len(dst) - 1; i >= 0; i-- {
+		k := i * stepBytes / e.cfg.ResolutionBytes
+		if k > e.buckets {
+			k = e.buckets
+		}
+		for j > k {
+			beyond += hist[j]
+			j--
+		}
+		dst[i] = clampRatio(beyond / e.refs)
+	}
+}
+
 // Refs returns the true number of references observed since the last
 // ResetCounts.
 func (e *Engine) Refs() float64 { return e.refs }

@@ -20,6 +20,9 @@ const (
 	StageWOCLookup
 	// StageCheckpointWrite covers checkpoint record appends.
 	StageCheckpointWrite
+	// StageRebalance covers the partition controller's epoch decision:
+	// curve fills, policy allocation, and hysteresis adoption.
+	StageRebalance
 	numStages
 )
 
@@ -29,6 +32,7 @@ var stageNames = [numStages]string{
 	"distill_evict",
 	"woc_lookup",
 	"checkpoint_write",
+	"rebalance",
 }
 
 // String returns the stage's manifest name.
@@ -53,6 +57,7 @@ var stageMasks = [numStages]uint64{
 	StageDistillEvict:    63,
 	StageWOCLookup:       255,
 	StageCheckpointWrite: 0,
+	StageRebalance:       0, // epoch boundaries are rare; time them all
 }
 
 type stageAgg struct {

@@ -1,0 +1,88 @@
+package partition
+
+import "fmt"
+
+// ScaleAlloc proportionally rescales a ways allocation onto a
+// different total (e.g. a 16-way controller allocation onto the 12 LOC
+// ways of a distilling cache), flooring every tenant at minWays and
+// preserving the sum. Largest-remainder rounding keeps the result
+// deterministic: remainders tie-break to the lowest tenant index. A
+// zero source allocation degrades to the equal split.
+func ScaleAlloc(alloc []int, targetWays, minWays int, out []int) {
+	n := len(alloc)
+	if len(out) != n {
+		panic(fmt.Sprintf("partition: ScaleAlloc out length %d != %d tenants", len(out), n))
+	}
+	if targetWays < n*minWays {
+		panic(fmt.Sprintf("partition: %d target ways cannot grant %d tenants %d each", targetWays, n, minWays))
+	}
+	total := 0
+	for _, a := range alloc {
+		total += a
+	}
+	if total <= 0 {
+		equalSplit(targetWays, out)
+		return
+	}
+	granted := 0
+	for t := range out {
+		out[t] = alloc[t] * targetWays / total // floor of the proportional share
+		granted += out[t]
+	}
+	for rem := targetWays - granted; rem > 0; rem-- {
+		// Award one way to the tenant with the largest remainder
+		// alloc[t]*targetWays - out[t]*total (cross-multiplied to stay
+		// in integers), lowest index on ties.
+		best, bestRem := 0, -1
+		for t := range out {
+			if r := alloc[t]*targetWays - out[t]*total; r > bestRem {
+				best, bestRem = t, r
+			}
+		}
+		out[best]++
+	}
+	// Raise starved tenants to the floor, funding each raise from the
+	// currently largest share.
+	for t := range out {
+		for out[t] < minWays {
+			big := 0
+			for u := range out {
+				if out[u] > out[big] {
+					big = u
+				}
+			}
+			out[big]--
+			out[t]++
+		}
+	}
+}
+
+// WayMasks converts a ways allocation into per-tenant contiguous way
+// masks over a (possibly differently sized) set of ways — the
+// word-organized cache's enforcement form, where quotas are per-way
+// slot pools rather than victim-selection counts. Every tenant gets at
+// least one way; when there are more tenants than ways, tenants share
+// ways round-robin instead.
+func WayMasks(alloc []int, ways int, out []uint64) {
+	n := len(alloc)
+	if len(out) != n {
+		panic(fmt.Sprintf("partition: WayMasks out length %d != %d tenants", len(out), n))
+	}
+	if ways <= 0 || ways > 64 {
+		panic(fmt.Sprintf("partition: WayMasks over %d ways", ways))
+	}
+	if ways < n {
+		for t := range out {
+			out[t] = 1 << uint(t%ways)
+		}
+		return
+	}
+	var scaled [MaxTenants]int
+	ScaleAlloc(alloc, ways, 1, scaled[:n])
+	start := 0
+	for t := 0; t < n; t++ {
+		w := scaled[t]
+		out[t] = ((uint64(1) << uint(w)) - 1) << uint(start)
+		start += w
+	}
+}

@@ -81,6 +81,80 @@ func TestMaxAbsDiff(t *testing.T) {
 	}
 }
 
+// TestSeriesAtBelowSmallestSample pins the below-domain clamp the
+// partition controller leans on: an allocation of very few ways can
+// query a capacity below the curve's smallest SHARDS sample, and the
+// answer must be the first sample's miss ratio — never zero, NaN, or
+// an extrapolation.
+func TestSeriesAtBelowSmallestSample(t *testing.T) {
+	s := Series{Name: "mrc", Points: []Point{{4096, 0.95}, {8192, 0.6}, {65536, 0.05}}}
+	for _, x := range []float64{0, 1, 64, 4095} {
+		if got := s.At(x); got != 0.95 {
+			t.Errorf("At(%g) below smallest sample = %v, want first sample 0.95", x, got)
+		}
+	}
+	// The clamp must not bleed past the first sample's X.
+	if got := s.At(4096); got != 0.95 {
+		t.Errorf("At(first X) = %v, want 0.95", got)
+	}
+	if got := s.At(4097); got != 0.95 {
+		t.Errorf("At just above first X = %v, want step value 0.95", got)
+	}
+}
+
+// TestMaxAbsDiffUnequalLength evaluates the union-of-samples metric
+// when one curve is much denser than the other — the shape of an
+// exact-Mattson curve (every distinct capacity) against a thin SHARDS
+// curve (few samples per epoch).
+func TestMaxAbsDiffUnequalLength(t *testing.T) {
+	dense := Series{Points: []Point{
+		{64, 0.9}, {128, 0.8}, {192, 0.7}, {256, 0.3}, {320, 0.2}, {384, 0.1},
+	}}
+	sparse := Series{Points: []Point{{64, 0.9}, {256, 0.25}}}
+	// At every dense X the sparse curve steps: [64,256) -> 0.9,
+	// [256,inf) -> 0.25. The largest gap is at X=192: |0.7-0.9| = 0.2.
+	if got, want := MaxAbsDiff(dense, sparse), 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxAbsDiff(dense, sparse) = %v, want %v", got, want)
+	}
+	// The metric is symmetric even with unequal sample counts.
+	if got, want := MaxAbsDiff(sparse, dense), 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxAbsDiff(sparse, dense) = %v, want %v", got, want)
+	}
+	// One-point curve against a multi-point curve: the single step
+	// value is compared at every union X.
+	one := Series{Points: []Point{{64, 0.5}}}
+	if got, want := MaxAbsDiff(dense, one), 0.4; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxAbsDiff(dense, one-point) = %v, want %v", got, want)
+	}
+}
+
+// TestNonIncreasingViolations is the table test for the curve-shape
+// validator: where the rise sits and whether it clears the float
+// tolerance decides the verdict.
+func TestNonIncreasingViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+		want bool
+	}{
+		{"strictly decreasing", []Point{{1, 0.9}, {2, 0.5}, {3, 0.1}}, true},
+		{"flat", []Point{{1, 0.4}, {2, 0.4}, {3, 0.4}}, true},
+		{"rise at front", []Point{{1, 0.1}, {2, 0.9}, {3, 0.05}}, false},
+		{"rise in middle", []Point{{1, 0.9}, {2, 0.3}, {3, 0.5}, {4, 0.1}}, false},
+		{"rise at tail", []Point{{1, 0.9}, {2, 0.3}, {3, 0.31}}, false},
+		{"rise within tolerance", []Point{{1, 0.5}, {2, 0.5 + 5e-10}}, true},
+		{"rise just past tolerance", []Point{{1, 0.5}, {2, 0.5 + 2e-9}}, false},
+		{"single point", []Point{{1, 0.7}}, true},
+		{"empty", nil, true},
+	}
+	for _, tc := range cases {
+		s := Series{Name: tc.name, Points: tc.pts}
+		if got := s.NonIncreasing(); got != tc.want {
+			t.Errorf("%s: NonIncreasing = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
 func TestCurveTable(t *testing.T) {
 	a := Series{Name: "exact", Points: []Point{{64, 0.8}, {128, 0.4}}}
 	b := Series{Name: "shards", Points: []Point{{64, 0.81}}}

@@ -204,6 +204,75 @@ func (s *Set) Install(nl Line, rnd uint64) []Line {
 	return s.place(nl, s.nthCandidate(nl.Slots, false, int(rnd%uint64(nocc))))
 }
 
+// countCandidatesMasked is countCandidates restricted to the data ways
+// whose bit is set in wayMask (same way-major/start-minor enumeration,
+// masked ways skipped whole).
+func (s *Set) countCandidatesMasked(slots int, wayMask uint64) (nfree, nocc int) {
+	for way := range s.occ {
+		if wayMask&(1<<uint(way)) == 0 {
+			continue
+		}
+		for start := 0; start+slots <= mem.WordsPerLine; start += slots {
+			free, eligible := s.regionState(way, start, slots)
+			switch {
+			case free:
+				nfree++
+			case eligible:
+				nocc++
+			}
+		}
+	}
+	return nfree, nocc
+}
+
+// nthCandidateMasked is nthCandidate over the masked enumeration.
+func (s *Set) nthCandidateMasked(slots int, wayMask uint64, wantFree bool, k int) candidate {
+	for way := range s.occ {
+		if wayMask&(1<<uint(way)) == 0 {
+			continue
+		}
+		for start := 0; start+slots <= mem.WordsPerLine; start += slots {
+			free, eligible := s.regionState(way, start, slots)
+			if free != wantFree || (!free && !eligible) {
+				continue
+			}
+			if k == 0 {
+				return candidate{way, start}
+			}
+			k--
+		}
+	}
+	panic("wordstore: masked candidate index out of range")
+}
+
+// InstallMasked places nl like Install but considers only the data
+// ways whose bit is set in wayMask — the distill cache's way-partition
+// enforcement: each tenant's distilled lines land in its own WOC ways.
+// A zero mask, or one covering every way, behaves exactly like Install
+// (and takes Install's unmasked hot path). The mask restricts where nl
+// is placed, never which lines a placement may evict — alignment means
+// a region's victims always live in the region's own way.
+//
+//ldis:noalloc
+func (s *Set) InstallMasked(nl Line, rnd uint64, wayMask uint64) []Line {
+	full := uint64(1)<<uint(len(s.occ)) - 1
+	wayMask &= full
+	if wayMask == 0 || wayMask == full {
+		return s.Install(nl, rnd)
+	}
+	s.checkInstall(nl)
+	nfree, nocc := s.countCandidatesMasked(nl.Slots, wayMask)
+	if nfree > 0 {
+		return s.place(nl, s.nthCandidateMasked(nl.Slots, wayMask, true, int(rnd%uint64(nfree))))
+	}
+	if nocc == 0 {
+		// Cannot happen: region (way, 0) of any masked-in way is always
+		// eligible; defend as Install does.
+		panic("wordstore: no replacement candidate in masked ways")
+	}
+	return s.place(nl, s.nthCandidateMasked(nl.Slots, wayMask, false, int(rnd%uint64(nocc))))
+}
+
 // InstallLRU places nl like Install but, when no region is free, evicts
 // the candidate region whose youngest resident line is oldest (a
 // variable-size LRU approximation — the policy the paper's footnote 4
