@@ -46,6 +46,13 @@
 # real process: start, submit, stream the result, verify the manifest,
 # SIGTERM-drain (see DESIGN.md §12).
 # `make examples` builds every example program (compile gate).
+# `make orgs-smoke` validates the related-work organization trio
+# (Touché tags, clean copy-back, way memoization): the three acceptance
+# gates — Touché tag area below LDIS per-word at equal miss ratio,
+# copy-back strictly reducing misses on the reuse-heavy benchmarks, and
+# memo energy never above baseline with identical results — plus the
+# focused unit tests and a short end-to-end ldisexp orgs run (see
+# DESIGN.md §14).
 # `make partition-smoke` validates the partition controller end to end:
 # UCP must not lose to the static equal split on any bundled scenario,
 # the online-SHARDS allocator must agree with exact Mattson within one
@@ -58,7 +65,7 @@ GO ?= go
 .PHONY: all build vet lint lint-vet lint-json lint-fix-check \
 	lint-install test check race test-race microbench bench \
 	bench-gate bench-promote bench-smoke chaos fuzz-smoke mrc-smoke \
-	obs-smoke ldisd-smoke partition-smoke examples govulncheck profile \
+	obs-smoke ldisd-smoke partition-smoke orgs-smoke examples govulncheck profile \
 	clean
 
 # Allowed fractional slowdown per experiment before bench-gate fails.
@@ -66,7 +73,7 @@ BENCH_TOL ?= 0.05
 # The pinned gate workload: the four headline experiments, single
 # worker (so decode CPU time equals its wall share), three repeats
 # with the median reported.
-BENCH_FLAGS = -accesses 200000 -parallel 1 -bench-repeats 3 fig6 fig7 fig8 table5 partition
+BENCH_FLAGS = -accesses 200000 -parallel 1 -bench-repeats 3 fig6 fig7 fig8 table5 partition orgs
 
 all: check
 
@@ -185,8 +192,22 @@ partition-smoke:
 	$(GO) test -run 'TestPartitionUCPBeatsStatic|TestPartitionShardsAgreesWithExact|TestPartitionLDISAwareDiffers' \
 		-count=1 ./internal/exp
 	$(GO) test -count=1 ./internal/partition
-	$(GO) run ./cmd/ldisexp -accesses 60000 -tenants twolf,mcf -epoch 6000 partition > /dev/null
+	$(GO) run ./cmd/ldisexp -accesses 60000 -partition tenants=twolf+mcf,epoch=6000 partition > /dev/null
 	@echo "partition-smoke: gates passed"
+
+# Organization-trio smoke: the acceptance gates for the orgs
+# experiment (see DESIGN.md §14) — area, miss-reduction, and energy —
+# plus the modifier unit tests (superblock aliasing, copy-back
+# cold-start, memo transparency) and a short end-to-end CLI run
+# exercising every grouped -orgs knob.
+orgs-smoke:
+	$(GO) test -run 'TestOrgsToucheTagAreaGate|TestOrgsCopyBackReducesMisses|TestOrgsWayMemoEnergyGate' \
+		-count=1 ./internal/exp
+	$(GO) test -run 'Touche|CopyBack|WayMemo|Memo|Modifier' -count=1 ./internal/wordstore ./internal/distill \
+		./internal/cache ./internal/costmodel .
+	$(GO) run ./cmd/ldisexp -accesses 60000 -benchmarks mcf,twolf \
+		-orgs touche-sb-lines=8,waymemo-entries=8,copyback-max-reuse=1048576 orgs > /dev/null
+	@echo "orgs-smoke: gates passed"
 
 # End-to-end service smoke: builds the real ldisd binary and drives it
 # through its full lifecycle with the Go smoke driver — start on an

@@ -253,22 +253,24 @@ func benchmarkSimThroughput(b *testing.B, mk func() *Sim, benchmark string) {
 	b.ReportMetric(float64(len(accs)*b.N)/b.Elapsed().Seconds(), "accesses/s")
 }
 
+func mustNewSim(opts ...Option) *Sim {
+	s, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func BenchmarkBaselineCache(b *testing.B) {
-	benchmarkSimThroughput(b, NewBaselineSim, "mcf")
+	benchmarkSimThroughput(b, func() *Sim { return mustNewSim(WithTraditional(1<<20, 8)) }, "mcf")
 }
 
 func BenchmarkDistillCache(b *testing.B) {
-	benchmarkSimThroughput(b, func() *Sim { return NewDistillSim(DefaultDistillConfig()) }, "mcf")
+	benchmarkSimThroughput(b, func() *Sim { return mustNewSim(WithDistill(DefaultDistillConfig())) }, "mcf")
 }
 
 func BenchmarkSFPCache(b *testing.B) {
-	benchmarkSimThroughput(b, func() *Sim {
-		s, err := NewSFPSim(0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		return s
-	}, "mcf")
+	benchmarkSimThroughput(b, func() *Sim { return mustNewSim(WithSFP(0)) }, "mcf")
 }
 
 func BenchmarkWorkloadGeneration(b *testing.B) {
@@ -304,7 +306,7 @@ func BenchmarkAblationWOCWays(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultDistillConfig()
 				cfg.WOCWays = woc
-				sim := NewDistillSim(cfg)
+				sim := mustNewSim(WithDistill(cfg))
 				res := sim.RunStream("health", prof.Stream(), 250_000)
 				mpki = res.MPKI
 			}
@@ -330,7 +332,7 @@ func BenchmarkAblationMedianThreshold(b *testing.B) {
 				cfg := DefaultDistillConfig()
 				cfg.MedianThreshold = mt
 				cfg.Reverter = false
-				sim := NewDistillSim(cfg)
+				sim := mustNewSim(WithDistill(cfg))
 				res := sim.RunStream("mcf", prof.Stream(), 250_000)
 				mpki = res.MPKI
 			}
@@ -352,7 +354,7 @@ func BenchmarkAblationLeaderSets(b *testing.B) {
 				cfg := DefaultDistillConfig()
 				sc := samplerConfigFor(cfg, leaders)
 				cfg.SamplerConfig = &sc
-				sim := NewDistillSim(cfg)
+				sim := mustNewSim(WithDistill(cfg))
 				res := sim.RunStream("swim", prof.Stream(), 250_000)
 				mpki = res.MPKI
 			}
@@ -413,7 +415,7 @@ func BenchmarkAblationWOCReplacement(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultDistillConfig()
 				cfg.WOCLRU = lru
-				sim := NewDistillSim(cfg)
+				sim := mustNewSim(WithDistill(cfg))
 				res := sim.RunStream("health", prof.Stream(), 250_000)
 				mpki = res.MPKI
 			}
@@ -444,7 +446,7 @@ func BenchmarkAblationStaticThreshold(b *testing.B) {
 				cfg := DefaultDistillConfig()
 				cfg.Reverter = false
 				cases[name](&cfg)
-				sim := NewDistillSim(cfg)
+				sim := mustNewSim(WithDistill(cfg))
 				res := sim.RunStream("mcf", prof.Stream(), 250_000)
 				mpki = res.MPKI
 			}
@@ -469,7 +471,7 @@ func BenchmarkAblationFootprintNoise(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultDistillConfig()
 				cfg.FootprintNoise = tt.noise
-				sim := NewDistillSim(cfg)
+				sim := mustNewSim(WithDistill(cfg))
 				res := sim.RunStream("health", prof.Stream(), 250_000)
 				mpki = res.MPKI
 			}
@@ -501,7 +503,7 @@ func BenchmarkAblationVictimCache(b *testing.B) {
 				if victim {
 					cfg.Slots = func(_ mem.LineAddr, _ mem.Footprint) int { return 8 }
 				}
-				sim := NewDistillSim(cfg)
+				sim := mustNewSim(WithDistill(cfg))
 				res := sim.RunStream("health", prof.Stream(), 250_000)
 				mpki = res.MPKI
 			}

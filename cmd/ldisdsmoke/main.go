@@ -3,7 +3,7 @@
 // service lifecycle against a real ldisd process:
 //
 //  1. start ldisd on an ephemeral port with a temp data directory,
-//  2. wait for readiness via -addr-file and /healthz,
+//  2. wait for readiness via -addr-file and /v1/healthz,
 //  3. submit an experiment job and long-poll its streamed result,
 //  4. verify the result trailer reports a clean terminal state,
 //  5. verify the per-job manifest round-trips with tool "ldisd",
@@ -70,6 +70,9 @@ func run(bin string) error {
 	if err := checkHealth(base); err != nil {
 		return err
 	}
+	if err := checkV1Surface(base); err != nil {
+		return err
+	}
 	jobID, err := submitJob(base)
 	if err != nil {
 		return err
@@ -111,11 +114,50 @@ func checkHealth(base string) error {
 	var h struct {
 		Status string `json:"status"`
 	}
-	if err := getJSON(base+"/healthz", &h); err != nil {
+	if err := getJSON(base+"/v1/healthz", &h); err != nil {
 		return err
 	}
 	if h.Status != "ok" {
 		return fmt.Errorf("health status %q, want ok", h.Status)
+	}
+	return nil
+}
+
+// checkV1Surface requires the machine-readable route table and the
+// versioning policy: unversioned spellings redirect (GET) or are gone
+// (mutations), and content is served only under /v1/.
+func checkV1Surface(base string) error {
+	var spec struct {
+		OpenAPI string         `json:"openapi"`
+		Paths   map[string]any `json:"paths"`
+	}
+	if err := getJSON(base+"/v1/openapi.json", &spec); err != nil {
+		return err
+	}
+	if spec.OpenAPI == "" || len(spec.Paths) == 0 {
+		return fmt.Errorf("openapi document empty: %+v", spec)
+	}
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noRedirect.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently || resp.Header.Get("Location") != "/v1/healthz" {
+		return fmt.Errorf("GET /healthz: status %d location %q, want 301 to /v1/healthz",
+			resp.StatusCode, resp.Header.Get("Location"))
+	}
+	resp, err = http.Post(base+"/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		return fmt.Errorf("POST /jobs: status %d, want 410", resp.StatusCode)
 	}
 	return nil
 }

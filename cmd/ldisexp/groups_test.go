@@ -1,0 +1,172 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ldis/internal/exp"
+)
+
+// TestGroupApply pins the grouped-flag parser: every defect class —
+// unknown key, malformed item, duplicate key, bad value — is reported
+// (all of them, not just the first), and valid specs land in the right
+// exp.Options fields.
+func TestGroupApply(t *testing.T) {
+	cases := []struct {
+		name  string
+		group group
+		spec  string
+		// wantProblems: substrings that must each appear in the joined
+		// problem list.
+		wantProblems []string
+		// minProblems: least number of distinct problems expected (0 =
+		// exactly len(wantProblems) defects need not be distinct).
+		minProblems int
+		check       func(t *testing.T, o exp.Options)
+	}{
+		{
+			name:  "empty spec is all defaults",
+			group: mrcGroup,
+			spec:  "",
+		},
+		{
+			name:  "mrc full set",
+			group: mrcGroup,
+			spec:  "rate=0.2,max-samples=8192,resolution=131072,max=2097152",
+			check: func(t *testing.T, o exp.Options) {
+				if o.MRCSampleRate != 0.2 || o.MRCMaxSamples != 8192 ||
+					o.MRCResolution != 131072 || o.MRCMaxBytes != 2097152 {
+					t.Errorf("mrc knobs not applied: %+v", o)
+				}
+			},
+		},
+		{
+			name:  "unknown key lists the vocabulary",
+			group: mrcGroup,
+			spec:  "rte=0.2",
+			wantProblems: []string{
+				`unknown key "rte"`, "max-samples=",
+			},
+		},
+		{
+			name:  "bad value",
+			group: mrcGroup,
+			spec:  "rate=fast",
+			wantProblems: []string{
+				`bad value "fast"`,
+			},
+		},
+		{
+			name:  "duplicate key",
+			group: mrcGroup,
+			spec:  "rate=0.1,rate=0.2",
+			wantProblems: []string{
+				`duplicate key "rate"`,
+			},
+		},
+		{
+			name:  "missing equals",
+			group: mrcGroup,
+			spec:  "rate",
+			wantProblems: []string{
+				`"rate" is not key=value`,
+			},
+		},
+		{
+			name:  "stray comma",
+			group: mrcGroup,
+			spec:  "rate=0.1,,max=65536",
+			wantProblems: []string{
+				"empty item",
+			},
+		},
+		{
+			name:  "every defect reported at once",
+			group: mrcGroup,
+			spec:  "rte=1,rate=x,max=64,max=65",
+			wantProblems: []string{
+				`unknown key "rte"`, `bad value "x"`, `duplicate key "max"`,
+			},
+			minProblems: 3,
+		},
+		{
+			name:  "partition tenants split on plus",
+			group: partitionGroup,
+			spec:  "tenants=twolf+mcf+art,policy=ucp,epoch=6000",
+			check: func(t *testing.T, o exp.Options) {
+				if len(o.Tenants) != 3 || o.Tenants[0] != "twolf" || o.Tenants[2] != "art" {
+					t.Errorf("tenants not split: %v", o.Tenants)
+				}
+				if o.PartitionPolicy != "ucp" || o.EpochAccesses != 6000 {
+					t.Errorf("partition knobs not applied: %+v", o)
+				}
+			},
+		},
+		{
+			name:  "partition empty tenants",
+			group: partitionGroup,
+			spec:  "tenants=",
+			wantProblems: []string{
+				"want benchmarks joined with +",
+			},
+		},
+		{
+			name:  "orgs knobs",
+			group: orgsGroup,
+			spec:  "touche-sb-lines=8,copyback-max-reuse=65536,waymemo-entries=16",
+			check: func(t *testing.T, o exp.Options) {
+				if o.OrgToucheSBLines != 8 || o.OrgCopyBackMaxReuse != 65536 || o.OrgWayMemoEntries != 16 {
+					t.Errorf("orgs knobs not applied: %+v", o)
+				}
+			},
+		},
+		{
+			name:  "orgs float where int expected",
+			group: orgsGroup,
+			spec:  "waymemo-entries=4.5",
+			wantProblems: []string{
+				"want an integer",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var o exp.Options
+			problems := tc.group.apply(&o, tc.spec)
+			if len(tc.wantProblems) == 0 && len(problems) > 0 {
+				t.Fatalf("unexpected problems: %v", problems)
+			}
+			joined := strings.Join(problems, "\n")
+			for _, want := range tc.wantProblems {
+				if !strings.Contains(joined, want) {
+					t.Errorf("problems %q missing %q", joined, want)
+				}
+			}
+			if len(problems) < tc.minProblems {
+				t.Errorf("got %d problems, want at least %d: %v", len(problems), tc.minProblems, problems)
+			}
+			if tc.check != nil {
+				tc.check(t, o)
+			}
+		})
+	}
+}
+
+// TestGroupUsageDeterministic: the usage string enumerates keys
+// sorted, so flag help is stable run to run.
+func TestGroupUsageDeterministic(t *testing.T) {
+	for _, g := range []group{mrcGroup, partitionGroup, orgsGroup} {
+		u := g.usage()
+		if u != g.usage() {
+			t.Errorf("-%s usage not deterministic", g.name)
+		}
+		items := strings.Split(u, ",")
+		for i := 1; i < len(items); i++ {
+			prev, _, _ := strings.Cut(items[i-1], "=")
+			cur, _, _ := strings.Cut(items[i], "=")
+			if prev >= cur {
+				t.Errorf("-%s usage keys not sorted: %q", g.name, u)
+			}
+		}
+	}
+}

@@ -1,9 +1,13 @@
 // Command ldisexp regenerates the paper's tables and figures from the
 // synthetic benchmark suite. Run with one or more experiment ids
 // (fig1, fig2, fig6..fig11, fig13, table1..table6, overheads, mrc,
-// ablation-*) or "all".
+// partition, orgs, ablation-*) or "all". Per-experiment knobs travel
+// in grouped flags holding key=value items:
 //
 //	ldisexp -accesses 2000000 fig6 fig7
+//	ldisexp -mrc rate=0.2,max-samples=8192 mrc
+//	ldisexp -partition tenants=twolf+mcf,epoch=6000 partition
+//	ldisexp -orgs touche-sb-lines=8,waymemo-entries=8 orgs
 //	ldisexp all
 package main
 
@@ -47,13 +51,9 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	throughput := flag.String("throughput", "", "measure simulated accesses/sec per experiment and write a JSON report to this file (e.g. BENCH_throughput.json)")
 	benchRepeats := flag.Int("bench-repeats", 3, "with -throughput: run each experiment this many times and report the median simulate time, damping scheduler noise")
-	mrcRate := flag.Float64("mrc-rate", 0, "mrc experiment: SHARDS spatial sampling rate in (0,1) for the sampled column (0 = default 0.1)")
-	mrcMaxSamples := flag.Int("mrc-max-samples", 0, "mrc experiment: SHARDS fixed-size bound on concurrently tracked lines (0 = default 16384)")
-	mrcResolution := flag.Int("mrc-resolution", 0, "mrc experiment: curve capacity step in bytes (0 = default 64KB)")
-	mrcMax := flag.Int("mrc-max", 0, "mrc experiment: largest curve capacity in bytes (0 = default 4MB)")
-	tenants := flag.String("tenants", "", "partition experiment: comma-separated co-running benchmarks sharing the cache (default: the bundled scenarios)")
-	partitionPolicy := flag.String("partition-policy", "", "partition experiment: restrict to one policy column (static, ucp, or ldis; default all)")
-	epoch := flag.Int("epoch", 0, "partition experiment: controller epoch length in accesses (0 = default 10000)")
+	mrcFlag := flag.String("mrc", "", "mrc experiment knobs, comma-separated key=value items: "+mrcGroup.usage())
+	partitionFlag := flag.String("partition", "", "partition experiment knobs, comma-separated key=value items: "+partitionGroup.usage())
+	orgsFlag := flag.String("orgs", "", "orgs experiment knobs, comma-separated key=value items: "+orgsGroup.usage())
 	obsAddr := flag.String("obs-addr", "", "serve live progress, metric snapshots, and net/http/pprof on this address (e.g. localhost:6060)")
 	manifestPath := flag.String("manifest", "", "write the versioned run manifest to this path (default: <out>/"+obs.ManifestFile+" with -out, else ./"+obs.ManifestFile+")")
 	verifyManifest := flag.Bool("verify-manifest", false, "after writing the manifest, read it back through the validating parser")
@@ -84,15 +84,6 @@ func main() {
 	o.BatchSize = *batch
 	o.Retries = *retries
 	o.FaultSeed = *faultSeed
-	o.MRCSampleRate = *mrcRate
-	o.MRCMaxSamples = *mrcMaxSamples
-	o.MRCResolution = *mrcResolution
-	o.MRCMaxBytes = *mrcMax
-	o.PartitionPolicy = *partitionPolicy
-	o.EpochAccesses = *epoch
-	if *tenants != "" {
-		o.Tenants = strings.Split(*tenants, ",")
-	}
 	if *benchmarks != "" {
 		o.Benchmarks = strings.Split(*benchmarks, ",")
 	}
@@ -105,6 +96,9 @@ func main() {
 	// option validation — and report them all at once rather than one
 	// per invocation.
 	var problems []string
+	problems = append(problems, mrcGroup.apply(&o, *mrcFlag)...)
+	problems = append(problems, partitionGroup.apply(&o, *partitionFlag)...)
+	problems = append(problems, orgsGroup.apply(&o, *orgsFlag)...)
 	if *markdown && *csv {
 		problems = append(problems, "-markdown and -csv are mutually exclusive; pick one output format")
 	}

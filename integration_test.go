@@ -60,7 +60,7 @@ func TestHeadlineWinners(t *testing.T) {
 // TestDeterminism: identical runs produce identical counters.
 func TestDeterminism(t *testing.T) {
 	run := func() Result {
-		res, err := NewDistillSim(DefaultDistillConfig()).RunWorkload("twolf", 120_000)
+		res, err := mustNewSim(WithDistill(DefaultDistillConfig())).RunWorkload("twolf", 120_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestMPKIOrderingMatchesPaper(t *testing.T) {
 	const n = 500_000
 	mpki := map[string]float64{}
 	for _, name := range []string{"mcf", "health", "art", "twolf", "sixtrack"} {
-		res, err := NewBaselineSim().RunWorkload(name, n)
+		res, err := mustNewSim(WithTraditional(1<<20, 8)).RunWorkload(name, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,11 +133,11 @@ func TestFACComposesWithLDIS(t *testing.T) {
 	const n = 500_000
 	cfg := DefaultDistillConfig()
 	cfg.WOCWays = 3
-	ld, err := NewDistillSim(cfg).RunWorkload("health", n)
+	ld, err := mustNewSim(WithDistill(cfg)).RunWorkload("health", n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fac, err := NewFACSim(cfg, "health")
+	fac, err := New(WithFAC(cfg, "health"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +157,11 @@ func TestSFPBelowLDIS(t *testing.T) {
 		t.Skip("long integration test")
 	}
 	const n = 500_000
-	base, err := NewBaselineSim().RunWorkload("mcf", n)
+	base, err := mustNewSim(WithTraditional(1<<20, 8)).RunWorkload("mcf", n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sfpSim, err := NewSFPSim(16 << 10)
+	sfpSim, err := New(WithSFP(16 << 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestSFPBelowLDIS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ld, err := NewDistillSim(DefaultDistillConfig()).RunWorkload("mcf", n)
+	ld, err := mustNewSim(WithDistill(DefaultDistillConfig())).RunWorkload("mcf", n)
 	if err != nil {
 		t.Fatal(err)
 	}

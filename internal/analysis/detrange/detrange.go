@@ -45,12 +45,15 @@ var Packages = []string{
 	// counters) land in rendered tables, so iteration order is output
 	// order.
 	"ldis/internal/partition",
+	// The energy model: way-memoization totals feed the orgs acceptance
+	// gate and its rendered tables, so accumulation order must be fixed.
+	"ldis/internal/costmodel",
 }
 
 // Analyzer is the detrange analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
-	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc, internal/obs, internal/hierarchy, internal/partition) unless annotated //ldis:nondet-ok",
+	Doc:  "forbid map iteration in deterministic-output packages (internal/exp, internal/stats, internal/par, internal/workload, internal/faultinject, internal/mrc, internal/obs, internal/hierarchy, internal/partition, internal/costmodel) unless annotated //ldis:nondet-ok",
 	Run:  run,
 }
 

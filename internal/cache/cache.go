@@ -21,6 +21,11 @@ type Config struct {
 	SizeBytes int
 	// Ways is the associativity.
 	Ways int
+	// WayMemo, when non-nil, enables the way-memoization memo buffer
+	// (see WayMemoConfig): per-set last-hit-way tracking whose hit/skip
+	// counters feed costmodel.WayMemoEnergy. Functional behaviour is
+	// unchanged.
+	WayMemo *WayMemoConfig
 	// Obs, when non-nil, receives eviction/writeback counters for the
 	// owning grid cell. Counters land on the install (miss) path only —
 	// the per-access hit path stays untouched — and the handles no-op
@@ -44,6 +49,11 @@ func (c Config) Validate() error {
 	}
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	if c.WayMemo != nil {
+		if err := c.WayMemo.Validate(); err != nil {
+			return fmt.Errorf("cache %q: %v", c.Name, err)
+		}
 	}
 	return nil
 }
@@ -73,6 +83,13 @@ type Stats struct {
 	Misses     uint64 //ldis:shard-owned
 	Evictions  uint64 //ldis:shard-owned
 	Writebacks uint64 //ldis:shard-owned
+
+	// Way-memoization counters (Config.WayMemo; zero otherwise). The
+	// memo buffer is per-set state, so these stay shard-owned and sum
+	// exactly under the shard merge.
+	MemoRefs          uint64 //ldis:shard-owned
+	MemoHits          uint64 //ldis:shard-owned
+	MemoProbesSkipped uint64 //ldis:shard-owned
 
 	// WordsUsedAtEvict histograms footprint popcounts of evicted lines
 	// (buckets 0..8); bucket 0 stays empty because installs mark the
@@ -110,10 +127,20 @@ type Cache struct {
 	// hardware, where partitioning constrains replacement, not lookup.
 	quota []int32
 
+	// Way-memoization state (Config.WayMemo; nil when disabled): one
+	// tag arena of EntriesPerSet slots per set, plus a per-set validity
+	// bitmask. Strictly per-set, so sharding composes untouched.
+	memoTags  []uint64
+	memoValid []uint64
+	memoEPS   int
+	memoShift uint
+
 	// Observability handles, registered once at construction; nil when
 	// the config carries no obs cell.
-	obsEvictions  *obs.Counter
-	obsWritebacks *obs.Counter
+	obsEvictions   *obs.Counter
+	obsWritebacks  *obs.Counter
+	obsMemoHits    *obs.Counter
+	obsMemoSkipped *obs.Counter
 }
 
 // New builds a cache; it panics on an invalid config (configs are
@@ -135,8 +162,20 @@ func New(cfg Config) *Cache {
 	// them on the hot path.
 	c.st.WordsUsedAtEvict = stats.NewHistogram(cfg.Name+" words used", mem.WordsPerLine+1)
 	c.st.FPChangePos = stats.NewHistogram(cfg.Name+" fp-change pos", cfg.Ways)
+	if cfg.WayMemo != nil {
+		wm := cfg.WayMemo.withDefaults()
+		c.memoEPS = wm.EntriesPerSet
+		c.memoTags = make([]uint64, numSets*c.memoEPS)
+		c.memoValid = make([]uint64, numSets)
+		c.memoShift = 64
+		for n := c.memoEPS; n > 1; n >>= 1 {
+			c.memoShift--
+		}
+	}
 	c.obsEvictions = cfg.Obs.Counter("cache_evictions")
 	c.obsWritebacks = cfg.Obs.Counter("cache_writebacks")
+	c.obsMemoHits = cfg.Obs.Counter("cache_waymemo_hits")
+	c.obsMemoSkipped = cfg.Obs.Counter("cache_waymemo_skipped_probes")
 	return c
 }
 
@@ -181,8 +220,10 @@ func (c *Cache) Lookup(line mem.LineAddr) bool {
 func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
 	st := &c.st
 	st.Accesses++
-	set := c.sets[c.setIndexOf(line)]
+	si := c.setIndexOf(line)
+	set := c.sets[si]
 	tag := c.tagOf(line)
+	c.memoLookup(si, tag)
 	// MRU fast path: a hit on way 0 needs no promotion (and cannot
 	// raise MaxFPPos), so it updates the line in place.
 	if l := &set[0]; l.Valid && l.Tag == tag {
@@ -191,6 +232,7 @@ func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
 		if write {
 			l.Dirty = true
 		}
+		c.memoRecord(si, tag)
 		return true
 	}
 	for pos := 1; pos < len(set); pos++ {
@@ -209,6 +251,7 @@ func (c *Cache) Access(line mem.LineAddr, word int, write bool) bool {
 			l.Dirty = true
 		}
 		c.promote(set, pos, l)
+		c.memoRecord(si, tag)
 		return true
 	}
 	st.Misses++
@@ -229,6 +272,7 @@ func (c *Cache) AccessInstall(line mem.LineAddr, word int, write bool) bool {
 	si := c.setIndexOf(line)
 	set := c.sets[si]
 	tag := c.tagOf(line)
+	c.memoLookup(si, tag)
 	// MRU fast path, as in Access.
 	if l := &set[0]; l.Valid && l.Tag == tag {
 		st.Hits++
@@ -236,6 +280,7 @@ func (c *Cache) AccessInstall(line mem.LineAddr, word int, write bool) bool {
 		if write {
 			l.Dirty = true
 		}
+		c.memoRecord(si, tag)
 		return true
 	}
 	for pos := 1; pos < len(set); pos++ {
@@ -254,6 +299,7 @@ func (c *Cache) AccessInstall(line mem.LineAddr, word int, write bool) bool {
 			l.Dirty = true
 		}
 		c.promote(set, pos, l)
+		c.memoRecord(si, tag)
 		return true
 	}
 	st.Misses++
@@ -267,6 +313,7 @@ func (c *Cache) AccessInstall(line mem.LineAddr, word int, write bool) bool {
 			st.Writebacks++
 			c.obsWritebacks.Inc()
 		}
+		c.memoInvalidate(si, v.Tag)
 	}
 	c.promote(set, victimPos, Line{
 		Valid:     true,
@@ -274,6 +321,7 @@ func (c *Cache) AccessInstall(line mem.LineAddr, word int, write bool) bool {
 		Tag:       tag,
 		Footprint: mem.FootprintOfWord(word),
 	})
+	c.memoRecord(si, tag)
 	return false
 }
 
@@ -331,6 +379,7 @@ func (c *Cache) AccessInstallTenant(line mem.LineAddr, word int, write bool, ten
 	si := c.setIndexOf(line)
 	set := c.sets[si]
 	tag := c.tagOf(line)
+	c.memoLookup(si, tag)
 	// MRU fast path, as in Access. Hits never transfer ownership: the
 	// installing tenant keeps the line against its quota.
 	if l := &set[0]; l.Valid && l.Tag == tag {
@@ -339,6 +388,7 @@ func (c *Cache) AccessInstallTenant(line mem.LineAddr, word int, write bool, ten
 		if write {
 			l.Dirty = true
 		}
+		c.memoRecord(si, tag)
 		return true
 	}
 	for pos := 1; pos < len(set); pos++ {
@@ -357,6 +407,7 @@ func (c *Cache) AccessInstallTenant(line mem.LineAddr, word int, write bool, ten
 			l.Dirty = true
 		}
 		c.promote(set, pos, l)
+		c.memoRecord(si, tag)
 		return true
 	}
 	st.Misses++
@@ -370,6 +421,7 @@ func (c *Cache) AccessInstallTenant(line mem.LineAddr, word int, write bool, ten
 			st.Writebacks++
 			c.obsWritebacks.Inc()
 		}
+		c.memoInvalidate(si, v.Tag)
 	}
 	c.promote(set, victimPos, Line{
 		Valid:     true,
@@ -378,6 +430,7 @@ func (c *Cache) AccessInstallTenant(line mem.LineAddr, word int, write bool, ten
 		Footprint: mem.FootprintOfWord(word),
 		Tenant:    uint8(tenant),
 	})
+	c.memoRecord(si, tag)
 	return false
 }
 
@@ -457,6 +510,7 @@ func (c *Cache) Install(line mem.LineAddr, word int, write bool) (Victim, bool) 
 			Footprint: v.Footprint,
 		}
 		had = true
+		c.memoInvalidate(si, v.Tag)
 	}
 	nl := Line{
 		Valid:     true,
@@ -465,6 +519,7 @@ func (c *Cache) Install(line mem.LineAddr, word int, write bool) (Victim, bool) 
 		Footprint: mem.FootprintOfWord(word),
 	}
 	c.promote(set, victimPos, nl)
+	c.memoRecord(si, tag)
 	return victim, had
 }
 
@@ -571,6 +626,9 @@ func (s *Stats) Merge(o *Stats) {
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.Writebacks += o.Writebacks
+	s.MemoRefs += o.MemoRefs
+	s.MemoHits += o.MemoHits
+	s.MemoProbesSkipped += o.MemoProbesSkipped
 	s.WordsUsedAtEvict.Merge(o.WordsUsedAtEvict)
 	s.FPChangePos.Merge(o.FPChangePos)
 }

@@ -110,3 +110,71 @@ func TestOverheadConstants(t *testing.T) {
 		t.Errorf("energy constants wrong: %+v", e)
 	}
 }
+
+func TestToucheTagAreaBaseline(t *testing.T) {
+	s, err := ToucheTagArea(Defaults(), ToucheDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word entry: valid+dirty+head (3) + word-id (3) + member (2) +
+	// signature pointer (3 over 8 entries/set) = 11 bits, against the
+	// 29-bit LDIS entry.
+	if s.WordEntryBits != 11 {
+		t.Errorf("word entry = %d bits, want 11", s.WordEntryBits)
+	}
+	if s.WordEntries != 32<<10 {
+		t.Errorf("word entries = %d, want 32k", s.WordEntries)
+	}
+	if s.SuperblockEntries != 16<<10 || s.SuperblockBits != 24 {
+		t.Errorf("superblock table = %d entries x %d bits, want 16k x 24", s.SuperblockEntries, s.SuperblockBits)
+	}
+	if s.TagBytes != (11*32<<10+24*16<<10)/8 {
+		t.Errorf("compressed tag bytes = %d", s.TagBytes)
+	}
+	if s.TagBytes >= s.LDISTagBytes {
+		t.Errorf("compressed area %dB not below LDIS %dB", s.TagBytes, s.LDISTagBytes)
+	}
+	if s.SavingsPercent < 15 || s.SavingsPercent > 60 {
+		t.Errorf("savings = %.1f%%, want a material reduction", s.SavingsPercent)
+	}
+}
+
+func TestToucheTagAreaErrors(t *testing.T) {
+	if _, err := ToucheTagArea(Defaults(), ToucheParams{SuperblockLines: 3, TagBits: 16, ChecksumBits: 8}); err == nil {
+		t.Error("non-power-of-two superblock should fail")
+	}
+	if _, err := ToucheTagArea(Defaults(), ToucheParams{SuperblockLines: 4, TagBits: 0, ChecksumBits: 8}); err == nil {
+		t.Error("zero signature width should fail")
+	}
+	bad := Defaults()
+	bad.L2Bytes = 0
+	if _, err := ToucheTagArea(bad, ToucheDefaults()); err == nil {
+		t.Error("invalid Params should fail")
+	}
+}
+
+func TestWayMemoEnergyNeverExceedsBaseline(t *testing.T) {
+	_, e := Overheads()
+	for _, hits := range []uint64{0, 1, 500_000, 1_000_000} {
+		wm, err := WayMemoEnergyFor(8, 1_000_000, hits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wm.MemoNJ > wm.BaselineNJ+1e-9 {
+			t.Errorf("hits=%d: memo %.2fnJ exceeds baseline %.2fnJ", hits, wm.MemoNJ, wm.BaselineNJ)
+		}
+		if hits > 0 && wm.SavedNJ <= 0 {
+			t.Errorf("hits=%d: no savings", hits)
+		}
+		want := float64(1_000_000-hits)*e.LOCTagNJ + float64(hits)*e.LOCTagNJ/8
+		if math.Abs(wm.MemoNJ-want) > 1e-6 {
+			t.Errorf("hits=%d: memo %.4f, want %.4f", hits, wm.MemoNJ, want)
+		}
+	}
+	if _, err := WayMemoEnergyFor(0, 1, 0); err == nil {
+		t.Error("zero ways should fail")
+	}
+	if _, err := WayMemoEnergyFor(8, 1, 2); err == nil {
+		t.Error("hits > refs should fail")
+	}
+}

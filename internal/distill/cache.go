@@ -69,6 +69,17 @@ type Stats struct {
 	WOCEvictions   uint64 // WOC lines displaced by installs
 	ModeSwitches   uint64 // follower sets toggling distill/traditional
 
+	// Touche aggregates the compressed-tag filter's counters
+	// (lookups, alias safe misses, alias/superblock evictions) when
+	// Config.Touche is set; zero otherwise.
+	Touche wordstore.ToucheStats
+
+	// Clean copy-back outcomes (Config.CopyBack): every clean L1
+	// victim absent from both structures lands in exactly one bucket.
+	CopyBacks    uint64 // predicted near: used words installed into the WOC
+	CopyBackFar  uint64 // predicted reuse distance beyond the window
+	CopyBackCold uint64 // no prediction: unsampled, evicted from the sample, or never seen
+
 	// WordsUsedAtEvict histograms the footprint popcount of LOC
 	// victims (Figure 1 / Table 6 for the distill cache).
 	WordsUsedAtEvict *stats.Histogram
@@ -121,6 +132,13 @@ type Cache struct {
 	rng  uint64
 	tick uint64
 
+	// touche, when non-nil, is the compressed superblock tag filter the
+	// WOC lookup and install paths route through (Config.Touche).
+	touche *wordstore.ToucheTags
+	// cb, when non-nil, is the clean copy-back reuse predictor
+	// (Config.CopyBack).
+	cb *copyBack
+
 	// Set-indexing geometry, precomputed at construction so the access
 	// path does not rederive it per access.
 	setMask  uint64
@@ -135,12 +153,15 @@ type Cache struct {
 	// Observability handles, registered once at construction; all nil
 	// (and therefore no-ops) when the config carries no obs cell. They
 	// sit on the miss/evict paths only — the LOC hit path is untouched.
-	obsSpans          *obs.Spans
-	obsDistilled      *obs.Counter
-	obsThresholdSkips *obs.Counter
-	obsHoleMisses     *obs.Counter
-	obsWOCEvictions   *obs.Counter
-	obsModeSwitches   *obs.Counter
+	obsSpans           *obs.Spans
+	obsDistilled       *obs.Counter
+	obsThresholdSkips  *obs.Counter
+	obsHoleMisses      *obs.Counter
+	obsWOCEvictions    *obs.Counter
+	obsModeSwitches    *obs.Counter
+	obsToucheAliasMiss *obs.Counter
+	obsCopyBacks       *obs.Counter
+	obsCopyBackRejects *obs.Counter
 }
 
 // New builds a distill cache; panics on invalid config.
@@ -177,6 +198,15 @@ func New(cfg Config) *Cache {
 	if cfg.MedianThreshold {
 		c.mt = newMedianFilter()
 	}
+	if cfg.Touche != nil {
+		c.touche = wordstore.NewToucheTags(*cfg.Touche, cfg.WOCWays)
+		// Route the filter's counters into this cache's Stats so shard
+		// merging folds them like every other counter.
+		c.touche.Stats = &c.st.Touche
+	}
+	if cfg.CopyBack != nil {
+		c.cb = newCopyBack(*cfg.CopyBack, cfg.SizeBytes)
+	}
 	c.st.WordsUsedAtEvict = stats.NewHistogram(cfg.Name+" words used", mem.WordsPerLine+1)
 	c.st.FPChangePos = stats.NewHistogram(cfg.Name+" fp-change pos", cfg.Ways)
 	c.obsSpans = cfg.Obs.Spans()
@@ -185,6 +215,9 @@ func New(cfg Config) *Cache {
 	c.obsHoleMisses = cfg.Obs.Counter("distill_hole_misses")
 	c.obsWOCEvictions = cfg.Obs.Counter("distill_woc_evictions")
 	c.obsModeSwitches = cfg.Obs.Counter("distill_mode_switches")
+	c.obsToucheAliasMiss = cfg.Obs.Counter("distill_touche_alias_misses")
+	c.obsCopyBacks = cfg.Obs.Counter("distill_copybacks")
+	c.obsCopyBackRejects = cfg.Obs.Counter("distill_copyback_rejects")
 	if slotsHist := cfg.Obs.Histogram("woc_install_slots", []uint64{1, 2, 4}); slotsHist != nil {
 		for i := range c.sets {
 			c.sets[i].woc.ObsInstallSlots = slotsHist
@@ -258,6 +291,9 @@ func (c *Cache) tagOf(la mem.LineAddr) uint64   { return uint64(la) >> c.tagShif
 
 func (c *Cache) access(la mem.LineAddr, word int, write, instr bool, tenant int) AccessResult {
 	c.st.Accesses++
+	if c.cb != nil {
+		c.cb.observe(la, word)
+	}
 	si := c.setIndexOf(la)
 	s := &c.sets[si]
 	leader := false
@@ -306,7 +342,16 @@ func (c *Cache) access(la mem.LineAddr, word int, write, instr bool, tenant int)
 	// WOC lookup (inactive in traditional mode).
 	if !s.trad {
 		tok := c.obsSpans.Begin(obs.StageWOCLookup)
-		idx := s.woc.Find(tag)
+		var idx int
+		if c.touche != nil {
+			aliases := c.st.Touche.AliasSafeMisses
+			idx = c.touche.Find(&s.woc, tag)
+			if c.st.Touche.AliasSafeMisses != aliases {
+				c.obsToucheAliasMiss.Inc()
+			}
+		} else {
+			idx = s.woc.Find(tag)
+		}
 		c.obsSpans.End(obs.StageWOCLookup, tok)
 		if idx >= 0 {
 			wl := &s.woc.Lines[idx]
@@ -429,8 +474,27 @@ func (c *Cache) evictLOC(s *set, si int, v locEntry) {
 func (c *Cache) installWOC(s *set, wl wordstore.Line, tenant uint8) {
 	c.st.Distilled++
 	c.obsDistilled.Inc()
+	c.wocInsert(s, wl, tenant)
+}
+
+// wocInsert is installWOC without the distillation accounting — shared
+// by the distill path and the clean copy-back path, which installs
+// lines that were never LOC victims.
+func (c *Cache) wocInsert(s *set, wl wordstore.Line, tenant uint8) {
 	c.tick++
 	wl.LastUse = c.tick
+	if c.touche != nil {
+		// Evict whatever the compressed tag store cannot represent next
+		// to wl: (member, signature) aliases and superblocks beyond the
+		// provisioned entry budget.
+		for _, ev := range c.touche.PrepareInstall(&s.woc, wl.Tag) {
+			c.st.WOCEvictions++
+			c.obsWOCEvictions.Inc()
+			if ev.Dirty != 0 {
+				c.st.Writebacks++
+			}
+		}
+	}
 	var evicted []wordstore.Line
 	switch {
 	case c.cfg.WOCLRU:
@@ -646,6 +710,30 @@ func (c *Cache) WritebackFromL1(la mem.LineAddr, footprint, dirty mem.Footprint)
 	}
 	if dirty != 0 {
 		c.st.Writebacks++
+		return
+	}
+	// Clean victim absent from both structures. With copy-back enabled
+	// (Config.CopyBack) the reuse predictor decides whether its used
+	// words are worth a WOC slot; otherwise — as in the base design —
+	// the line is dropped.
+	if c.cb != nil && !s.trad && footprint != 0 {
+		within, known := c.cb.predict(la)
+		switch {
+		case !known:
+			c.st.CopyBackCold++
+			c.obsCopyBackRejects.Inc()
+		case !within:
+			c.st.CopyBackFar++
+			c.obsCopyBackRejects.Inc()
+		default:
+			c.st.CopyBacks++
+			c.obsCopyBacks.Inc()
+			c.wocInsert(s, wordstore.Line{
+				Tag:   tag,
+				Words: footprint,
+				Slots: mem.Pow2WordsFor(footprint.Count()),
+			}, 0)
+		}
 	}
 }
 
@@ -700,6 +788,11 @@ func (c *Cache) CheckInvariants() error {
 		if err := s.woc.CheckInvariants(); err != nil {
 			return fmt.Errorf("set %d: %v", i, err)
 		}
+		if c.touche != nil {
+			if err := c.touche.CheckInvariants(&s.woc); err != nil {
+				return fmt.Errorf("set %d: %v", i, err)
+			}
+		}
 		want := c.cfg.LOCWays()
 		if s.trad {
 			want = c.cfg.Ways
@@ -752,6 +845,10 @@ func (s *Stats) Merge(o *Stats) {
 	s.InstrEvictions += o.InstrEvictions
 	s.WOCEvictions += o.WOCEvictions
 	s.ModeSwitches += o.ModeSwitches
+	s.Touche.Merge(o.Touche)
+	s.CopyBacks += o.CopyBacks
+	s.CopyBackFar += o.CopyBackFar
+	s.CopyBackCold += o.CopyBackCold
 	s.WordsUsedAtEvict.Merge(o.WordsUsedAtEvict)
 	s.FPChangePos.Merge(o.FPChangePos)
 }

@@ -15,6 +15,7 @@ import (
 	"ldis/internal/mem"
 	"ldis/internal/obs"
 	"ldis/internal/sampler"
+	"ldis/internal/wordstore"
 )
 
 // SlotsFunc computes how many 8B WOC entries a distilled line occupies.
@@ -63,6 +64,21 @@ type Config struct {
 	// Slots overrides the WOC allocation size (used by FAC). Nil means
 	// the uncompressed power-of-two rule.
 	Slots SlotsFunc
+
+	// Touche, when non-nil, replaces the WOC's per-word full tags with
+	// Touché-style compressed superblock tags (arXiv 1909.00553):
+	// demand lookups go through the hashed-signature/checksum path and
+	// installs evict whatever the compressed store cannot represent.
+	// The tag-area win is priced by costmodel.ToucheTagArea.
+	Touche *wordstore.ToucheConfig
+
+	// CopyBack, when non-nil, enables reuse-distance-gated copy-back of
+	// clean L1 victims into the WOC (arXiv 2105.14442): an L1D eviction
+	// notice for a clean line absent from both structures consults a
+	// SHARDS-fed Mattson predictor and, if the line's current stack
+	// distance fits the configured window, its used words are installed
+	// into the WOC instead of being dropped.
+	CopyBack *CopyBackConfig
 
 	// SamplerConfig overrides the reverter's sampler parameters; zero
 	// value means sampler.DefaultConfig for this cache's set count.
@@ -124,6 +140,16 @@ func (c Config) Validate() error {
 	if c.FootprintNoise < 0 || c.FootprintNoise > 1 {
 		return fmt.Errorf("distill %q: footprint noise %v out of [0,1]", c.Name, c.FootprintNoise)
 	}
+	if c.Touche != nil {
+		if err := c.Touche.Validate(); err != nil {
+			return fmt.Errorf("distill %q: %v", c.Name, err)
+		}
+	}
+	if c.CopyBack != nil {
+		if err := c.CopyBack.Validate(); err != nil {
+			return fmt.Errorf("distill %q: %v", c.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -140,11 +166,17 @@ func (c Config) Validate() error {
 //   - random WOC replacement (WOCLRU false): same RNG coupling on
 //     every distill.
 //   - Slots: an extension hook whose purity this package cannot see.
+//   - CopyBack: its reuse predictor is one Mattson stack fed by every
+//     set's accesses in global order, so predictions (and therefore
+//     WOC contents) depend on cross-set interleaving.
 //
 // The WOC-LRU tick counter is global but harmless: only the relative
 // order of LastUse stamps within one set matters, and per-shard
-// processing preserves per-set program order.
+// processing preserves per-set program order. Touché compressed tags
+// are likewise shard-neutral: signatures and checksums are pure
+// functions of (tag, seed), and the install filter touches only the
+// accessed set.
 func (c Config) ShardExact() bool {
 	return !c.MedianThreshold && !c.Reverter && c.FootprintNoise == 0 &&
-		c.WOCLRU && c.Slots == nil
+		c.WOCLRU && c.Slots == nil && c.CopyBack == nil
 }

@@ -87,6 +87,10 @@ func (o Options) Fingerprint() uint64 {
 	// columns, and epoch cadence.
 	fmt.Fprintf(&b, "|tenants=%s|partition=%s/%d",
 		strings.Join(o.Tenants, ","), o.PartitionPolicy, o.epochAccesses())
+	// Org knobs change the orgs experiment's touche/copyback/waymemo
+	// cell configurations.
+	fmt.Fprintf(&b, "|orgs=%d/%d/%d",
+		o.orgToucheSBLines(), o.orgCopyBackMaxReuse(), o.orgWayMemoEntries())
 	h := uint64(14695981039346656037)
 	for i := 0; i < b.Len(); i++ {
 		h ^= uint64(b.String()[i])

@@ -106,6 +106,16 @@ type Options struct {
 	// accesses; 0 means the default (see epochAccesses).
 	EpochAccesses int
 
+	// OrgToucheSBLines is the orgs experiment's Touché superblock size
+	// in lines (power of two >= 2); 0 means the default (4).
+	OrgToucheSBLines int
+	// OrgCopyBackMaxReuse is the orgs experiment's copy-back admission
+	// window in bytes; 0 means the shared cache's size (1MB).
+	OrgCopyBackMaxReuse int
+	// OrgWayMemoEntries is the orgs experiment's way-memo entries per
+	// cache set (power of two in [1, 64]); 0 means the default (4).
+	OrgWayMemoEntries int
+
 	// expID is the registry id of the experiment being run, set by
 	// Run; it keys checkpoint records and failure rows.
 	expID string
@@ -173,6 +183,31 @@ func (o Options) mrcMaxBytes() int {
 		return 4 << 20
 	}
 	return o.MRCMaxBytes
+}
+
+// orgs option accessors: zero means "default", and the defaulted
+// values feed both the cell configs and the fingerprint, so explicit
+// defaults and implicit ones checkpoint identically.
+
+func (o Options) orgToucheSBLines() int {
+	if o.OrgToucheSBLines == 0 {
+		return 4
+	}
+	return o.OrgToucheSBLines
+}
+
+func (o Options) orgCopyBackMaxReuse() int {
+	if o.OrgCopyBackMaxReuse == 0 {
+		return orgSizeBytes
+	}
+	return o.OrgCopyBackMaxReuse
+}
+
+func (o Options) orgWayMemoEntries() int {
+	if o.OrgWayMemoEntries == 0 {
+		return 4
+	}
+	return o.OrgWayMemoEntries
 }
 
 func (o Options) epochAccesses() int {
@@ -262,6 +297,15 @@ func (o *Options) Validate() error {
 	}
 	if o.EpochAccesses < 0 {
 		bad("EpochAccesses", "must be >= 0, got %d", o.EpochAccesses)
+	}
+	if s := o.OrgToucheSBLines; s != 0 && (s < 2 || s&(s-1) != 0) {
+		bad("OrgToucheSBLines", "superblock of %d lines not a power of two >= 2", s)
+	}
+	if o.OrgCopyBackMaxReuse < 0 {
+		bad("OrgCopyBackMaxReuse", "must be >= 0, got %d", o.OrgCopyBackMaxReuse)
+	}
+	if e := o.OrgWayMemoEntries; e != 0 && (e < 1 || e > 64 || e&(e-1) != 0) {
+		bad("OrgWayMemoEntries", "%d not a power of two in [1, 64]", e)
 	}
 	return errors.Join(problems...)
 }
@@ -492,15 +536,18 @@ func Run(id string, o Options) ([]*stats.Table, error) {
 // cannot change results — mirroring the Fingerprint field set.
 func (o Options) ManifestParams() map[string]string {
 	return map[string]string{
-		"accesses":         fmt.Sprint(o.Accesses),
-		"warmup_frac":      fmt.Sprint(o.WarmupFrac),
-		"benchmarks":       strings.Join(o.benchmarks(), ","),
-		"mrc_sample_rate":  fmt.Sprint(o.mrcSampleRate()),
-		"mrc_max_samples":  fmt.Sprint(o.mrcMaxSamples()),
-		"mrc_resolution":   fmt.Sprint(o.mrcResolution()),
-		"mrc_max_bytes":    fmt.Sprint(o.mrcMaxBytes()),
-		"tenants":          strings.Join(o.Tenants, ","),
-		"partition_policy": o.PartitionPolicy,
-		"epoch_accesses":   fmt.Sprint(o.epochAccesses()),
+		"accesses":               fmt.Sprint(o.Accesses),
+		"warmup_frac":            fmt.Sprint(o.WarmupFrac),
+		"benchmarks":             strings.Join(o.benchmarks(), ","),
+		"mrc_sample_rate":        fmt.Sprint(o.mrcSampleRate()),
+		"mrc_max_samples":        fmt.Sprint(o.mrcMaxSamples()),
+		"mrc_resolution":         fmt.Sprint(o.mrcResolution()),
+		"mrc_max_bytes":          fmt.Sprint(o.mrcMaxBytes()),
+		"tenants":                strings.Join(o.Tenants, ","),
+		"partition_policy":       o.PartitionPolicy,
+		"epoch_accesses":         fmt.Sprint(o.epochAccesses()),
+		"org_touche_sb_lines":    fmt.Sprint(o.orgToucheSBLines()),
+		"org_copyback_max_reuse": fmt.Sprint(o.orgCopyBackMaxReuse()),
+		"org_waymemo_entries":    fmt.Sprint(o.orgWayMemoEntries()),
 	}
 }

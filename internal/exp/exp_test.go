@@ -76,7 +76,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table6", "overheads",
 		"ablation-woc-ways", "ablation-threshold", "ablation-victim",
 		"ablation-prefetch", "ablation-leaders", "ablation-traffic", "profiles",
-		"mrc", "partition"}
+		"mrc", "partition", "orgs"}
 	for _, id := range want {
 		if _, ok := About(id); !ok {
 			t.Errorf("experiment %q not registered", id)

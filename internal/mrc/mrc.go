@@ -400,6 +400,31 @@ func (e *Engine) fillMissRatios(dst []float64, stepBytes int, hist []float64) {
 	}
 }
 
+// CurrentLineDistanceBytes returns the line-grain stack distance the
+// given line would observe if it were accessed right now: the scaled
+// byte weight of the lines touched since its last touch, plus its own
+// inclusive line cost. ok is false when the engine has no information
+// — the line falls outside the SHARDS sample, was evicted by the
+// fixed-size bound, or has never been touched (the predictor
+// cold-start case). The query is read-only: it advances no clocks and
+// records no distances, so prediction consumers (the clean copy-back
+// gate in internal/distill) can interleave it freely with Access.
+//
+//ldis:noalloc
+func (e *Engine) CurrentLineDistanceBytes(line mem.LineAddr) (bytes float64, ok bool) {
+	key := uint64(line)
+	if e.sampled && splitmix64(key^e.cfg.Seed) >= e.threshold {
+		return 0, false
+	}
+	idx := e.tab.find(key)
+	if idx < 0 || e.tab.pos[idx] == 0 {
+		return 0, false
+	}
+	p := int(e.tab.pos[idx])
+	other := e.fwLine.prefix(e.now) - e.fwLine.prefix(p)
+	return float64(other+1) * mem.LineSize * e.invR, true
+}
+
 // Refs returns the true number of references observed since the last
 // ResetCounts.
 func (e *Engine) Refs() float64 { return e.refs }

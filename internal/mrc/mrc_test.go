@@ -321,3 +321,56 @@ func TestBudgetPanic(t *testing.T) {
 	}()
 	e.Access(3, 0)
 }
+
+// TestCurrentLineDistanceBytes checks the read-only point query that
+// feeds the distill cache's copy-back predictor. Trace A B C: A's
+// current inclusive distance is 3 lines, the MRU line's is 1, a line
+// never seen is unknown, and querying must not advance the clock.
+func TestCurrentLineDistanceBytes(t *testing.T) {
+	e := mustNew(t, fineConfig(), 16)
+	for _, l := range []mem.LineAddr{10, 11, 12} {
+		e.Access(l, 0)
+	}
+	if d, ok := e.CurrentLineDistanceBytes(10); !ok || d != 3*mem.LineSize {
+		t.Fatalf("distance(A) = %v, %v; want %d, true", d, ok, 3*mem.LineSize)
+	}
+	if d, ok := e.CurrentLineDistanceBytes(12); !ok || d != mem.LineSize {
+		t.Fatalf("distance(MRU) = %v, %v; want %d, true", d, ok, mem.LineSize)
+	}
+	if _, ok := e.CurrentLineDistanceBytes(99); ok {
+		t.Fatal("unseen line reported a distance")
+	}
+	// Read-only: the query above must not have perturbed the stack.
+	if d, ok := e.CurrentLineDistanceBytes(10); !ok || d != 3*mem.LineSize {
+		t.Fatalf("repeat distance(A) = %v, %v; query is not read-only", d, ok)
+	}
+	e.Access(10, 0)
+	if d, ok := e.CurrentLineDistanceBytes(10); !ok || d != mem.LineSize {
+		t.Fatalf("distance(A) after retouch = %v, %v; want %d, true", d, ok, mem.LineSize)
+	}
+}
+
+// TestCurrentLineDistanceSampled checks the sampled engine: unsampled
+// lines are unknown (cold), sampled lines answer with the scaled
+// distance, and the split is deterministic in the seed.
+func TestCurrentLineDistanceSampled(t *testing.T) {
+	e := mustNew(t, Config{SampleRate: 0.5, Seed: 7}, 1<<16)
+	const lines = 256
+	for i := 0; i < lines; i++ {
+		e.Access(mem.LineAddr(i), 0)
+	}
+	known, cold := 0, 0
+	for i := 0; i < lines; i++ {
+		if d, ok := e.CurrentLineDistanceBytes(mem.LineAddr(i)); ok {
+			known++
+			if d <= 0 {
+				t.Fatalf("line %d: non-positive distance %v", i, d)
+			}
+		} else {
+			cold++
+		}
+	}
+	if known == 0 || cold == 0 {
+		t.Fatalf("sampling split degenerate: %d known / %d cold", known, cold)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ldis/internal/exp"
 	"ldis/internal/obs"
@@ -22,20 +23,44 @@ const (
 	retryAfterDrain = 30
 )
 
+// route is one v1 API endpoint: the single source of truth that both
+// registers the mux pattern and documents the endpoint in
+// /v1/openapi.json, so the served spec can never drift from the
+// routing table.
+type route struct {
+	method  string
+	path    string // mux pattern under /v1 (may contain {id} wildcards)
+	summary string
+	handler http.HandlerFunc
+}
+
+// routes returns the complete v1 API surface.
+func (s *Server) routes() []route {
+	return []route{
+		{"GET", "/v1/healthz", "liveness and queue occupancy; status \"draining\" tells balancers to stop routing here", s.handleHealth},
+		{"GET", "/v1/openapi.json", "this document: the machine-readable v1 route table", s.handleOpenAPI},
+		{"GET", "/v1/experiments", "registered experiment ids and descriptions", s.handleExperiments},
+		{"POST", "/v1/jobs", "submit a job spec; 202 on admit, 409 on live duplicate, 429/503 under pressure", s.handleSubmit},
+		{"GET", "/v1/jobs", "all jobs in submission order", s.handleJobList},
+		{"GET", "/v1/jobs/{id}", "one job's state", s.handleJobStatus},
+		{"GET", "/v1/jobs/{id}/result", "stream rendered tables; ?wait=1 long-polls to a terminal state", s.handleJobResult},
+		{"GET", "/v1/jobs/{id}/manifest", "the job's validated run manifest", s.handleJobManifest},
+		{"POST", "/v1/traces", "upload one binary trace; strict decode with corruption diagnosis", s.handleTraceUpload},
+		{"GET", "/v1/traces/{id}", "a stored trace's metadata", s.handleTraceInfo},
+	}
+}
+
 // Handler assembles the routed API behind the hardening middleware
 // chain (outermost first: request-id/log, panic recovery, path guard,
-// body limit, per-request deadline).
+// body limit, per-request deadline). Every resource lives under /v1/;
+// the unversioned spellings answer 301 (GET/HEAD, preserving the
+// query) or 410, never content.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.handleJobManifest)
-	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
-	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceInfo)
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.method+" "+rt.path, rt.handler)
+	}
+	mux.HandleFunc("/", s.handleLegacy)
 	var h http.Handler = mux
 	h = s.withDeadline(h)
 	h = s.withBodyLimit(h)
@@ -43,6 +68,71 @@ func (s *Server) Handler() http.Handler {
 	h = s.withRecovery(h)
 	h = s.withRequestID(h)
 	return h
+}
+
+// handleOpenAPI serves the machine-readable v1 route table as a
+// minimal OpenAPI 3.0 document built from the same routes slice the
+// mux is wired from.
+func (s *Server) handleOpenAPI(w http.ResponseWriter, r *http.Request) {
+	paths := map[string]map[string]any{}
+	for _, rt := range s.routes() {
+		p := paths[rt.path]
+		if p == nil {
+			p = map[string]any{}
+			paths[rt.path] = p
+		}
+		p[strings.ToLower(rt.method)] = map[string]any{
+			"summary":   rt.summary,
+			"responses": map[string]any{"default": map[string]any{"description": "see summary"}},
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"openapi": "3.0.3",
+		"info": map[string]any{
+			"title":   "ldisd cache-analysis service",
+			"version": "v1",
+		},
+		"paths": paths,
+	})
+}
+
+// handleLegacy is the catch-all for everything outside /v1/: a known
+// resource spelled without the prefix answers 301 (GET/HEAD, with the
+// query preserved) pointing at its /v1 home, or 410 for methods where
+// a silent redirect could replay a mutation against the wrong
+// contract; anything else is a plain 404.
+func (s *Server) handleLegacy(w http.ResponseWriter, r *http.Request) {
+	seg := strings.TrimPrefix(r.URL.Path, "/")
+	if i := strings.IndexByte(seg, '/'); i >= 0 {
+		seg = seg[:i]
+	}
+	known := false
+	for _, rt := range s.routes() {
+		root := strings.TrimPrefix(rt.path, "/v1/")
+		if j := strings.IndexByte(root, '/'); j >= 0 {
+			root = root[:j]
+		}
+		if seg == root && seg != "" {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, r, http.StatusNotFound, apiError{Error: "unknown path " + r.URL.Path})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		target := "/v1" + r.URL.Path
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, target, http.StatusMovedPermanently)
+	default:
+		writeError(w, r, http.StatusGone, apiError{
+			Error: fmt.Sprintf("unversioned path %s is gone; use /v1%s", r.URL.Path, r.URL.Path),
+		})
+	}
 }
 
 // handleHealth reports liveness and queue occupancy; "draining" tells

@@ -231,7 +231,7 @@ func TestRequestIDThreading(t *testing.T) {
 		t.Errorf("error body missing request id: %s", body)
 	}
 
-	req, _ = http.NewRequest("GET", base+"/healthz", nil)
+	req, _ = http.NewRequest("GET", base+"/v1/healthz", nil)
 	req.Header.Set("X-Request-Id", "bad id {with} spaces")
 	resp, err = client.Do(req)
 	if err != nil {
@@ -322,7 +322,7 @@ func TestHealthAndExperiments(t *testing.T) {
 		Status     string `json:"status"`
 		QueueDepth int    `json:"queue_depth"`
 	}
-	resp, err := client.Get(base + "/healthz")
+	resp, err := client.Get(base + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,5 +349,92 @@ func TestHealthAndExperiments(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("experiment listing missing fig6: %+v", exps)
+	}
+}
+
+// TestV1OpenAPIDocument: /v1/openapi.json serves a document whose path
+// set matches the routing table exactly — the spec cannot drift from
+// the mux.
+func TestV1OpenAPIDocument(t *testing.T) {
+	s, base, client := startTestServer(t)
+	resp, err := client.Get(base + "/v1/openapi.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		OpenAPI string                    `json:"openapi"`
+		Info    struct{ Version string }  `json:"info"`
+		Paths   map[string]map[string]any `json:"paths"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OpenAPI == "" {
+		t.Error("missing openapi version field")
+	}
+	want := map[string]bool{}
+	for _, rt := range s.routes() {
+		want[rt.path] = true
+	}
+	for p := range want {
+		if _, ok := doc.Paths[p]; !ok {
+			t.Errorf("route %s missing from openapi document", p)
+		}
+	}
+	for p := range doc.Paths {
+		if !want[p] {
+			t.Errorf("openapi documents %s, which the mux does not serve", p)
+		}
+	}
+	if _, ok := doc.Paths["/v1/jobs"]["post"]; !ok {
+		t.Error("POST /v1/jobs not documented")
+	}
+}
+
+// TestLegacyPathPolicy pins the unversioned-path contract: known
+// resources 301 on GET/HEAD (query preserved) and 410 on mutating
+// methods; unknown paths are plain 404s. Content is never served
+// outside /v1/.
+func TestLegacyPathPolicy(t *testing.T) {
+	_, base, _ := startTestServer(t)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	t.Cleanup(client.CloseIdleConnections)
+
+	cases := []struct {
+		method, path string
+		wantStatus   int
+		wantLocation string
+	}{
+		{"GET", "/healthz", http.StatusMovedPermanently, "/v1/healthz"},
+		{"HEAD", "/healthz", http.StatusMovedPermanently, "/v1/healthz"},
+		{"GET", "/jobs/j123/result?wait=1", http.StatusMovedPermanently, "/v1/jobs/j123/result?wait=1"},
+		{"GET", "/experiments", http.StatusMovedPermanently, "/v1/experiments"},
+		{"POST", "/jobs", http.StatusGone, ""},
+		{"POST", "/traces", http.StatusGone, ""},
+		{"DELETE", "/jobs/j123", http.StatusGone, ""},
+		{"GET", "/nope", http.StatusNotFound, ""},
+		{"GET", "/", http.StatusNotFound, ""},
+		{"POST", "/v2/jobs", http.StatusNotFound, ""},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, base+tc.path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if got := resp.Header.Get("Location"); got != tc.wantLocation {
+			t.Errorf("%s %s: location %q, want %q", tc.method, tc.path, got, tc.wantLocation)
+		}
 	}
 }

@@ -4,8 +4,10 @@
 //
 // The package exposes a small facade over the internal simulator: build
 // a cache organization (traditional, distill, compressed, or
-// SFP-predicted) with New, pick a workload, run it, and read the
-// results. The full experiment harness that regenerates every table
+// SFP-predicted) with New — optionally refined by the related-work
+// modifiers WithToucheTags, WithCleanCopyBack, and WithWayMemo — pick
+// a workload, run it, and read the results. The full experiment
+// harness that regenerates every table
 // and figure of the paper lives behind RunExperiment and the ldisexp
 // command.
 //
@@ -32,10 +34,23 @@ import (
 	"ldis/internal/workload"
 
 	icompress "ldis/internal/compress"
+	"ldis/internal/wordstore"
 )
 
 // DistillConfig re-exports the distill cache configuration.
 type DistillConfig = distill.Config
+
+// ToucheTagsConfig re-exports the Touché compressed-tag configuration
+// used by WithToucheTags.
+type ToucheTagsConfig = wordstore.ToucheConfig
+
+// CopyBackConfig re-exports the clean copy-back configuration used by
+// WithCleanCopyBack.
+type CopyBackConfig = distill.CopyBackConfig
+
+// WayMemoConfig re-exports the way-memoization configuration used by
+// WithWayMemo.
+type WayMemoConfig = cache.WayMemoConfig
 
 // DefaultDistillConfig returns the paper's LDIS-MT-RC configuration: a
 // 1MB 8-way cache with 6 LOC ways + 2 WOC ways, median-threshold
@@ -93,29 +108,44 @@ func NewObserver() *Observer { return obs.NewRegistry() }
 
 // Option configures a Sim built by New. Exactly one cache-organization
 // option — WithTraditional, WithDistill, WithCompression, WithFAC, or
-// WithSFP — must be given; WithObserver composes with any of them.
+// WithSFP — must be given. Modifier options refine an organization:
+// WithToucheTags and WithCleanCopyBack compose with WithDistill and
+// WithFAC, WithWayMemo with WithTraditional. WithObserver composes
+// with anything.
 type Option func(*simSpec)
 
 // simSpec accumulates the options before New builds anything; orgs
 // records every organization option seen so New can report conflicts
-// by name.
+// by name, and builders pull the modifier configs from the spec.
 type simSpec struct {
 	orgs  []string
-	build func(co *obs.Cell) (*Sim, error)
+	build func(spec *simSpec, co *obs.Cell) (*Sim, error)
 	reg   *obs.Registry
+
+	touche   *wordstore.ToucheConfig
+	copyBack *distill.CopyBackConfig
+	wayMemo  *cache.WayMemoConfig
 }
 
-func (s *simSpec) setOrg(name string, build func(co *obs.Cell) (*Sim, error)) {
+func (s *simSpec) setOrg(name string, build func(spec *simSpec, co *obs.Cell) (*Sim, error)) {
 	s.orgs = append(s.orgs, name)
 	s.build = build
+}
+
+// applyDistillMods folds the distill-compatible modifiers into cfg.
+func (s *simSpec) applyDistillMods(cfg DistillConfig) DistillConfig {
+	cfg.Touche = s.touche
+	cfg.CopyBack = s.copyBack
+	return cfg
 }
 
 // WithTraditional selects a traditional L2 of the given geometry
 // (the paper's baseline is WithTraditional(1<<20, 8)).
 func WithTraditional(sizeBytes, ways int) Option {
 	return func(s *simSpec) {
-		s.setOrg("WithTraditional", func(co *obs.Cell) (*Sim, error) {
-			cfg := cache.Config{Name: "trad", SizeBytes: sizeBytes, Ways: ways, Obs: co}
+		s.setOrg("WithTraditional", func(spec *simSpec, co *obs.Cell) (*Sim, error) {
+			cfg := cache.Config{Name: "trad", SizeBytes: sizeBytes, Ways: ways,
+				WayMemo: spec.wayMemo, Obs: co}
 			if err := cfg.Validate(); err != nil {
 				return nil, err
 			}
@@ -128,8 +158,12 @@ func WithTraditional(sizeBytes, ways int) Option {
 // WithDistill selects a distill-cache L2 (paper Section 5).
 func WithDistill(cfg DistillConfig) Option {
 	return func(s *simSpec) {
-		s.setOrg("WithDistill", func(co *obs.Cell) (*Sim, error) {
+		s.setOrg("WithDistill", func(spec *simSpec, co *obs.Cell) (*Sim, error) {
+			cfg = spec.applyDistillMods(cfg)
 			cfg.Obs = co
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
 			sys, dc := hierarchy.Distill(cfg)
 			return &Sim{sys: sys, distill: dc}, nil
 		})
@@ -140,7 +174,7 @@ func WithDistill(cfg DistillConfig) Option {
 // cache, Section 8.1) over the named benchmark's value model.
 func WithCompression(benchmark string) Option {
 	return func(s *simSpec) {
-		s.setOrg("WithCompression", func(co *obs.Cell) (*Sim, error) {
+		s.setOrg("WithCompression", func(spec *simSpec, co *obs.Cell) (*Sim, error) {
 			prof, err := workload.ByName(benchmark)
 			if err != nil {
 				return nil, err
@@ -156,12 +190,16 @@ func WithCompression(benchmark string) Option {
 // value model.
 func WithFAC(cfg DistillConfig, benchmark string) Option {
 	return func(s *simSpec) {
-		s.setOrg("WithFAC", func(co *obs.Cell) (*Sim, error) {
+		s.setOrg("WithFAC", func(spec *simSpec, co *obs.Cell) (*Sim, error) {
 			prof, err := workload.ByName(benchmark)
 			if err != nil {
 				return nil, err
 			}
+			cfg = spec.applyDistillMods(cfg)
 			cfg.Obs = co
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
 			sys, dc := hierarchy.FAC(cfg, prof.Values())
 			return &Sim{sys: sys, distill: dc}, nil
 		})
@@ -172,7 +210,7 @@ func WithFAC(cfg DistillConfig, benchmark string) Option {
 // 9 / Figure 13). predictorEntries <= 0 keeps the default table size.
 func WithSFP(predictorEntries int) Option {
 	return func(s *simSpec) {
-		s.setOrg("WithSFP", func(co *obs.Cell) (*Sim, error) {
+		s.setOrg("WithSFP", func(spec *simSpec, co *obs.Cell) (*Sim, error) {
 			cfg := sfp.DefaultConfig()
 			if predictorEntries > 0 {
 				cfg.PredictorEntries = predictorEntries
@@ -186,6 +224,45 @@ func WithSFP(predictorEntries int) Option {
 	}
 }
 
+// WithToucheTags replaces the WOC's per-word full tags with
+// Touché-style compressed superblock signatures (arXiv 1909.00553):
+// resident lines of a superblock share one hashed signature entry,
+// checksum-disambiguated so an alias is always a safe miss, never a
+// false hit. Composes with WithDistill and WithFAC. Tag-area pricing
+// lives in costmodel.ToucheTagArea.
+func WithToucheTags(cfg ToucheTagsConfig) Option {
+	return func(s *simSpec) {
+		c := cfg
+		s.touche = &c
+	}
+}
+
+// WithTouchéTags is WithToucheTags under the paper's accented
+// spelling.
+var WithTouchéTags = WithToucheTags
+
+// WithCleanCopyBack gates copy-back of clean L1 victims into the WOC
+// on a reuse-distance predictor fed from the Mattson/SHARDS stack
+// (arXiv 2105.14442). Composes with WithDistill and WithFAC.
+func WithCleanCopyBack(cfg CopyBackConfig) Option {
+	return func(s *simSpec) {
+		c := cfg
+		s.copyBack = &c
+	}
+}
+
+// WithWayMemo adds way-memoization accounting to a traditional L2
+// (arXiv 0710.4703): a per-set memo buffer remembers last-hit ways so
+// repeat accesses skip the parallel tag probe. Functionally
+// transparent; energy pricing lives in costmodel.WayMemoEnergyFor.
+// Composes with WithTraditional.
+func WithWayMemo(cfg WayMemoConfig) Option {
+	return func(s *simSpec) {
+		c := cfg
+		s.wayMemo = &c
+	}
+}
+
 // WithObserver wires the simulator's metrics into reg. A nil reg (or
 // omitting the option) disables observability entirely: every handle
 // on the hot path is a nil no-op.
@@ -193,8 +270,8 @@ func WithObserver(reg *obs.Registry) Option {
 	return func(s *simSpec) { s.reg = reg }
 }
 
-// New builds a simulator from functional options — the single entry
-// point the deprecated New*Sim constructors now delegate to:
+// New builds a simulator from functional options — the package's
+// single constructor:
 //
 //	sim, err := ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()),
 //		ldis.WithObserver(reg))
@@ -209,66 +286,24 @@ func New(opts ...Option) (*Sim, error) {
 	if len(spec.orgs) > 1 {
 		return nil, fmt.Errorf("ldis.New: conflicting organization options: %s", strings.Join(spec.orgs, ", "))
 	}
+	org := spec.orgs[0]
+	distillOrg := org == "WithDistill" || org == "WithFAC"
+	if spec.touche != nil && !distillOrg {
+		return nil, fmt.Errorf("ldis.New: WithToucheTags requires WithDistill or WithFAC, got %s", org)
+	}
+	if spec.copyBack != nil && !distillOrg {
+		return nil, fmt.Errorf("ldis.New: WithCleanCopyBack requires WithDistill or WithFAC, got %s", org)
+	}
+	if spec.wayMemo != nil && org != "WithTraditional" {
+		return nil, fmt.Errorf("ldis.New: WithWayMemo requires WithTraditional, got %s", org)
+	}
 	co := obs.NewCell(spec.reg)
-	sim, err := spec.build(co)
+	sim, err := spec.build(&spec, co)
 	if err != nil {
 		return nil, err
 	}
 	sim.obsCell = co
 	return sim, nil
-}
-
-// NewBaselineSim builds the paper's baseline: a 1MB 8-way traditional
-// L2 behind the 16kB sectored L1D.
-//
-// Deprecated: use New(WithTraditional(1<<20, 8)).
-func NewBaselineSim() *Sim {
-	s, err := New(WithTraditional(1<<20, 8))
-	if err != nil {
-		panic(err) // the fixed baseline geometry always validates
-	}
-	return s
-}
-
-// NewTraditionalSim builds a traditional L2 of the given geometry.
-//
-// Deprecated: use New(WithTraditional(sizeBytes, ways)).
-func NewTraditionalSim(sizeBytes, ways int) (*Sim, error) {
-	return New(WithTraditional(sizeBytes, ways))
-}
-
-// NewDistillSim builds a distill-cache hierarchy.
-//
-// Deprecated: use New(WithDistill(cfg)).
-func NewDistillSim(cfg DistillConfig) *Sim {
-	s, err := New(WithDistill(cfg))
-	if err != nil {
-		panic(err) // WithDistill's builder never errors
-	}
-	return s
-}
-
-// NewCompressedSim builds the CMPR comparator (compressed traditional
-// cache) using the named benchmark's value model.
-//
-// Deprecated: use New(WithCompression(benchmark)).
-func NewCompressedSim(benchmark string) (*Sim, error) {
-	return New(WithCompression(benchmark))
-}
-
-// NewFACSim builds a distill cache with footprint-aware compression
-// (Section 8.2) using the named benchmark's value model.
-//
-// Deprecated: use New(WithFAC(cfg, benchmark)).
-func NewFACSim(cfg DistillConfig, benchmark string) (*Sim, error) {
-	return New(WithFAC(cfg, benchmark))
-}
-
-// NewSFPSim builds the spatial-footprint-predictor comparator.
-//
-// Deprecated: use New(WithSFP(predictorEntries)).
-func NewSFPSim(predictorEntries int) (*Sim, error) {
-	return New(WithSFP(predictorEntries))
 }
 
 // RunWorkload drives n accesses of the named synthetic benchmark

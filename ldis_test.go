@@ -33,8 +33,17 @@ func TestBenchmarksLists(t *testing.T) {
 	}
 }
 
+func mustSim(t *testing.T, opts ...Option) *Sim {
+	t.Helper()
+	s, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestBaselineSimRunWorkload(t *testing.T) {
-	sim := NewBaselineSim()
+	sim := mustSim(t, WithTraditional(1<<20, 8))
 	res, err := sim.RunWorkload("twolf", 50000)
 	if err != nil {
 		t.Fatal(err)
@@ -51,13 +60,13 @@ func TestBaselineSimRunWorkload(t *testing.T) {
 }
 
 func TestRunWorkloadUnknownBenchmark(t *testing.T) {
-	if _, err := NewBaselineSim().RunWorkload("nope", 10); err == nil {
+	if _, err := mustSim(t, WithTraditional(1<<20, 8)).RunWorkload("nope", 10); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
 }
 
 func TestDistillSimOutcomes(t *testing.T) {
-	sim := NewDistillSim(DefaultDistillConfig())
+	sim := mustSim(t, WithDistill(DefaultDistillConfig()))
 	res, err := sim.RunWorkload("mcf", 100000)
 	if err != nil {
 		t.Fatal(err)
@@ -75,11 +84,11 @@ func TestDistillSimOutcomes(t *testing.T) {
 
 func TestDistillBeatsBaselineOnLowSpatialWorkload(t *testing.T) {
 	const n = 400000
-	base, err := NewBaselineSim().RunWorkload("health", n)
+	base, err := mustSim(t, WithTraditional(1<<20, 8)).RunWorkload("health", n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist, err := NewDistillSim(DefaultDistillConfig()).RunWorkload("health", n)
+	dist, err := mustSim(t, WithDistill(DefaultDistillConfig())).RunWorkload("health", n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,10 +98,10 @@ func TestDistillBeatsBaselineOnLowSpatialWorkload(t *testing.T) {
 }
 
 func TestTraditionalSimValidation(t *testing.T) {
-	if _, err := NewTraditionalSim(100, 3); err == nil {
+	if _, err := New(WithTraditional(100, 3)); err == nil {
 		t.Error("invalid geometry should error")
 	}
-	sim, err := NewTraditionalSim(2<<20, 8)
+	sim, err := New(WithTraditional(2<<20, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,20 +111,20 @@ func TestTraditionalSimValidation(t *testing.T) {
 }
 
 func TestCompressedAndFACSims(t *testing.T) {
-	if _, err := NewCompressedSim("nope"); err == nil {
+	if _, err := New(WithCompression("nope")); err == nil {
 		t.Error("unknown benchmark should error")
 	}
-	cs, err := NewCompressedSim("mcf")
+	cs, err := New(WithCompression("mcf"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cs.RunWorkload("mcf", 20000); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewFACSim(DefaultDistillConfig(), "nope"); err == nil {
+	if _, err := New(WithFAC(DefaultDistillConfig(), "nope")); err == nil {
 		t.Error("unknown benchmark should error")
 	}
-	fs, err := NewFACSim(DefaultDistillConfig(), "mcf")
+	fs, err := New(WithFAC(DefaultDistillConfig(), "mcf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,10 +134,10 @@ func TestCompressedAndFACSims(t *testing.T) {
 }
 
 func TestSFPSim(t *testing.T) {
-	if _, err := NewSFPSim(3); err == nil {
+	if _, err := New(WithSFP(3)); err == nil {
 		t.Error("non-power-of-two predictor should error")
 	}
-	sim, err := NewSFPSim(1 << 12)
+	sim, err := New(WithSFP(1 << 12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +152,7 @@ func TestRunStreamCustomTrace(t *testing.T) {
 		{Addr: 64, Kind: mem.Store, Instret: 10},
 		{Addr: 0, Kind: mem.Load, Instret: 10},
 	}
-	sim := NewBaselineSim()
+	sim := mustSim(t, WithTraditional(1<<20, 8))
 	res := sim.RunStream("custom", trace.NewSliceStream(accs), 0)
 	if res.Accesses != 3 || res.Instructions != 30 {
 		t.Errorf("custom stream result: %+v", res)

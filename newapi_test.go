@@ -6,86 +6,78 @@ import (
 	"ldis"
 )
 
-// TestNewMatchesDeprecatedConstructors proves the functional-options
-// API is a pure refactor: for every registered benchmark and every
-// cache organization, the Result from ldis.New is byte-identical to
-// the one from the deprecated constructor it replaces.
-func TestNewMatchesDeprecatedConstructors(t *testing.T) {
-	const accesses = 20_000
-	type pair struct {
-		name string
-		old  func(bench string) (*ldis.Sim, error)
-		new  func(bench string) (*ldis.Sim, error)
-	}
-	pairs := []pair{
-		{
-			name: "baseline",
-			old:  func(string) (*ldis.Sim, error) { return ldis.NewBaselineSim(), nil },
-			new:  func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithTraditional(1<<20, 8)) },
+// newBuilders is the full organization matrix expressed through the
+// v1 functional-options API — the five base organizations plus the
+// three related-work modifiers on their host organizations.
+func newBuilders() map[string]func(bench string) (*ldis.Sim, error) {
+	return map[string]func(bench string) (*ldis.Sim, error){
+		"baseline": func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithTraditional(1<<20, 8)) },
+		"distill": func(string) (*ldis.Sim, error) {
+			return ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()))
 		},
-		{
-			name: "traditional-2MB",
-			old:  func(string) (*ldis.Sim, error) { return ldis.NewTraditionalSim(2<<20, 16) },
-			new:  func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithTraditional(2<<20, 16)) },
+		"cmpr": func(b string) (*ldis.Sim, error) { return ldis.New(ldis.WithCompression(b)) },
+		"fac": func(b string) (*ldis.Sim, error) {
+			return ldis.New(ldis.WithFAC(ldis.DefaultDistillConfig(), b))
 		},
-		{
-			name: "distill",
-			old: func(string) (*ldis.Sim, error) {
-				return ldis.NewDistillSim(ldis.DefaultDistillConfig()), nil
-			},
-			new: func(string) (*ldis.Sim, error) {
-				return ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()))
-			},
+		"sfp": func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithSFP(0)) },
+		"distill+touche": func(string) (*ldis.Sim, error) {
+			return ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()),
+				ldis.WithToucheTags(ldis.ToucheTagsConfig{}))
 		},
-		{
-			name: "compressed",
-			old:  func(b string) (*ldis.Sim, error) { return ldis.NewCompressedSim(b) },
-			new:  func(b string) (*ldis.Sim, error) { return ldis.New(ldis.WithCompression(b)) },
+		"distill+copyback": func(string) (*ldis.Sim, error) {
+			return ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()),
+				ldis.WithCleanCopyBack(ldis.CopyBackConfig{}))
 		},
-		{
-			name: "fac",
-			old: func(b string) (*ldis.Sim, error) {
-				return ldis.NewFACSim(ldis.DefaultDistillConfig(), b)
-			},
-			new: func(b string) (*ldis.Sim, error) {
-				return ldis.New(ldis.WithFAC(ldis.DefaultDistillConfig(), b))
-			},
+		"trad+waymemo": func(string) (*ldis.Sim, error) {
+			return ldis.New(ldis.WithTraditional(1<<20, 8),
+				ldis.WithWayMemo(ldis.WayMemoConfig{}))
 		},
-		{
-			name: "sfp",
-			old:  func(string) (*ldis.Sim, error) { return ldis.NewSFPSim(0) },
-			new:  func(string) (*ldis.Sim, error) { return ldis.New(ldis.WithSFP(0)) },
-		},
-	}
-	for _, p := range pairs {
-		t.Run(p.name, func(t *testing.T) {
-			for _, bench := range ldis.Benchmarks() {
-				oldSim, err := p.old(bench)
-				if err != nil {
-					t.Fatalf("%s/%s old: %v", p.name, bench, err)
-				}
-				newSim, err := p.new(bench)
-				if err != nil {
-					t.Fatalf("%s/%s new: %v", p.name, bench, err)
-				}
-				oldRes, err := oldSim.RunWorkload(bench, accesses)
-				if err != nil {
-					t.Fatal(err)
-				}
-				newRes, err := newSim.RunWorkload(bench, accesses)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if oldRes != newRes {
-					t.Errorf("%s/%s: results diverge:\n old %+v\n new %+v", p.name, bench, oldRes, newRes)
-				}
-			}
-		})
 	}
 }
 
-// TestNewRejectsBadOptionSets pins the two misuse diagnostics: no
-// organization, and more than one.
+// TestMatrixAllBenchmarksAllOrganizations is the breadth smoke test:
+// every registered benchmark runs on every cache organization the v1
+// API can build, without panicking, with sane accounting (hits+misses
+// == L2 accesses, MPKI finite) and, for distill caches, intact
+// structural invariants.
+func TestMatrixAllBenchmarksAllOrganizations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full matrix")
+	}
+	const n = 25_000
+	for _, bench := range ldis.Benchmarks() {
+		for kind, build := range newBuilders() {
+			sim, err := build(bench)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, kind, err)
+			}
+			res, err := sim.RunWorkload(bench, n)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, kind, err)
+			}
+			if res.Accesses != n {
+				t.Errorf("%s/%s: ran %d accesses", bench, kind, res.Accesses)
+			}
+			if res.Instructions == 0 {
+				t.Errorf("%s/%s: no instructions retired", bench, kind)
+			}
+			if res.MPKI < 0 || res.MPKI > 1000 {
+				t.Errorf("%s/%s: implausible MPKI %v", bench, kind, res.MPKI)
+			}
+			if res.L2Misses > res.L2Accesses {
+				t.Errorf("%s/%s: misses %d exceed accesses %d", bench, kind, res.L2Misses, res.L2Accesses)
+			}
+			if ds := sim.DistillStats(); ds != nil {
+				if ds.Hits()+ds.Misses() != ds.Accesses {
+					t.Errorf("%s/%s: distill accounting broken: %+v", bench, kind, ds)
+				}
+			}
+		}
+	}
+}
+
+// TestNewRejectsBadOptionSets pins the misuse diagnostics: no
+// organization, more than one, and modifiers on the wrong host.
 func TestNewRejectsBadOptionSets(t *testing.T) {
 	if _, err := ldis.New(); err == nil {
 		t.Error("New() without an organization option succeeded")
@@ -101,6 +93,70 @@ func TestNewRejectsBadOptionSets(t *testing.T) {
 		if !containsStr(err.Error(), want) {
 			t.Errorf("conflict error %q does not name %s", err, want)
 		}
+	}
+}
+
+// TestNewRejectsIncompatibleModifiers pins the modifier/host matrix:
+// Touché and copy-back require a distill-family organization, the way
+// memo a traditional one, and the valid pairings build.
+func TestNewRejectsIncompatibleModifiers(t *testing.T) {
+	bad := []struct {
+		name string
+		opts []ldis.Option
+		want string
+	}{
+		{"touche-on-traditional",
+			[]ldis.Option{ldis.WithTraditional(1<<20, 8), ldis.WithToucheTags(ldis.ToucheTagsConfig{})},
+			"WithToucheTags"},
+		{"copyback-on-sfp",
+			[]ldis.Option{ldis.WithSFP(0), ldis.WithCleanCopyBack(ldis.CopyBackConfig{})},
+			"WithCleanCopyBack"},
+		{"waymemo-on-distill",
+			[]ldis.Option{ldis.WithDistill(ldis.DefaultDistillConfig()), ldis.WithWayMemo(ldis.WayMemoConfig{})},
+			"WithWayMemo"},
+		{"waymemo-on-compression",
+			[]ldis.Option{ldis.WithCompression("mcf"), ldis.WithWayMemo(ldis.WayMemoConfig{})},
+			"WithWayMemo"},
+	}
+	for _, tc := range bad {
+		_, err := ldis.New(tc.opts...)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !containsStr(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+	good := [][]ldis.Option{
+		{ldis.WithDistill(ldis.DefaultDistillConfig()),
+			ldis.WithToucheTags(ldis.ToucheTagsConfig{}),
+			ldis.WithCleanCopyBack(ldis.CopyBackConfig{})},
+		{ldis.WithFAC(ldis.DefaultDistillConfig(), "mcf"),
+			ldis.WithToucheTags(ldis.ToucheTagsConfig{})},
+		{ldis.WithTraditional(1<<20, 8), ldis.WithWayMemo(ldis.WayMemoConfig{EntriesPerSet: 8})},
+		{ldis.WithTraditional(1<<20, 8), ldis.WithTouchéTags(ldis.ToucheTagsConfig{})},
+	}
+	// The last combination is invalid by host; it documents that the
+	// accented alias routes through the same check.
+	for i, opts := range good[:3] {
+		if _, err := ldis.New(opts...); err != nil {
+			t.Errorf("valid combination %d rejected: %v", i, err)
+		}
+	}
+	if _, err := ldis.New(good[3]...); err == nil {
+		t.Error("accented alias bypassed the host check")
+	}
+	// Invalid modifier configs surface through Validate.
+	_, err := ldis.New(ldis.WithTraditional(1<<20, 8),
+		ldis.WithWayMemo(ldis.WayMemoConfig{EntriesPerSet: 3}))
+	if err == nil {
+		t.Error("non-power-of-two memo geometry accepted")
+	}
+	_, err = ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()),
+		ldis.WithToucheTags(ldis.ToucheTagsConfig{SuperblockLines: 3}))
+	if err == nil {
+		t.Error("non-power-of-two superblock accepted")
 	}
 }
 
@@ -138,6 +194,61 @@ func TestWithObserverRecordsMetrics(t *testing.T) {
 	}
 	if byName["cache_evictions"] == 0 && byName["distill_woc_evictions"] == 0 {
 		t.Errorf("no eviction counters recorded; snapshot %+v", snap)
+	}
+}
+
+// TestModifierSimsRunAndCount: each modifier must leave its
+// fingerprints in the counters an Observer collects — Touché lookups
+// happen, copy-backs occur on a reuse-heavy benchmark, the way memo
+// skips probes — while keeping results well-formed.
+func TestModifierSimsRunAndCount(t *testing.T) {
+	reg := ldis.NewObserver()
+	sim, err := ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()),
+		ldis.WithCleanCopyBack(ldis.CopyBackConfig{}),
+		ldis.WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunWorkload("mcf", 200_000); err != nil {
+		t.Fatal(err)
+	}
+	ds := sim.DistillStats()
+	if ds == nil {
+		t.Fatal("no distill stats from a distill sim")
+	}
+	if ds.CopyBacks+ds.CopyBackFar+ds.CopyBackCold == 0 {
+		t.Error("copy-back predictor never consulted on mcf")
+	}
+
+	sim, err = ldis.New(ldis.WithDistill(ldis.DefaultDistillConfig()),
+		ldis.WithToucheTags(ldis.ToucheTagsConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunWorkload("mcf", 200_000); err != nil {
+		t.Fatal(err)
+	}
+	if ds := sim.DistillStats(); ds.Touche.Lookups == 0 {
+		t.Error("Touché tags never consulted on mcf")
+	}
+
+	memoReg := ldis.NewObserver()
+	sim, err = ldis.New(ldis.WithTraditional(1<<20, 8),
+		ldis.WithWayMemo(ldis.WayMemoConfig{}), ldis.WithObserver(memoReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunWorkload("mcf", 200_000); err != nil {
+		t.Fatal(err)
+	}
+	hits := uint64(0)
+	for _, m := range memoReg.Snapshot() {
+		if m.Name == "cache_waymemo_hits" {
+			hits = m.Count
+		}
+	}
+	if hits == 0 {
+		t.Error("way memo never hit on mcf")
 	}
 }
 
